@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure/per-table bench binaries.
+ *
+ * Every bench runs some set of workloads through the Xeon E5645 model
+ * and prints paper-style rows. The dataset scale is read from the
+ * WCRT_SCALE environment variable (default 0.5) so a full bench sweep
+ * stays laptop-fast while larger runs remain one variable away.
+ */
+
+#ifndef WCRT_BENCH_BENCH_COMMON_HH
+#define WCRT_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/summary.hh"
+#include "base/table.hh"
+#include "baselines/baselines.hh"
+#include "core/profiler.hh"
+#include "workloads/registry.hh"
+
+namespace wcrt::bench {
+
+/** Dataset scale for bench runs (WCRT_SCALE, default 0.5). */
+inline double
+benchScale()
+{
+    if (const char *s = std::getenv("WCRT_SCALE"))
+        return std::atof(s);
+    return 0.5;
+}
+
+/** Profile every representative workload on a machine. */
+inline std::vector<WorkloadRun>
+runRepresentatives(const MachineConfig &machine, double scale)
+{
+    std::vector<WorkloadRun> runs;
+    for (const auto &entry : representativeWorkloads()) {
+        WorkloadPtr w = entry.make(scale);
+        runs.push_back(profileWorkload(*w, machine));
+    }
+    return runs;
+}
+
+/** Profile the six MPI implementations. */
+inline std::vector<WorkloadRun>
+runMpiSuite(const MachineConfig &machine, double scale)
+{
+    std::vector<WorkloadRun> runs;
+    for (const auto &entry : mpiWorkloads()) {
+        WorkloadPtr w = entry.make(scale);
+        runs.push_back(profileWorkload(*w, machine));
+    }
+    return runs;
+}
+
+/** Profile the comparison suites; returns (suite label, run). */
+inline std::vector<std::pair<std::string, WorkloadRun>>
+runBaselines(const MachineConfig &machine, double scale)
+{
+    std::vector<std::pair<std::string, WorkloadRun>> runs;
+    for (const auto &entry : baselineWorkloads()) {
+        WorkloadPtr w = entry.make(scale);
+        runs.emplace_back(toString(entry.suite),
+                          profileWorkload(*w, machine));
+    }
+    return runs;
+}
+
+/** Average a field over a set of runs. */
+template <typename Getter>
+double
+average(const std::vector<WorkloadRun> &runs, Getter &&get)
+{
+    Summary s;
+    for (const auto &r : runs)
+        s.add(get(r));
+    return s.mean();
+}
+
+/** Average over the runs matching a category. */
+template <typename Getter>
+double
+averageByCategory(const std::vector<WorkloadRun> &runs, AppCategory cat,
+                  Getter &&get)
+{
+    Summary s;
+    for (const auto &r : runs)
+        if (r.category == cat)
+            s.add(get(r));
+    return s.mean();
+}
+
+/** Average over the runs matching a system behaviour class. */
+template <typename Getter>
+double
+averageByBehavior(const std::vector<WorkloadRun> &runs,
+                  SystemBehavior behavior, Getter &&get)
+{
+    Summary s;
+    for (const auto &r : runs)
+        if (r.sysBehavior == behavior)
+            s.add(get(r));
+    return s.mean();
+}
+
+} // namespace wcrt::bench
+
+#endif // WCRT_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 2 — the integer-instruction breakdown of the big data
+ * workloads: integer-address calculation vs FP-address calculation vs
+ * other computation (the paper reports 64% / 18% / 18%).
+ */
+
+#include "bench_common.hh"
+
+using namespace wcrt;
+using namespace wcrt::bench;
+
+int
+main()
+{
+    double scale = benchScale();
+    MachineConfig machine = xeonE5645();
+    std::cout << "=== Figure 2: integer instruction breakdown (scale "
+              << scale << ") ===\n\n";
+
+    auto reps = runRepresentatives(machine, scale);
+
+    Table t({"workload", "int-address%", "fp-address%", "other%"});
+    for (const auto &run : reps) {
+        t.cell(run.name)
+            .cell(run.report.intAddressShare * 100, 1)
+            .cell(run.report.fpAddressShare * 100, 1)
+            .cell(run.report.otherIntShare * 100, 1);
+        t.endRow();
+    }
+    t.print(std::cout);
+
+    auto ia = [](const WorkloadRun &r) {
+        return r.report.intAddressShare * 100;
+    };
+    auto fa = [](const WorkloadRun &r) {
+        return r.report.fpAddressShare * 100;
+    };
+    auto ot = [](const WorkloadRun &r) {
+        return r.report.otherIntShare * 100;
+    };
+    std::cout << "\nbig data average: int-address "
+              << formatFixed(average(reps, ia), 1) << "%, fp-address "
+              << formatFixed(average(reps, fa), 1) << "%, other "
+              << formatFixed(average(reps, ot), 1)
+              << "%   (paper: 64% / 18% / 18%)\n";
+    return 0;
+}

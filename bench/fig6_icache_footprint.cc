@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 6 — instruction cache miss ratio versus cache capacity for
+ * the Hadoop workloads and PARSEC on the Atom-like in-order simulator
+ * configuration. The paper's finding: the Hadoop instruction footprint
+ * is ~1024 KB while PARSEC's is ~128 KB.
+ */
+
+#include "footprint_common.hh"
+
+using namespace wcrt;
+using namespace wcrt::bench;
+
+int
+main()
+{
+    double scale = benchScale() * 0.5;  // sweeps ladder 10 caches
+    auto hadoop = averageSweep(hadoopGroup(), SweepKind::Instruction,
+                               scale);
+    auto parsec = averageSweep(parsecGroup(), SweepKind::Instruction,
+                               scale);
+
+    printSweepFigure(
+        "=== Figure 6: instruction cache miss ratio vs capacity ===",
+        {"Hadoop", "PARSEC"}, {hadoop, parsec});
+
+    std::cout << "\nHadoop instruction footprint ~"
+              << kneeCapacityKb(hadoop) << " KB (paper: ~1024 KB)\n";
+    std::cout << "PARSEC instruction footprint ~"
+              << kneeCapacityKb(parsec) << " KB (paper: ~128 KB)\n";
+    return 0;
+}

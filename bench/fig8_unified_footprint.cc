@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 8 — unified (instruction + data) cache miss ratio versus
+ * capacity for the Hadoop workloads and PARSEC. The paper's finding:
+ * the curves converge past 1024 KB, i.e. shared-level capacity
+ * requirements are not significantly different.
+ */
+
+#include <cmath>
+
+#include "footprint_common.hh"
+
+using namespace wcrt;
+using namespace wcrt::bench;
+
+int
+main()
+{
+    double scale = benchScale() * 0.5;
+    auto hadoop = averageSweep(hadoopGroup(), SweepKind::Unified, scale);
+    auto parsec = averageSweep(parsecGroup(), SweepKind::Unified, scale);
+
+    printSweepFigure(
+        "=== Figure 8: unified cache miss ratio vs capacity ===",
+        {"Hadoop", "PARSEC"}, {hadoop, parsec});
+
+    auto sizes = paperSweepSizesKb();
+    double max_gap = 0.0;
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        if (sizes[i] >= 1024)
+            max_gap = std::max(max_gap,
+                               std::abs(hadoop[i] - parsec[i]));
+    }
+    std::cout << "\nMax |Hadoop - PARSEC| gap past 1024 KB: "
+              << formatFixed(max_gap * 100, 3)
+              << "% (paper: curves close after 1024 KB)\n";
+    return 0;
+}

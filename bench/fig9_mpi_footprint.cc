@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 9 — instruction cache miss ratio versus capacity for the
+ * MPI-implemented big data workloads next to Hadoop and PARSEC. The
+ * paper's Section 5.5 finding: the MPI curves sit on top of PARSEC,
+ * i.e. the thin stack's instruction footprint matches traditional
+ * workloads — the big footprints come from the software stacks.
+ */
+
+#include "footprint_common.hh"
+
+using namespace wcrt;
+using namespace wcrt::bench;
+
+int
+main()
+{
+    double scale = benchScale() * 0.5;
+    auto hadoop = averageSweep(hadoopGroup(), SweepKind::Instruction,
+                               scale);
+    auto parsec = averageSweep(parsecGroup(), SweepKind::Instruction,
+                               scale);
+    auto mpi = averageSweep(mpiGroup(), SweepKind::Instruction, scale);
+
+    printSweepFigure(
+        "=== Figure 9: instruction cache miss ratio vs capacity ===",
+        {"Hadoop", "PARSEC", "MPI"}, {hadoop, parsec, mpi});
+
+    std::cout << "\nFootprint estimates: Hadoop ~"
+              << kneeCapacityKb(hadoop) << " KB, PARSEC ~"
+              << kneeCapacityKb(parsec) << " KB, MPI ~"
+              << kneeCapacityKb(mpi)
+              << " KB (paper: MPI tracks PARSEC, far below Hadoop)\n";
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared driver for the Figure 6-9 cache-capacity sweeps.
+ *
+ * Each figure averages miss-ratio-vs-capacity curves over a workload
+ * group (the Hadoop representatives, PARSEC, the MPI versions) on the
+ * paper's Atom-like in-order simulator configuration.
+ */
+
+#ifndef WCRT_BENCH_FOOTPRINT_COMMON_HH
+#define WCRT_BENCH_FOOTPRINT_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+#include "sim/footprint.hh"
+
+namespace wcrt::bench {
+
+/** Average sweep curves over a set of workload factories. */
+inline std::vector<double>
+averageSweep(const std::vector<WorkloadEntry> &entries, SweepKind kind,
+             double scale)
+{
+    auto sizes = paperSweepSizesKb();
+    std::vector<double> acc(sizes.size(), 0.0);
+    for (const auto &entry : entries) {
+        WorkloadPtr w = entry.make(scale);
+        FootprintSweep sweep(sizes);
+        runThroughSink(*w, sweep);
+        auto ratios = sweep.missRatios(kind);
+        for (size_t i = 0; i < acc.size(); ++i)
+            acc[i] += ratios[i];
+    }
+    for (auto &v : acc)
+        v /= static_cast<double>(entries.size());
+    return acc;
+}
+
+/** The Hadoop-stack representatives (the paper's Section 5.4 choice). */
+inline std::vector<WorkloadEntry>
+hadoopGroup()
+{
+    std::vector<WorkloadEntry> out;
+    for (const auto &e : representativeWorkloads()) {
+        if (e.name.rfind("H-", 0) == 0 && e.name != "H-Read")
+            out.push_back(e);
+    }
+    return out;
+}
+
+/** PARSEC-like baseline as its own group. */
+inline std::vector<WorkloadEntry>
+parsecGroup()
+{
+    std::vector<WorkloadEntry> out;
+    for (const auto &e : baselineWorkloads()) {
+        if (e.suite == BaselineSuite::Parsec)
+            out.push_back({e.name, 0, 0, e.make});
+    }
+    return out;
+}
+
+/** The six MPI implementations. */
+inline std::vector<WorkloadEntry>
+mpiGroup()
+{
+    return mpiWorkloads();
+}
+
+/** Print one figure: capacity ladder vs per-group curves. */
+inline void
+printSweepFigure(const std::string &title,
+                 const std::vector<std::string> &group_names,
+                 const std::vector<std::vector<double>> &curves)
+{
+    auto sizes = paperSweepSizesKb();
+    std::vector<std::string> header{"cache KB"};
+    for (const auto &g : group_names)
+        header.push_back(g + " miss%");
+    Table t(header);
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        t.cell(static_cast<uint64_t>(sizes[i]));
+        for (const auto &c : curves)
+            t.cell(c[i] * 100.0, 3);
+        t.endRow();
+    }
+    std::cout << title << "\n\n";
+    t.print(std::cout);
+}
+
+/** Capacity (KB) where a curve first flattens (footprint estimate). */
+inline uint32_t
+kneeCapacityKb(const std::vector<double> &curve)
+{
+    // The working set is the first capacity whose miss ratio is within
+    // 15% of the largest capacity's floor (compulsory misses remain at
+    // any size, so the floor is not zero).
+    auto sizes = paperSweepSizesKb();
+    double floor_ratio = curve.back();
+    for (size_t i = 0; i < curve.size(); ++i) {
+        if (curve[i] <= floor_ratio * 1.15 + 1e-6)
+            return sizes[i];
+    }
+    return sizes.back();
+}
+
+} // namespace wcrt::bench
+
+#endif // WCRT_BENCH_FOOTPRINT_COMMON_HH

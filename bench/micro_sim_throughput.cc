@@ -1,0 +1,147 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the toolkit's own hot paths:
+ * cache model, branch unit, prefetcher, full SimCpu consume, PCA and
+ * K-means. These bound how much workload the figure benches can chew
+ * per second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hh"
+#include "sim/branch.hh"
+#include "sim/cache.hh"
+#include "sim/prefetcher.hh"
+#include "sim/sim_cpu.hh"
+#include "stats/kmeans.hh"
+#include "stats/pca.hh"
+
+using namespace wcrt;
+
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache({"bench", 32 * 1024, 8, 64});
+    Rng rng(1);
+    std::vector<uint64_t> addrs(4096);
+    for (auto &a : addrs)
+        a = rng.nextBelow(1 << 20);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i++ & 4095]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    BranchUnit bu(xeonE5645Branch());
+    Rng rng(2);
+    MicroOp op;
+    op.kind = OpKind::BranchCond;
+    size_t i = 0;
+    for (auto _ : state) {
+        op.pc = 0x4000 + (i & 255) * 16;
+        op.taken = (i & 7) != 0;
+        op.target = 0x9000;
+        benchmark::DoNotOptimize(bu.predict(op));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_PrefetcherObserve(benchmark::State &state)
+{
+    StreamPrefetcher pf;
+    uint64_t addr = 0x100000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pf.observe(addr));
+        addr += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefetcherObserve);
+
+void
+BM_SimCpuConsume(benchmark::State &state)
+{
+    SimCpu cpu(xeonE5645());
+    Rng rng(3);
+    std::vector<MicroOp> ops(8192);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        MicroOp &op = ops[i];
+        uint64_t pick = rng.nextBelow(100);
+        op.pc = 0x400000 + (i % 2048) * 4;
+        if (pick < 30) {
+            op.kind = OpKind::Load;
+            op.memAddr = rng.nextBelow(1 << 22);
+            op.memSize = 8;
+        } else if (pick < 40) {
+            op.kind = OpKind::Store;
+            op.memAddr = rng.nextBelow(1 << 22);
+            op.memSize = 8;
+        } else if (pick < 55) {
+            op.kind = OpKind::BranchCond;
+            op.taken = rng.nextBool(0.3);
+            op.target = 0x400000 + rng.nextBelow(8192);
+        } else {
+            op.kind = OpKind::IntAlu;
+            op.purpose = IntPurpose::IntAddress;
+        }
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        cpu.consume(ops[i++ & 8191]);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimCpuConsume);
+
+void
+BM_Pca45Metrics(benchmark::State &state)
+{
+    Rng rng(4);
+    std::vector<std::vector<double>> rows;
+    for (int r = 0; r < 77; ++r) {
+        std::vector<double> row(45);
+        for (auto &v : row)
+            v = rng.nextGaussian();
+        rows.push_back(std::move(row));
+    }
+    Matrix samples = Matrix::fromRows(rows);
+    for (auto _ : state) {
+        Normalized n = zscore(samples);
+        PcaModel model = fitPca(n.data, 0.9);
+        benchmark::DoNotOptimize(model.retained);
+    }
+}
+BENCHMARK(BM_Pca45Metrics);
+
+void
+BM_KMeans77x10(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<std::vector<double>> rows;
+    for (int r = 0; r < 77; ++r) {
+        std::vector<double> row(10);
+        for (auto &v : row)
+            v = rng.nextGaussian();
+        rows.push_back(std::move(row));
+    }
+    Matrix samples = Matrix::fromRows(rows);
+    for (auto _ : state) {
+        KMeansResult res = kMeans(samples, 17);
+        benchmark::DoNotOptimize(res.wcss);
+    }
+}
+BENCHMARK(BM_KMeans77x10);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Section 3 — the WCRT reduction study: profile all 77 roster
+ * workloads, collect the 45 metrics each, normalize, PCA, K-means,
+ * and report the 17 clusters with their representatives, plus a
+ * cluster-quality sweep over k and the PCA variance-retention
+ * ablation the DESIGN calls out.
+ *
+ * This bench is the paper's primary contribution end-to-end.
+ */
+
+#include <map>
+
+#include <fstream>
+
+#include "bench_common.hh"
+#include "core/analyzer.hh"
+#include "core/report.hh"
+
+using namespace wcrt;
+using namespace wcrt::bench;
+
+int
+main()
+{
+    // The roster pass runs 77 workloads; a smaller per-workload scale
+    // keeps the full study tractable.
+    double scale = benchScale() * 0.5;
+    MachineConfig machine = xeonE5645();
+    std::cout << "=== Section 3: reducing 77 workloads to 17 (scale "
+              << scale << ") ===\n\nProfiling the roster";
+    std::cout.flush();
+
+    std::vector<std::string> names;
+    std::vector<MetricVector> metrics;
+    for (const auto &entry : fullRoster()) {
+        WorkloadPtr w = entry.make(scale);
+        WorkloadRun run = profileWorkload(*w, machine);
+        names.push_back(entry.name);
+        metrics.push_back(run.metrics);
+        std::cout << "." << std::flush;
+    }
+    std::cout << " done (" << names.size() << " workloads, "
+              << numMetrics << " metrics each)\n\n";
+
+    AnalyzerOptions opts;
+    opts.clusters = 17;
+    SubsetReport report = reduceWorkloads(names, metrics, opts);
+
+    std::cout << "PCA retained " << report.retainedComponents
+              << " components explaining "
+              << formatFixed(report.explainedVariance * 100, 1)
+              << "% of variance\n";
+    std::cout << "K-means (k=17): WCSS " << formatFixed(report.wcss, 1)
+              << ", silhouette "
+              << formatFixed(report.silhouetteScore, 3) << "\n\n";
+
+    Table t({"cluster", "size", "representative", "members (sample)"});
+    for (const auto &c : report.clusters) {
+        std::string sample;
+        for (size_t i = 0; i < c.members.size() && i < 4; ++i) {
+            if (i)
+                sample += ", ";
+            sample += c.members[i];
+        }
+        if (c.members.size() > 4)
+            sample += ", ...";
+        t.cell(static_cast<uint64_t>(c.id + 1))
+            .cell(static_cast<uint64_t>(c.members.size()))
+            .cell(c.representative)
+            .cell(sample);
+        t.endRow();
+    }
+    t.print(std::cout);
+
+    std::cout << "\n";
+    printPcaScatter(std::cout, report, names);
+    std::cout << "\n=== Per-cluster defining traits (z-scores vs "
+                 "roster mean) ===\n\n";
+    printClusterProfiles(std::cout, report, names, metrics);
+
+    if (const char *csv = std::getenv("WCRT_CSV")) {
+        std::ofstream out(csv);
+        writeMetricsCsv(out, names, metrics);
+        std::cout << "\n(wrote the 77x45 metric matrix to " << csv
+                  << ")\n";
+    }
+
+    // Do the representatives span the stacks and categories the way
+    // Table 2 does?
+    std::map<std::string, int> stack_count;
+    for (const auto &rep : report.representatives()) {
+        stack_count[rep.substr(0, 2)]++;
+    }
+    std::cout << "\nRepresentative prefixes: ";
+    for (const auto &[prefix, count] : stack_count)
+        std::cout << prefix << "x" << count << " ";
+    std::cout << "\n";
+
+    // Ablation 1: cluster quality vs k.
+    std::cout << "\n=== Ablation: cluster count ===\n\n";
+    Table kk({"k", "WCSS", "silhouette"});
+    for (size_t k : {8, 12, 17, 22}) {
+        AnalyzerOptions o;
+        o.clusters = k;
+        SubsetReport r = reduceWorkloads(names, metrics, o);
+        kk.cell(static_cast<uint64_t>(k))
+            .cell(r.wcss, 1)
+            .cell(r.silhouetteScore, 3);
+        kk.endRow();
+    }
+    kk.print(std::cout);
+
+    // Ablation 2: PCA variance retention.
+    std::cout << "\n=== Ablation: PCA variance target ===\n\n";
+    Table pv({"target", "PCs", "explained", "silhouette(k=17)"});
+    for (double target : {0.7, 0.8, 0.9, 0.99}) {
+        AnalyzerOptions o;
+        o.clusters = 17;
+        o.pcaVarianceTarget = target;
+        SubsetReport r = reduceWorkloads(names, metrics, o);
+        pv.cell(formatFixed(target, 2))
+            .cell(static_cast<uint64_t>(r.retainedComponents))
+            .cell(r.explainedVariance, 3)
+            .cell(r.silhouetteScore, 3);
+        pv.endRow();
+    }
+    pv.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Scenario: "should I pay for the framework?" — the paper's Section
+ * 5.5 question as an API walkthrough. Runs WordCount over the same
+ * corpus on the MPI, Hadoop and Spark stack models and prints the
+ * micro-architectural price of each layer of software.
+ *
+ * Usage: example_wordcount_stacks [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "base/table.hh"
+#include "core/profiler.hh"
+#include "workloads/text_workloads.hh"
+
+using namespace wcrt;
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+    MachineConfig machine = xeonE5645();
+
+    std::cout << "WordCount on three software stacks, " << machine.name
+              << " model, scale " << scale << "\n\n";
+
+    Table t({"stack", "instructions", "IPC", "L1I MPKI", "L2 MPKI",
+             "frontend-stall", "intermediate/input"});
+
+    for (StackKind stack :
+         {StackKind::Mpi, StackKind::Hadoop, StackKind::Spark}) {
+        TextWorkload w(TextAlgorithm::WordCount, stack, scale);
+        WorkloadRun run = profileWorkload(w, machine);
+        double ratio =
+            run.data.inputBytes
+                ? static_cast<double>(run.data.intermediateBytes) /
+                      static_cast<double>(run.data.inputBytes)
+                : 0.0;
+        t.cell(toString(stack))
+            .cell(run.report.instructions)
+            .cell(run.report.ipc, 2)
+            .cell(run.report.l1iMpki, 1)
+            .cell(run.report.l2Mpki, 1)
+            .cell(run.report.frontendStallRatio, 2)
+            .cell(ratio, 2);
+        t.endRow();
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nReading the table the way the paper does:\n"
+        << " - the thin MPI stack keeps the instruction working set\n"
+        << "   L1I-resident (MPKI ~2) and the pipeline fed;\n"
+        << " - the JVM stacks execute several times more instructions\n"
+        << "   for the same logical job, spread over ~1 MB of\n"
+        << "   framework code, so the front-end stalls dominate;\n"
+        << " - that difference is software, not algorithm: co-design\n"
+        << "   of stack and hardware is where the win is.\n";
+    return 0;
+}

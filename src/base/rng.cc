@@ -1,0 +1,145 @@
+#include "base/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+namespace {
+
+/** SplitMix64 step used to expand one seed into xoshiro state. */
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitMix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    if (bound == 0)
+        wcrt_panic("nextBelow(0) is undefined");
+    // Lemire's multiply-shift; bias is negligible for 64-bit inputs.
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        wcrt_panic("nextRange with lo > hi: ", lo, " > ", hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasSpare) {
+        hasSpare = false;
+        return spareGaussian;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 1e-300);
+    double u2 = nextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spareGaussian = mag * std::sin(2.0 * M_PI * u2);
+    hasSpare = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    return mean + stddev * nextGaussian();
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xa5a5a5a5a5a5a5a5ull);
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s)
+{
+    if (n == 0)
+        wcrt_panic("ZipfSampler needs at least one rank");
+    cdf.resize(n);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf[i] = total;
+    }
+    for (auto &c : cdf)
+        c /= total;
+}
+
+size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.nextDouble();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end())
+        return cdf.size() - 1;
+    return static_cast<size_t>(it - cdf.begin());
+}
+
+double
+ZipfSampler::pmf(size_t rank) const
+{
+    if (rank >= cdf.size())
+        wcrt_panic("Zipf pmf rank out of range: ", rank);
+    return rank == 0 ? cdf[0] : cdf[rank] - cdf[rank - 1];
+}
+
+} // namespace wcrt

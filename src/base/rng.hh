@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic random number generation and the samplers the data
+ * generators depend on (uniform, Gaussian, Zipf, Pareto).
+ *
+ * Every experiment in the toolkit must be reproducible bit-for-bit, so
+ * all randomness flows through Rng instances seeded explicitly by the
+ * caller; nothing reads global entropy.
+ */
+
+#ifndef WCRT_BASE_RNG_HH
+#define WCRT_BASE_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wcrt {
+
+/**
+ * xoshiro256** pseudo-random generator with SplitMix64 seeding.
+ *
+ * Small, fast, and high quality; satisfies the needs of synthetic data
+ * generation and randomized placement without dragging in <random>'s
+ * implementation-defined distributions (which differ across standard
+ * libraries and would break determinism).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection-free scaling. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool nextBool(double p);
+
+    /** Standard normal via Box-Muller (cached spare value). */
+    double nextGaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double nextGaussian(double mean, double stddev);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = nextBelow(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Fork an independent stream (for parallel generators). */
+    Rng split();
+
+  private:
+    uint64_t s[4];
+    double spareGaussian = 0.0;
+    bool hasSpare = false;
+};
+
+/**
+ * Zipf-distributed sampler over ranks 1..n with exponent s.
+ *
+ * Uses a precomputed cumulative table with binary search, which is
+ * exact and fast enough for the corpus sizes the text generator uses.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of ranks (must be >= 1).
+     * @param s Skew exponent; s = 0 degenerates to uniform.
+     */
+    ZipfSampler(size_t n, double s);
+
+    /** Sample a rank in [0, n). Rank 0 is the most frequent. */
+    size_t sample(Rng &rng) const;
+
+    /** Probability mass of a given rank. */
+    double pmf(size_t rank) const;
+
+    /** Number of ranks. */
+    size_t size() const { return cdf.size(); }
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_BASE_RNG_HH

@@ -1,0 +1,132 @@
+#include "base/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+void
+Summary::add(double x)
+{
+    if (n == 0) {
+        lo = x;
+        hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    total += x;
+    double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    uint64_t combined = n + other.n;
+    double delta = other.m - m;
+    double new_m = m + delta * static_cast<double>(other.n) /
+                           static_cast<double>(combined);
+    m2 += other.m2 + delta * delta * static_cast<double>(n) *
+                         static_cast<double>(other.n) /
+                         static_cast<double>(combined);
+    m = new_m;
+    n = combined;
+    total += other.total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+}
+
+double
+Summary::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Summary::min() const
+{
+    return n ? lo : std::numeric_limits<double>::infinity();
+}
+
+double
+Summary::max() const
+{
+    return n ? hi : -std::numeric_limits<double>::infinity();
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo(lo), hi(hi), counts(buckets, 0)
+{
+    if (!(hi > lo))
+        wcrt_panic("Histogram range must be non-empty");
+    if (buckets == 0)
+        wcrt_panic("Histogram needs at least one bucket");
+}
+
+void
+Histogram::add(double x)
+{
+    if (x < lo) {
+        ++under;
+        return;
+    }
+    if (x >= hi) {
+        ++over;
+        return;
+    }
+    double frac = (x - lo) / (hi - lo);
+    auto idx = static_cast<size_t>(frac * static_cast<double>(counts.size()));
+    idx = std::min(idx, counts.size() - 1);
+    ++counts[idx];
+}
+
+uint64_t
+Histogram::total() const
+{
+    uint64_t t = under + over;
+    for (auto c : counts)
+        t += c;
+    return t;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    uint64_t t = total();
+    if (t == 0)
+        return lo;
+    q = std::clamp(q, 0.0, 1.0);
+    auto target = static_cast<uint64_t>(q * static_cast<double>(t));
+    uint64_t seen = under;
+    if (seen > target)
+        return lo;
+    double width = (hi - lo) / static_cast<double>(counts.size());
+    for (size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (seen > target)
+            return lo + (static_cast<double>(i) + 0.5) * width;
+    }
+    return hi;
+}
+
+} // namespace wcrt

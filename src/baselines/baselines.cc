@@ -1,0 +1,659 @@
+#include "baselines/baselines.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "base/rng.hh"
+#include "trace/idioms.hh"
+#include "workloads/kernels.hh"
+
+namespace wcrt {
+
+const char *
+toString(BaselineSuite suite)
+{
+    switch (suite) {
+      case BaselineSuite::SpecInt:
+        return "SPECINT";
+      case BaselineSuite::SpecFp:
+        return "SPECFP";
+      case BaselineSuite::Parsec:
+        return "PARSEC";
+      case BaselineSuite::Hpcc:
+        return "HPCC";
+      case BaselineSuite::CloudSuite:
+        return "CloudSuite";
+      case BaselineSuite::TpcC:
+        return "TPC-C";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Common scaffolding for the baseline kernels. */
+class BaselineWorkload : public Workload
+{
+  public:
+    BaselineWorkload(std::string name, double scale)
+        : workloadName(std::move(name)), scale(scale)
+    {
+    }
+
+    std::string name() const override { return workloadName; }
+    AppCategory category() const override
+    {
+        return AppCategory::DataAnalysis;
+    }
+    StackKind stack() const override { return StackKind::Mpi; }
+
+  protected:
+    /** Scaled iteration count. */
+    uint64_t
+    scaled(uint64_t base) const
+    {
+        return std::max<uint64_t>(
+            static_cast<uint64_t>(static_cast<double>(base) * scale), 1);
+    }
+
+    std::string workloadName;
+    double scale;
+};
+
+// ---------------------------------------------------------------------
+// SPECFP-like: DGEMM block + 5-point stencil.
+// ---------------------------------------------------------------------
+
+class SpecFpLike : public BaselineWorkload
+{
+  public:
+    using BaselineWorkload::BaselineWorkload;
+
+    void
+    setup(RunEnv &env) override
+    {
+        n = static_cast<uint32_t>(
+            std::max<uint64_t>(scaled(128), 112));
+        a.assign(static_cast<size_t>(n) * n, 1.0);
+        b.assign(static_cast<size_t>(n) * n, 2.0);
+        c.assign(static_cast<size_t>(n) * n, 0.0);
+        matRegion = env.heap.alloc("specfp.matrices",
+                                   3ull * n * n * 8);
+        kernelFn = env.layout.addFunction("specfp.dgemm",
+                                          CodeLayer::Application, 1024);
+        stencilFn = env.layout.addFunction(
+            "specfp.stencil", CodeLayer::Application, 768);
+        latticeFn = env.layout.addFunction(
+            "specfp.lattice", CodeLayer::Application, 1280);
+        latticeRegion = env.heap.alloc("specfp.lattice",
+                                       4ull * 1024 * 1024);
+        env.io.diskReadBytes += 3ull * n * n * 8;
+        env.data.inputBytes += 3ull * n * n * 8;
+    }
+
+    void
+    execute(RunEnv &env, Tracer &t) override
+    {
+        uint64_t A = matRegion.base;
+        uint64_t B = A + static_cast<uint64_t>(n) * n * 8;
+        uint64_t C = B + static_cast<uint64_t>(n) * n * 8;
+
+        {
+            // Blocked DGEMM with real arithmetic; the inner loop is a
+            // long FP basic block, the SPECFP signature.
+            Tracer::Scope fn(t, kernelFn);
+            t.loop(n, [&](uint64_t i) {
+                t.loop(n, [&](uint64_t j) {
+                    double acc = 0.0;
+                    t.loop(n, [&](uint64_t k) {
+                        t.intAlu(IntPurpose::FpAddress, 2);
+                        t.load(A + (i * n + k) * 8, 8);
+                        t.load(B + (k * n + j) * 8, 8);
+                        t.fpMul(1);
+                        t.fpAlu(1);
+                        acc += a[i * n + k] * b[k * n + j];
+                    });
+                    t.intAlu(IntPurpose::FpAddress, 1);
+                    t.store(C + (i * n + j) * 8, 8);
+                    c[i * n + j] = acc;
+                });
+            });
+        }
+        {
+            // 5-point stencil sweep over C.
+            Tracer::Scope fn(t, stencilFn);
+            t.loop(n - 2, [&](uint64_t i) {
+                t.loop(n - 2, [&](uint64_t j) {
+                    uint64_t center = C + ((i + 1) * n + j + 1) * 8;
+                    t.intAlu(IntPurpose::FpAddress, 4);
+                    t.load(center, 8);
+                    t.load(center - 8, 8);
+                    t.load(center + 8, 8);
+                    t.load(center - n * 8, 8);
+                    t.load(center + n * 8, 8);
+                    t.fpAlu(5);
+                    t.fpMul(2);
+                    t.fpDiv(1);
+                    t.store(center, 8);
+                });
+            });
+        }
+        {
+            // lbm/milc-flavoured lattice update: neighbour accesses at
+            // multi-line strides defeat the stream prefetcher, the
+            // SPEC FP memory-bound signature.
+            Tracer::Scope fn(t, latticeFn);
+            uint64_t cells = scaled(25000);
+            t.loop(cells, [&](uint64_t cell) {
+                uint64_t base =
+                    latticeRegion.base + (cell * 320) %
+                                             latticeRegion.bytes;
+                t.intAlu(IntPurpose::FpAddress, 3);
+                t.load(base, 8);
+                t.load((base + 131072) % (latticeRegion.base +
+                                          latticeRegion.bytes),
+                       8);
+                t.load((base + 262144) % (latticeRegion.base +
+                                          latticeRegion.bytes),
+                       8);
+                t.fpMul(2);
+                t.fpAlu(3);
+                t.store(base, 8);
+            });
+        }
+        env.io.diskWriteBytes += static_cast<uint64_t>(n) * n * 8;
+        env.data.outputBytes += static_cast<uint64_t>(n) * n * 8;
+    }
+
+  private:
+    uint32_t n = 64;
+    std::vector<double> a, b, c;
+    HeapRegion matRegion;
+    HeapRegion latticeRegion;
+    FunctionId kernelFn, stencilFn, latticeFn;
+};
+
+// ---------------------------------------------------------------------
+// SPECINT-like: pointer chase + compression-style byte loop.
+// ---------------------------------------------------------------------
+
+class SpecIntLike : public BaselineWorkload
+{
+  public:
+    using BaselineWorkload::BaselineWorkload;
+
+    void
+    setup(RunEnv &env) override
+    {
+        // A random cyclic permutation: the classic pointer-chase
+        // working set, far larger than L2.
+        nodes = static_cast<uint32_t>(scaled(24000));
+        next.resize(nodes);
+        std::iota(next.begin(), next.end(), 0u);
+        Rng rng(17);
+        rng.shuffle(next);
+        chaseRegion = env.heap.alloc("specint.chase",
+                                     static_cast<uint64_t>(nodes) * 8);
+
+        text.clear();
+        Rng trng(19);
+        for (uint64_t i = 0; i < scaled(200000); ++i) {
+            // Runs of repeated bytes — compressible, branchy input.
+            char ch = static_cast<char>('a' + trng.nextBelow(8));
+            uint64_t run = 1 + trng.nextBelow(6);
+            text.append(run, ch);
+        }
+        textRegion = env.heap.alloc("specint.text", text.size());
+
+        chaseFn = env.layout.addFunction("specint.chase",
+                                         CodeLayer::Application, 512);
+        rleFn = env.layout.addFunction("specint.rle",
+                                       CodeLayer::Application, 1024);
+        env.io.diskReadBytes += text.size();
+        env.data.inputBytes += text.size();
+    }
+
+    void
+    execute(RunEnv &env, Tracer &t) override
+    {
+        {
+            // Pointer chase: serially dependent integer loads.
+            Tracer::Scope fn(t, chaseFn);
+            uint32_t cursor = 0;
+            t.loop(scaled(150000), [&](uint64_t) {
+                t.intAlu(IntPurpose::IntAddress, 1);
+                t.load(chaseRegion.base + cursor * 8ull, 8);
+                t.intAlu(IntPurpose::Compute, 1);
+                cursor = next[cursor];
+            });
+        }
+        uint64_t out_bytes = 0;
+        {
+            // Run-length encoding over the real text, one iteration
+            // per run (the scan-for-run-end is word-batched the way a
+            // compiled encoder works).
+            Tracer::Scope fn(t, rleFn);
+            uint64_t emitted = 0;
+            size_t k = 0;
+            while (k < text.size()) {
+                size_t run = 1;
+                while (k + run < text.size() &&
+                       text[k + run] == text[k])
+                    ++run;
+                t.intAlu(IntPurpose::IntAddress, 1);
+                t.load(textRegion.addr(k), 8);
+                t.intAlu(IntPurpose::Compute,
+                         static_cast<uint32_t>(run / 8 + 1));
+                t.branchForward(run > 4, 16);
+                t.intAlu(IntPurpose::Compute, 2);
+                t.store(textRegion.addr(emitted % text.size()), 2);
+                emitted += 2;
+                k += run;
+            }
+            out_bytes = emitted;
+        }
+        env.io.diskWriteBytes += out_bytes;
+        env.data.outputBytes += out_bytes;
+    }
+
+  private:
+    uint32_t nodes = 0;
+    std::vector<uint32_t> next;
+    std::string text;
+    HeapRegion chaseRegion, textRegion;
+    FunctionId chaseFn, rleFn;
+};
+
+// ---------------------------------------------------------------------
+// PARSEC-like: Black-Scholes formula + streamcluster distance loops.
+// ---------------------------------------------------------------------
+
+class ParsecLike : public BaselineWorkload
+{
+  public:
+    using BaselineWorkload::BaselineWorkload;
+
+    void
+    setup(RunEnv &env) override
+    {
+        options = scaled(8000);
+        points = scaled(1500);
+        optRegion = env.heap.alloc("parsec.options", options * 40);
+        ptRegion = env.heap.alloc("parsec.points", points * 64);
+        bsFn = env.layout.addFunction(
+            "parsec.blackscholes", CodeLayer::Application, 24 * 1024,
+            CallProfile{60, 128});
+        scFn = env.layout.addFunction(
+            "parsec.streamcluster", CodeLayer::Application, 16 * 1024,
+            CallProfile{50, 128});
+        // PARSEC binaries carry a moderate runtime (pthreads, libm):
+        // ~96 KB of framework-ish code touched at task boundaries.
+        runtimeFn = env.layout.addFunction(
+            "parsec.runtime", CodeLayer::Library, 96 * 1024,
+            CallProfile{2000, 4096});
+        // libm transcendentals: called per option, cycling a ~24 KB
+        // code range — the bulk of PARSEC's ~128 KB hot footprint.
+        mathFn = env.layout.addFunction(
+            "parsec.libm.exp_log", CodeLayer::Library, 24 * 1024,
+            CallProfile{25, 96});
+        env.io.diskReadBytes += options * 40 + points * 64;
+        env.data.inputBytes += options * 40 + points * 64;
+    }
+
+    void
+    execute(RunEnv &env, Tracer &t) override
+    {
+        // Black-Scholes: straight-line FP formula per option, in
+        // pthread-task batches through the runtime. Like the real
+        // benchmark, the whole option set is evaluated NUM_RUNS
+        // times, so the data working set is reused.
+        uint64_t batch = 4096;
+        for (int run = 0; run < 12; ++run)
+        for (uint64_t begin = 0; begin < options; begin += batch) {
+            Tracer::Scope rt(t, runtimeFn);
+            Tracer::Scope fn(t, bsFn);
+            uint64_t count = std::min(batch, options - begin);
+            t.loop(count, [&](uint64_t i) {
+                t.intAlu(IntPurpose::FpAddress, 2);
+                t.load(optRegion.base +
+                           ((begin + i) * 40) % optRegion.bytes,
+                       8);
+                t.load(optRegion.base +
+                           ((begin + i) * 40 + 16) % optRegion.bytes,
+                       8);
+                t.intAlu(IntPurpose::Compute, 2);
+                {
+                    // exp/log polynomial evaluation: a serial FP
+                    // dependency chain.
+                    Tracer::Scope libm(t, mathFn);
+                    t.fpMul(5);
+                    t.fpAlu(7);
+                }
+                t.fpMul(3);
+                t.fpAlu(4);
+                t.fpDiv(2);
+                t.store(optRegion.base +
+                            ((begin + i) * 40 + 32) % optRegion.bytes,
+                        8);
+            });
+        }
+        {
+            // streamcluster: distance of each point to 8 medians.
+            // Three gain-evaluation passes, sequential like the real
+            // kernel, with occasional random reassignment probes.
+            for (int pass = 0; pass < 6; ++pass) {
+                Tracer::Scope rt(t, runtimeFn);
+                Tracer::Scope fn(t, scFn);
+                t.loop(points, [&](uint64_t p) {
+                    t.loop(8, [&](uint64_t m) {
+                        t.intAlu(IntPurpose::FpAddress, 2);
+                        t.load(ptRegion.base + (p * 64) %
+                                   ptRegion.bytes,
+                               8);
+                        t.load(ptRegion.base + (m * 64) %
+                                   ptRegion.bytes,
+                               8);
+                        t.intAlu(IntPurpose::Compute, 1);
+                        t.fpAlu(1);
+                        t.fpMul(1);
+                    });
+                    bool reassign = (p & 7) == 0;
+                    t.branchForward(reassign, 24);
+                    if (reassign) {
+                        uint64_t other = (p * 2654435761ull) % points;
+                        t.load(ptRegion.base + (other * 64) %
+                                   ptRegion.bytes,
+                               8);
+                        t.fpAlu(1);
+                    }
+                });
+            }
+        }
+        env.io.diskWriteBytes += options * 8;
+        env.data.outputBytes += options * 8;
+    }
+
+  private:
+    uint64_t options = 0;
+    uint64_t points = 0;
+    HeapRegion optRegion, ptRegion;
+    FunctionId bsFn, scFn, runtimeFn, mathFn;
+};
+
+// ---------------------------------------------------------------------
+// HPCC: DGEMM / STREAM / RandomAccess / FFT flavours in one run.
+// ---------------------------------------------------------------------
+
+class HpccLike : public BaselineWorkload
+{
+  public:
+    using BaselineWorkload::BaselineWorkload;
+
+    void
+    setup(RunEnv &env) override
+    {
+        n = static_cast<uint32_t>(std::max<uint64_t>(scaled(88), 72));
+        streamElems = scaled(500000);
+        gups = scaled(10000);
+        fftElems = 1u << 13;
+        matRegion = env.heap.alloc("hpcc.matrices", 3ull * n * n * 8);
+        streamRegion = env.heap.alloc("hpcc.stream", streamElems * 24);
+        gupsRegion = env.heap.alloc("hpcc.table", 32ull * 1024 * 1024);
+        fftRegion = env.heap.alloc("hpcc.fft", fftElems * 16);
+        dgemmFn = env.layout.addFunction("hpcc.dgemm",
+                                         CodeLayer::Application, 1024);
+        streamFn = env.layout.addFunction("hpcc.streamTriad",
+                                          CodeLayer::Application, 512);
+        gupsFn = env.layout.addFunction("hpcc.randomAccess",
+                                        CodeLayer::Application, 512);
+        fftFn = env.layout.addFunction("hpcc.fft",
+                                       CodeLayer::Application, 1536);
+        env.io.diskReadBytes += streamElems * 16;
+        env.data.inputBytes += streamElems * 16;
+    }
+
+    void
+    execute(RunEnv &env, Tracer &t) override
+    {
+        {
+            Tracer::Scope fn(t, dgemmFn);
+            t.loop(n, [&](uint64_t i) {
+                t.loop(n, [&](uint64_t j) {
+                    t.loop(n, [&](uint64_t k) {
+                        t.intAlu(IntPurpose::FpAddress, 2);
+                        t.load(matRegion.base + (i * n + k) * 8, 8);
+                        // HPL keeps B transposed so the inner
+                        // loop streams both operands.
+                        t.load(matRegion.base +
+                                   (n * n + j * n + k) * 8,
+                               8);
+                        t.fpMul(1);
+                        t.fpAlu(1);
+                    });
+                    t.store(matRegion.base + (2 * n * n + i * n + j) * 8,
+                            8);
+                });
+            });
+        }
+        {
+            // STREAM triad: a[i] = b[i] + s * c[i].
+            Tracer::Scope fn(t, streamFn);
+            t.loop(streamElems, [&](uint64_t i) {
+                t.intAlu(IntPurpose::FpAddress, 3);
+                t.load(streamRegion.base + i * 8, 8);
+                t.load(streamRegion.base + streamElems * 8 + i * 8, 8);
+                t.fpMul(1);
+                t.fpAlu(1);
+                t.store(streamRegion.base + streamElems * 16 + i * 8,
+                        8);
+            });
+        }
+        {
+            // RandomAccess: XOR updates at random table slots.
+            Tracer::Scope fn(t, gupsFn);
+            Rng rng(23);
+            t.loop(gups, [&](uint64_t) {
+                uint64_t slot = rng.nextBelow(gupsRegion.bytes / 8);
+                t.intAlu(IntPurpose::IntAddress, 2);
+                t.load(gupsRegion.base + slot * 8, 8);
+                t.intAlu(IntPurpose::Compute, 1);
+                t.store(gupsRegion.base + slot * 8, 8);
+            });
+        }
+        {
+            // FFT butterflies: log2(n) passes of strided FP work.
+            Tracer::Scope fn(t, fftFn);
+            for (uint32_t stride = 1; stride < fftElems; stride <<= 1) {
+                t.loop(fftElems / 2, [&](uint64_t i) {
+                    uint64_t a = (i * 2) % fftElems;
+                    uint64_t b = (a + stride) % fftElems;
+                    t.intAlu(IntPurpose::FpAddress, 2);
+                    t.load(fftRegion.base + a * 16, 16);
+                    t.load(fftRegion.base + b * 16, 16);
+                    t.fpMul(4);
+                    t.fpAlu(6);
+                    t.store(fftRegion.base + a * 16, 16);
+                    t.store(fftRegion.base + b * 16, 16);
+                });
+            }
+        }
+        env.io.diskWriteBytes += streamElems * 8;
+        env.data.outputBytes += streamElems * 8;
+    }
+
+  private:
+    uint32_t n = 0;
+    uint64_t streamElems = 0;
+    uint64_t gups = 0;
+    uint32_t fftElems = 0;
+    HeapRegion matRegion, streamRegion, gupsRegion, fftRegion;
+    FunctionId dgemmFn, streamFn, gupsFn, fftFn;
+};
+
+// ---------------------------------------------------------------------
+// CloudSuite-like: scale-out service with huge stochastic handlers.
+// ---------------------------------------------------------------------
+
+class CloudSuiteLike : public BaselineWorkload
+{
+  public:
+    using BaselineWorkload::BaselineWorkload;
+
+    void
+    setup(RunEnv &env) override
+    {
+        requests = scaled(9000);
+        pages = scaled(20000);
+        pageRegion = env.heap.alloc("cloudsuite.pages", pages * 2048);
+        listener = env.layout.addFunction(
+            "cloudsuite.listener", CodeLayer::Framework, 128 * 1024,
+            CallProfile{350, 8192});
+        for (int h = 0; h < 8; ++h) {
+            handlers.push_back(env.layout.addFunction(
+                "cloudsuite.handler." + std::to_string(h),
+                CodeLayer::Framework, 144 * 1024,
+                CallProfile{450, 4096}));
+        }
+        render = env.layout.addFunction(
+            "cloudsuite.render", CodeLayer::Framework, 96 * 1024,
+            CallProfile{250, 8192});
+        env.data.inputBytes += pages * 2048;
+        env.io.diskReadBytes += pages * 2048;
+    }
+
+    void
+    execute(RunEnv &env, Tracer &t) override
+    {
+        Rng rng(29);
+        ZipfSampler zipf(pages, 0.8);
+        for (uint64_t r = 0; r < requests; ++r) {
+            Tracer::Scope lis(t, listener);
+            Tracer::Scope handler(t, handlers[r % handlers.size()],
+                                  true);
+            uint64_t page = zipf.sample(rng);
+            idioms::hashBytes(t, pageRegion.base + page * 2048, 16);
+            idioms::copyBytes(t, pageRegion.base + page * 2048,
+                              pageRegion.base + page * 2048, 512);
+            {
+                Tracer::Scope re(t, render);
+                t.loop(24, [&](uint64_t i) {
+                    t.intAlu(IntPurpose::IntAddress, 2);
+                    t.load(pageRegion.base + page * 2048 + i * 64, 8);
+                    t.intAlu(IntPurpose::Compute, 1);
+                });
+            }
+            env.io.networkBytes += 2048;
+            env.data.outputBytes += 2048;
+        }
+    }
+
+  private:
+    uint64_t requests = 0;
+    uint64_t pages = 0;
+    HeapRegion pageRegion;
+    FunctionId listener, render;
+    std::vector<FunctionId> handlers;
+};
+
+// ---------------------------------------------------------------------
+// TPC-C-like: OLTP transactions over in-memory tables.
+// ---------------------------------------------------------------------
+
+class TpccLike : public BaselineWorkload
+{
+  public:
+    using BaselineWorkload::BaselineWorkload;
+
+    void
+    setup(RunEnv &env) override
+    {
+        transactions = scaled(20000);
+        items = 100000;
+        itemRegion = env.heap.alloc("tpcc.items", items * 64);
+        stockRegion = env.heap.alloc("tpcc.stock", items * 96);
+        txnFn = env.layout.addFunction(
+            "tpcc.newOrder", CodeLayer::Framework, 80 * 1024,
+            CallProfile{250, 2048});
+        lookupFn = env.layout.addFunction("tpcc.btreeLookup",
+                                          CodeLayer::Application, 1024);
+        updateFn = env.layout.addFunction("tpcc.rowUpdate",
+                                          CodeLayer::Application, 768);
+        env.data.inputBytes += items * 160;
+        env.io.diskReadBytes += items * 160;
+    }
+
+    void
+    execute(RunEnv &env, Tracer &t) override
+    {
+        Rng rng(31);
+        for (uint64_t txn = 0; txn < transactions; ++txn) {
+            Tracer::Scope tx(t, txnFn);
+            uint64_t lines = 5 + rng.nextBelow(10);
+            t.loop(lines, [&](uint64_t) {
+                uint64_t item = rng.nextBelow(items);
+                {
+                    Tracer::Scope lk(t, lookupFn);
+                    idioms::binarySearch(t, itemRegion.base, items, 64,
+                                         17, true);
+                }
+                {
+                    Tracer::Scope up(t, updateFn);
+                    t.load(stockRegion.base + item * 96, 8);
+                    t.intAlu(IntPurpose::Compute, 2);
+                    // Validation checks: the OLTP branch storm.
+                    t.branchForward(rng.nextBool(0.95), 16);
+                    t.branchForward(rng.nextBool(0.05), 24);
+                    t.store(stockRegion.base + item * 96, 8);
+                }
+            });
+            env.io.diskWriteBytes += 256;  // redo log append
+            env.data.outputBytes += 256;
+        }
+    }
+
+  private:
+    uint64_t transactions = 0;
+    uint64_t items = 0;
+    HeapRegion itemRegion, stockRegion;
+    FunctionId txnFn, lookupFn, updateFn;
+};
+
+template <typename T>
+BaselineEntry
+entry(const char *name, BaselineSuite suite)
+{
+    return {name, suite, [name](double scale) -> WorkloadPtr {
+                return std::make_unique<T>(name, scale);
+            }};
+}
+
+} // namespace
+
+const std::vector<BaselineEntry> &
+baselineWorkloads()
+{
+    static const std::vector<BaselineEntry> entries = {
+        entry<SpecIntLike>("SPECINT-like", BaselineSuite::SpecInt),
+        entry<SpecFpLike>("SPECFP-like", BaselineSuite::SpecFp),
+        entry<ParsecLike>("PARSEC-like", BaselineSuite::Parsec),
+        entry<HpccLike>("HPCC-like", BaselineSuite::Hpcc),
+        entry<CloudSuiteLike>("CloudSuite-like",
+                              BaselineSuite::CloudSuite),
+        entry<TpccLike>("TPC-C-like", BaselineSuite::TpcC),
+    };
+    return entries;
+}
+
+std::vector<BaselineEntry>
+baselineSuite(BaselineSuite suite)
+{
+    std::vector<BaselineEntry> out;
+    for (const auto &e : baselineWorkloads())
+        if (e.suite == suite)
+            out.push_back(e);
+    return out;
+}
+
+} // namespace wcrt

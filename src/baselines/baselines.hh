@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The comparison suites of Figures 1-5: SPECINT, SPECFP, PARSEC, HPCC,
+ * CloudSuite and TPC-C stand-ins.
+ *
+ * The paper uses these suites as reference points; what matters for
+ * the reproduction is each suite's class signature, which the kernels
+ * below genuinely produce:
+ *  - SPECFP-like: dense FP loops (DGEMM, stencil) — large basic
+ *    blocks, high FP ratio, tiny code footprint.
+ *  - SPECINT-like: pointer chasing, compression-style byte loops —
+ *    integer dominated, branchy, data-cache hostile.
+ *  - PARSEC-like: CMP compute kernels (Black-Scholes flavoured
+ *    formula evaluation, streamcluster-flavoured distance loops) —
+ *    ~128 KB instruction footprint, IPC around 1.3.
+ *  - HPCC: DGEMM / STREAM / RandomAccess / FFT-flavoured kernels —
+ *    the highest ILP of the comparison set.
+ *  - CloudSuite-like: scale-out service loop with very large
+ *    stochastic handler paths — the highest L1I MPKI (~32).
+ *  - TPC-C-like: OLTP transactions over in-memory tables — ~30%
+ *    branch ratio, service-style caches.
+ */
+
+#ifndef WCRT_BASELINES_BASELINES_HH
+#define WCRT_BASELINES_BASELINES_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace wcrt {
+
+/** Which comparison suite a baseline belongs to. */
+enum class BaselineSuite : uint8_t {
+    SpecInt,
+    SpecFp,
+    Parsec,
+    Hpcc,
+    CloudSuite,
+    TpcC,
+};
+
+/** Human-readable suite name as the paper labels it. */
+const char *toString(BaselineSuite suite);
+
+/** A named baseline workload constructor. */
+struct BaselineEntry
+{
+    std::string name;
+    BaselineSuite suite;
+    std::function<WorkloadPtr(double scale)> make;
+};
+
+/** All baseline workloads, grouped by suite. */
+const std::vector<BaselineEntry> &baselineWorkloads();
+
+/** The entries of one suite. */
+std::vector<BaselineEntry> baselineSuite(BaselineSuite suite);
+
+} // namespace wcrt
+
+#endif // WCRT_BASELINES_BASELINES_HH

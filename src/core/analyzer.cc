@@ -1,0 +1,85 @@
+#include "core/analyzer.hh"
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+std::vector<std::string>
+SubsetReport::representatives() const
+{
+    std::vector<std::string> out;
+    out.reserve(clusters.size());
+    for (const auto &c : clusters)
+        out.push_back(c.representative);
+    return out;
+}
+
+SubsetReport
+reduceWorkloads(const std::vector<std::string> &names,
+                const std::vector<MetricVector> &metrics,
+                const AnalyzerOptions &opts)
+{
+    if (names.size() != metrics.size())
+        wcrt_fatal("analyzer got ", names.size(), " names for ",
+                   metrics.size(), " metric vectors");
+    if (metrics.size() < 2)
+        wcrt_fatal("analyzer needs at least two workloads");
+
+    // Assemble the workload-by-metric matrix.
+    Matrix samples(metrics.size(), numMetrics);
+    for (size_t r = 0; r < metrics.size(); ++r)
+        for (size_t c = 0; c < numMetrics; ++c)
+            samples.at(r, c) = metrics[r][c];
+
+    // Normalize and project.
+    Normalized normalized = zscore(samples);
+    PcaModel pca = fitPca(normalized.data, opts.pcaVarianceTarget);
+    Matrix projected = pca.project(normalized.data);
+
+    SubsetReport report;
+    report.inputWorkloads = metrics.size();
+    report.retainedComponents = pca.retained;
+    for (size_t i = 0; i < pca.retained; ++i)
+        report.explainedVariance += pca.explained[i];
+    report.projected = projected;
+
+    // Cluster.
+    size_t k = opts.clusters;
+    KMeansResult best;
+    if (k == 0) {
+        double best_sil = -2.0;
+        size_t hi =
+            std::min(opts.maxClusters, metrics.size() - 1);
+        for (size_t kk = opts.minClusters; kk <= hi; ++kk) {
+            KMeansResult r =
+                kMeans(projected, kk, {.seed = opts.seed});
+            double sil = silhouette(projected, r.assignment, kk);
+            if (sil > best_sil) {
+                best_sil = sil;
+                best = std::move(r);
+                k = kk;
+            }
+        }
+        report.silhouetteScore = best_sil;
+    } else {
+        if (k > metrics.size())
+            wcrt_fatal("cannot form ", k, " clusters from ",
+                       metrics.size(), " workloads");
+        best = kMeans(projected, k, {.seed = opts.seed});
+        report.silhouetteScore =
+            silhouette(projected, best.assignment, k);
+    }
+    report.wcss = best.wcss;
+
+    auto reps = best.representatives(projected);
+    report.clusters.resize(k);
+    for (size_t ci = 0; ci < k; ++ci) {
+        report.clusters[ci].id = ci;
+        report.clusters[ci].representative = names[reps[ci]];
+    }
+    for (size_t i = 0; i < names.size(); ++i)
+        report.clusters[best.assignment[i]].members.push_back(names[i]);
+    return report;
+}
+
+} // namespace wcrt

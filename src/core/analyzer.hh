@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The WCRT analyzer: the paper's Section-3 reduction pipeline.
+ *
+ * Metric vectors from many workload runs are z-score normalized (the
+ * paper's "normalize to a Gaussian distribution"), reduced with PCA,
+ * and clustered with K-means; one representative per cluster (the
+ * member nearest its centroid) forms the reduced benchmark suite —
+ * 77 workloads in, 17 representatives out.
+ */
+
+#ifndef WCRT_CORE_ANALYZER_HH
+#define WCRT_CORE_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "stats/kmeans.hh"
+#include "stats/pca.hh"
+
+namespace wcrt {
+
+/** Analyzer tunables. */
+struct AnalyzerOptions
+{
+    double pcaVarianceTarget = 0.9;  //!< variance the PCs must retain
+    size_t clusters = 17;            //!< 0 = pick k by silhouette
+    size_t minClusters = 8;          //!< auto-k search range
+    size_t maxClusters = 24;
+    uint64_t seed = 42;
+};
+
+/** One cluster of the subset report. */
+struct ClusterSummary
+{
+    size_t id = 0;
+    std::string representative;            //!< nearest-centroid member
+    std::vector<std::string> members;      //!< all member names
+};
+
+/** The analyzer's output. */
+struct SubsetReport
+{
+    size_t inputWorkloads = 0;
+    size_t retainedComponents = 0;         //!< PCs kept
+    double explainedVariance = 0.0;        //!< cumulative, kept PCs
+    double silhouetteScore = 0.0;
+    double wcss = 0.0;
+    std::vector<ClusterSummary> clusters;
+    Matrix projected;                      //!< samples in PC space
+
+    /** Names of all representatives, cluster order. */
+    std::vector<std::string> representatives() const;
+};
+
+/**
+ * Run the full reduction pipeline.
+ *
+ * @param names One name per metric vector.
+ * @param metrics One 45-metric vector per workload.
+ * @param opts Tunables; opts.clusters == 0 selects k by silhouette.
+ */
+SubsetReport reduceWorkloads(const std::vector<std::string> &names,
+                             const std::vector<MetricVector> &metrics,
+                             const AnalyzerOptions &opts = {});
+
+} // namespace wcrt
+
+#endif // WCRT_CORE_ANALYZER_HH

@@ -1,0 +1,146 @@
+#include "core/metrics.hh"
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+const std::array<MetricInfo, numMetrics> &
+metricInfos()
+{
+    using MC = MetricCategory;
+    static const std::array<MetricInfo, numMetrics> infos = {{
+        // Instruction mix (11)
+        {"mix.load_ratio", MC::InstructionMix},
+        {"mix.store_ratio", MC::InstructionMix},
+        {"mix.branch_ratio", MC::InstructionMix},
+        {"mix.integer_ratio", MC::InstructionMix},
+        {"mix.fp_ratio", MC::InstructionMix},
+        {"mix.other_ratio", MC::InstructionMix},
+        {"mix.int_address_share", MC::InstructionMix},
+        {"mix.fp_address_share", MC::InstructionMix},
+        {"mix.other_int_share", MC::InstructionMix},
+        {"mix.data_movement_ratio", MC::InstructionMix},
+        {"mix.data_movement_branch_ratio", MC::InstructionMix},
+        // Cache behaviour (8)
+        {"cache.l1i_mpki", MC::Cache},
+        {"cache.l1i_miss_ratio", MC::Cache},
+        {"cache.l1d_mpki", MC::Cache},
+        {"cache.l1d_miss_ratio", MC::Cache},
+        {"cache.l2_mpki", MC::Cache},
+        {"cache.l2_miss_ratio", MC::Cache},
+        {"cache.l3_mpki", MC::Cache},
+        {"cache.l3_miss_ratio", MC::Cache},
+        // TLB behaviour (2)
+        {"tlb.itlb_mpki", MC::Tlb},
+        {"tlb.dtlb_mpki", MC::Tlb},
+        // Branch execution (3)
+        {"branch.mispredict_ratio", MC::Branch},
+        {"branch.taken_ratio", MC::Branch},
+        {"branch.btb_miss_pki", MC::Branch},
+        // Pipeline behaviour (6)
+        {"pipe.ipc", MC::Pipeline},
+        {"pipe.cpi", MC::Pipeline},
+        {"pipe.frontend_stall_ratio", MC::Pipeline},
+        {"pipe.backend_stall_ratio", MC::Pipeline},
+        {"pipe.basic_block_size", MC::Pipeline},
+        {"pipe.fp_pki", MC::Pipeline},
+        // Off-core requests and snoop responses (5)
+        {"offcore.request_pki", MC::OffCore},
+        {"offcore.snoop_response_pki", MC::OffCore},
+        {"offcore.memory_bytes_pki", MC::OffCore},
+        {"offcore.code_footprint_kb", MC::OffCore},
+        {"offcore.data_footprint_kb", MC::OffCore},
+        // Parallelism (5)
+        {"par.mlp", MC::Parallelism},
+        {"par.ilp_width", MC::Parallelism},
+        {"par.load_store_ratio", MC::Parallelism},
+        {"par.call_pki", MC::Parallelism},
+        {"par.indirect_pki", MC::Parallelism},
+        // Operation intensity (5)
+        {"intensity.fp_per_byte", MC::Intensity},
+        {"intensity.int_per_byte", MC::Intensity},
+        {"intensity.gflops", MC::Intensity},
+        {"intensity.int_mul_div_pki", MC::Intensity},
+        {"intensity.mem_pki", MC::Intensity},
+    }};
+    return infos;
+}
+
+MetricVector
+toMetricVector(const CpuReport &r)
+{
+    MetricVector v{};
+    size_t i = 0;
+    auto put = [&](double value) { v[i++] = value; };
+
+    // Instruction mix.
+    put(r.loadRatio);
+    put(r.storeRatio);
+    put(r.branchRatio);
+    put(r.integerRatio);
+    put(r.fpRatio);
+    put(r.otherRatio);
+    put(r.intAddressShare);
+    put(r.fpAddressShare);
+    put(r.otherIntShare);
+    put(r.dataMovementRatio);
+    put(r.dataMovementWithBranchRatio);
+    // Cache.
+    put(r.l1iMpki);
+    put(r.l1iMissRatio);
+    put(r.l1dMpki);
+    put(r.l1dMissRatio);
+    put(r.l2Mpki);
+    put(r.l2MissRatio);
+    put(r.l3Mpki);
+    put(r.l3MissRatio);
+    // TLB.
+    put(r.itlbMpki);
+    put(r.dtlbMpki);
+    // Branch.
+    put(r.branchMispredictRatio);
+    put(r.branchTakenRatio);
+    put(r.btbMissPki);
+    // Pipeline.
+    put(r.ipc);
+    put(r.cpi);
+    put(r.frontendStallRatio);
+    put(r.backendStallRatio);
+    put(r.basicBlockSize);
+    put(r.fpPki);
+    // Off-core.
+    put(r.offcoreRequestPki);
+    put(r.snoopResponsePki);
+    put(r.memoryBytesPki);
+    put(r.codeFootprintKb);
+    put(r.dataFootprintKb);
+    // Parallelism.
+    put(r.mlp);
+    put(r.ipc * (1.0 - r.frontendStallRatio));  // usable issue width
+    put(r.storeRatio > 0.0 ? r.loadRatio / r.storeRatio : r.loadRatio);
+    put(r.basicBlockSize > 0.0 ? 1000.0 / r.basicBlockSize : 0.0);
+    put(r.btbMissPki);  // indirect-transfer pressure proxy
+    // Intensity.
+    put(r.operationIntensity);
+    put(r.integerIntensity);
+    put(r.gflops);
+    put(r.fpPki * r.fpAddressShare);
+    put(r.memoryBytesPki / 64.0);
+
+    if (i != numMetrics)
+        wcrt_panic("metric vector construction filled ", i, " of ",
+                   numMetrics);
+    return v;
+}
+
+size_t
+metricIndex(const std::string &name)
+{
+    const auto &infos = metricInfos();
+    for (size_t i = 0; i < infos.size(); ++i)
+        if (name == infos[i].name)
+            return i;
+    wcrt_panic("unknown metric '", name, "'");
+}
+
+} // namespace wcrt

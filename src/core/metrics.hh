@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The 45 micro-architectural metrics of the paper's Section 3.
+ *
+ * The paper characterizes each workload by 45 metrics spanning eight
+ * categories: instruction mix, cache behaviour, TLB behaviour, branch
+ * execution, pipeline behaviour, off-core requests and snoop
+ * responses, parallelism, and operation intensity. This header fixes
+ * the exact metric list used throughout the toolkit and converts a
+ * SimCpu report into the flat vector the analyzer consumes.
+ */
+
+#ifndef WCRT_CORE_METRICS_HH
+#define WCRT_CORE_METRICS_HH
+
+#include <array>
+#include <string>
+
+#include "sim/sim_cpu.hh"
+
+namespace wcrt {
+
+/** Number of characterization metrics. */
+inline constexpr size_t numMetrics = 45;
+
+/** Metric categories (for reporting). */
+enum class MetricCategory : uint8_t {
+    InstructionMix,
+    Cache,
+    Tlb,
+    Branch,
+    Pipeline,
+    OffCore,
+    Parallelism,
+    Intensity,
+};
+
+/** Static description of one metric. */
+struct MetricInfo
+{
+    const char *name;
+    MetricCategory category;
+};
+
+/** Name and category of every metric, index-aligned with the vector. */
+const std::array<MetricInfo, numMetrics> &metricInfos();
+
+/** Flat metric vector for one workload run. */
+using MetricVector = std::array<double, numMetrics>;
+
+/** Flatten a CpuReport into the 45-metric vector. */
+MetricVector toMetricVector(const CpuReport &report);
+
+/** Index of a metric by name; panics on unknown names. */
+size_t metricIndex(const std::string &name);
+
+} // namespace wcrt
+
+#endif // WCRT_CORE_METRICS_HH

@@ -1,0 +1,48 @@
+#include "core/profiler.hh"
+
+namespace wcrt {
+
+WorkloadRun
+profileWorkload(Workload &workload, const MachineConfig &machine,
+                const NodeModel &node)
+{
+    WorkloadRun run;
+    run.name = workload.name();
+    run.category = workload.category();
+    run.stackKind = workload.stack();
+
+    RunEnv env;
+    workload.setup(env);
+    FunctionId driver = env.layout.addFunction(
+        "driver.main", CodeLayer::Application, 512);
+    SimCpu cpu(machine);
+    Tracer tracer(env.layout, cpu);
+    tracer.call(driver);
+    workload.execute(env, tracer);
+    tracer.ret();
+
+    run.report = cpu.report();
+    run.metrics = toMetricVector(run.report);
+    run.io = env.io;
+    run.data = env.data;
+    run.sysProfile = computeProfile(run.report.instructions, env.io,
+                                    node);
+    run.sysBehavior = classifySystemBehavior(run.sysProfile);
+    return run;
+}
+
+RunEnv
+runThroughSink(Workload &workload, TraceSink &sink)
+{
+    RunEnv env;
+    workload.setup(env);
+    FunctionId driver = env.layout.addFunction(
+        "driver.main", CodeLayer::Application, 512);
+    Tracer tracer(env.layout, sink);
+    tracer.call(driver);
+    workload.execute(env, tracer);
+    tracer.ret();
+    return env;
+}
+
+} // namespace wcrt

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The WCRT profiler: runs a workload on a machine model and collects
+ * everything the paper measures — the 45 micro-architectural metrics,
+ * the system-behaviour profile and the data-behaviour labels.
+ *
+ * This is the stand-in for the paper's per-node profiler (perf +
+ * /proc sampling); the analyzer half of WCRT lives in analyzer.hh.
+ */
+
+#ifndef WCRT_CORE_PROFILER_HH
+#define WCRT_CORE_PROFILER_HH
+
+#include <string>
+
+#include "core/metrics.hh"
+#include "sim/machine.hh"
+#include "workloads/workload.hh"
+
+namespace wcrt {
+
+/** Everything one profiled run produced. */
+struct WorkloadRun
+{
+    std::string name;
+    AppCategory category = AppCategory::DataAnalysis;
+    StackKind stackKind = StackKind::Hadoop;
+
+    CpuReport report;             //!< micro-architecture counters
+    MetricVector metrics{};       //!< the 45-metric vector
+    IoCounters io;                //!< accumulated I/O volume
+    DataBehavior data;            //!< input/intermediate/output
+    SystemProfile sysProfile;     //!< derived utilization profile
+    SystemBehavior sysBehavior = SystemBehavior::Hybrid;
+};
+
+/**
+ * Run a workload against a machine configuration and collect the full
+ * measurement set.
+ *
+ * @param workload The workload (setup() must not have been called).
+ * @param machine Machine model to simulate.
+ * @param node Node throughput model for system-behaviour analysis.
+ */
+WorkloadRun profileWorkload(Workload &workload,
+                            const MachineConfig &machine,
+                            const NodeModel &node = {});
+
+/**
+ * Run a workload through an arbitrary trace sink (cache sweeps, mix
+ * counting). Returns the populated run environment accounting.
+ */
+RunEnv runThroughSink(Workload &workload, TraceSink &sink);
+
+} // namespace wcrt
+
+#endif // WCRT_CORE_PROFILER_HH

@@ -1,0 +1,157 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "stats/pca.hh"
+
+namespace wcrt {
+
+namespace {
+
+/** Cluster id of sample `i` in the report. */
+size_t
+clusterOf(const SubsetReport &report,
+          const std::vector<std::string> &names, size_t i)
+{
+    for (const auto &c : report.clusters) {
+        for (const auto &m : c.members)
+            if (m == names[i])
+                return c.id;
+    }
+    wcrt_panic("sample '", names[i], "' not in any cluster");
+}
+
+} // namespace
+
+void
+printPcaScatter(std::ostream &os, const SubsetReport &report,
+                const std::vector<std::string> &names, size_t width,
+                size_t height)
+{
+    const Matrix &proj = report.projected;
+    if (proj.rows() == 0 || width < 8 || height < 4) {
+        os << "(no projection to plot)\n";
+        return;
+    }
+    size_t dims = proj.cols();
+
+    double min_x = std::numeric_limits<double>::max();
+    double max_x = std::numeric_limits<double>::lowest();
+    double min_y = 0.0, max_y = 1.0;
+    if (dims > 1) {
+        min_y = min_x;
+        max_y = max_x;
+    }
+    for (size_t r = 0; r < proj.rows(); ++r) {
+        min_x = std::min(min_x, proj.at(r, 0));
+        max_x = std::max(max_x, proj.at(r, 0));
+        if (dims > 1) {
+            min_y = std::min(min_y, proj.at(r, 1));
+            max_y = std::max(max_y, proj.at(r, 1));
+        }
+    }
+    double span_x = std::max(max_x - min_x, 1e-9);
+    double span_y = std::max(max_y - min_y, 1e-9);
+
+    std::vector<std::string> grid(height, std::string(width, ' '));
+    for (size_t r = 0; r < proj.rows(); ++r) {
+        double fx = (proj.at(r, 0) - min_x) / span_x;
+        double fy = dims > 1 ? (proj.at(r, 1) - min_y) / span_y : 0.5;
+        auto col = static_cast<size_t>(fx * (width - 1));
+        auto row = static_cast<size_t>((1.0 - fy) * (height - 1));
+        size_t cluster = clusterOf(report, names, r);
+        bool is_rep =
+            report.clusters[cluster].representative == names[r];
+        char mark = is_rep ? static_cast<char>('A' + cluster % 26)
+                           : static_cast<char>('0' + cluster % 10);
+        grid[row][col] = mark;
+    }
+
+    os << "PC1 -> horizontal, PC2 -> vertical; digits are cluster ids "
+          "(mod 10), letters mark representatives\n";
+    os << "+" << std::string(width, '-') << "+\n";
+    for (const auto &line : grid)
+        os << "|" << line << "|\n";
+    os << "+" << std::string(width, '-') << "+\n";
+}
+
+void
+printClusterProfiles(std::ostream &os, const SubsetReport &report,
+                     const std::vector<std::string> &names,
+                     const std::vector<MetricVector> &metrics,
+                     size_t top_k)
+{
+    if (names.size() != metrics.size())
+        wcrt_fatal("names/metrics size mismatch in cluster profiles");
+
+    // Z-score the metric matrix (same normalization the analyzer ran).
+    Matrix samples(metrics.size(), numMetrics);
+    for (size_t r = 0; r < metrics.size(); ++r)
+        for (size_t c = 0; c < numMetrics; ++c)
+            samples.at(r, c) = metrics[r][c];
+    Normalized normalized = zscore(samples);
+
+    const auto &infos = metricInfos();
+    Table t({"cluster", "representative", "defining traits"});
+    for (const auto &cluster : report.clusters) {
+        // Mean z-score per metric over the cluster's members.
+        std::vector<double> mean(numMetrics, 0.0);
+        size_t members = 0;
+        for (size_t i = 0; i < names.size(); ++i) {
+            if (clusterOf(report, names, i) != cluster.id)
+                continue;
+            ++members;
+            for (size_t c = 0; c < numMetrics; ++c)
+                mean[c] += normalized.data.at(i, c);
+        }
+        if (members == 0)
+            continue;
+        for (auto &v : mean)
+            v /= static_cast<double>(members);
+
+        std::vector<size_t> order(numMetrics);
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return std::abs(mean[a]) > std::abs(mean[b]);
+        });
+
+        std::string traits;
+        for (size_t k = 0; k < top_k && k < order.size(); ++k) {
+            size_t m = order[k];
+            if (!traits.empty())
+                traits += ", ";
+            traits += std::string(infos[m].name) +
+                      (mean[m] >= 0 ? " +" : " ") +
+                      formatFixed(mean[m], 1) + "sd";
+        }
+        t.cell(static_cast<uint64_t>(cluster.id + 1))
+            .cell(cluster.representative)
+            .cell(traits);
+        t.endRow();
+    }
+    t.print(os);
+}
+
+void
+writeMetricsCsv(std::ostream &os, const std::vector<std::string> &names,
+                const std::vector<MetricVector> &metrics)
+{
+    const auto &infos = metricInfos();
+    os << "workload";
+    for (const auto &info : infos)
+        os << "," << info.name;
+    os << "\n";
+    for (size_t r = 0; r < names.size(); ++r) {
+        os << names[r];
+        for (size_t c = 0; c < numMetrics; ++c)
+            os << "," << metrics[r][c];
+        os << "\n";
+    }
+}
+
+} // namespace wcrt

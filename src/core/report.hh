@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Presentation of the analyzer's results: the PCA-space scatter (the
+ * paper's workload-similarity picture), per-cluster metric profiles
+ * (which micro-architectural traits define each cluster), and CSV
+ * export of the full workload-by-metric matrix for external tools.
+ */
+
+#ifndef WCRT_CORE_REPORT_HH
+#define WCRT_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hh"
+#include "core/metrics.hh"
+
+namespace wcrt {
+
+/**
+ * Render an ASCII scatter of the samples' first two principal
+ * components, one digit per sample (its cluster id mod 10); cluster
+ * representatives print as letters (A = cluster 0).
+ *
+ * @param report A SubsetReport whose `projected` matrix has >= 2
+ *        columns (1-column projections print a strip).
+ * @param names Sample names, index-aligned with the projection.
+ * @param width Plot width in characters.
+ * @param height Plot height in rows.
+ */
+void printPcaScatter(std::ostream &os, const SubsetReport &report,
+                     const std::vector<std::string> &names,
+                     size_t width = 72, size_t height = 24);
+
+/**
+ * Per-cluster metric profile: for each cluster, the metrics whose
+ * cluster-mean z-scores deviate most from the roster mean — i.e. what
+ * makes this cluster a distinct class of workload.
+ *
+ * @param metrics The raw 45-metric vectors, index-aligned with the
+ *        report's membership.
+ * @param top_k Traits listed per cluster.
+ */
+void printClusterProfiles(std::ostream &os, const SubsetReport &report,
+                          const std::vector<std::string> &names,
+                          const std::vector<MetricVector> &metrics,
+                          size_t top_k = 3);
+
+/** Dump the full workload-by-metric matrix as CSV. */
+void writeMetricsCsv(std::ostream &os,
+                     const std::vector<std::string> &names,
+                     const std::vector<MetricVector> &metrics);
+
+} // namespace wcrt
+
+#endif // WCRT_CORE_REPORT_HH

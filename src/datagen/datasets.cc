@@ -1,0 +1,131 @@
+#include "datagen/datasets.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+const std::vector<DatasetInfo> &
+datasetInfos()
+{
+    static const std::vector<DatasetInfo> infos = {
+        {DatasetId::WikipediaEntries, "Wikipedia Entries",
+         "4,300,000 English articles", "Text Generator of BDGS"},
+        {DatasetId::AmazonMovieReviews, "Amazon Movie Reviews",
+         "7,911,684 reviews", "Text Generator of BDGS"},
+        {DatasetId::GoogleWebGraph, "Google Web Graph",
+         "875713 nodes, 5105039 edges", "Graph Generator of BDGS"},
+        {DatasetId::FacebookSocialNetwork, "Facebook Social Network",
+         "4039 nodes, 88234 edges", "Graph Generator of BDGS"},
+        {DatasetId::EcommerceTransactions, "E-commerce Transaction Data",
+         "Table 1: 4 columns, 38658 rows. Table 2: 6 columns, 242735 "
+         "rows",
+         "Table Generator of BDGS"},
+        {DatasetId::ProfSearchResumes, "ProfSearch Person Resumes",
+         "278956 resumes", "Table Generator of BDGS"},
+        {DatasetId::TpcdsWebTables, "TPC-DS WebTable Data", "26 tables",
+         "TPC DSGen"},
+    };
+    return infos;
+}
+
+DatasetCatalog::DatasetCatalog(VirtualHeap &heap, double scale,
+                               uint64_t seed)
+    : heap(heap), scale(scale), seed(seed)
+{
+    if (scale <= 0.0)
+        wcrt_fatal("dataset scale must be positive, got ", scale);
+}
+
+uint64_t
+DatasetCatalog::scaled(uint64_t base) const
+{
+    auto v = static_cast<uint64_t>(
+        std::llround(static_cast<double>(base) * scale));
+    return std::max<uint64_t>(v, 2);
+}
+
+TextCorpus
+DatasetCatalog::wikipedia() const
+{
+    TextGenOptions o;
+    o.vocabulary = 30000;
+    o.zipfSkew = 1.05;
+    o.wordsPerDoc = 200;  // long articles
+    o.seed = seed ^ 0x1;
+    return TextGenerator(o).generate(heap, "wikipedia", scaled(300));
+}
+
+TextCorpus
+DatasetCatalog::amazonReviews() const
+{
+    TextGenOptions o;
+    o.vocabulary = 12000;
+    o.zipfSkew = 1.15;    // reviews reuse vocabulary heavily
+    o.wordsPerDoc = 50;   // short reviews
+    o.seed = seed ^ 0x2;
+    return TextGenerator(o).generate(heap, "amazon", scaled(1000));
+}
+
+Graph
+DatasetCatalog::googleWebGraph() const
+{
+    GraphGenOptions o;
+    o.edgesPerNode = 6;   // 875k nodes / 5.1M edges ~ 5.8
+    o.seed = seed ^ 0x3;
+    return GraphGenerator(o).generate(
+        heap, "google_web", static_cast<uint32_t>(scaled(8000)));
+}
+
+Graph
+DatasetCatalog::facebookGraph() const
+{
+    GraphGenOptions o;
+    o.edgesPerNode = 22;  // 4039 nodes / 88k edges ~ 21.8
+    o.seed = seed ^ 0x4;
+    return GraphGenerator(o).generate(
+        heap, "facebook", static_cast<uint32_t>(scaled(4039)));
+}
+
+DataTable
+DatasetCatalog::ecommerceOrders() const
+{
+    return TableGenerator(seed ^ 0x5).ecommerceOrders(heap,
+                                                      scaled(38658 / 8));
+}
+
+DataTable
+DatasetCatalog::ecommerceItems() const
+{
+    return TableGenerator(seed ^ 0x5).ecommerceItems(
+        heap, scaled(242735 / 8), scaled(38658 / 8));
+}
+
+KvDataset
+DatasetCatalog::profSearch() const
+{
+    return TableGenerator(seed ^ 0x6).profSearchResumes(heap,
+                                                        scaled(10000));
+}
+
+DataTable
+DatasetCatalog::tpcdsWebSales() const
+{
+    return TableGenerator(seed ^ 0x7).tpcdsWebSales(heap, scaled(30000));
+}
+
+DataTable
+DatasetCatalog::tpcdsDateDim() const
+{
+    return TableGenerator(seed ^ 0x7).tpcdsDateDim(heap, 1461);
+}
+
+DataTable
+DatasetCatalog::tpcdsItemDim() const
+{
+    return TableGenerator(seed ^ 0x7).tpcdsItemDim(heap, 18000);
+}
+
+} // namespace wcrt

@@ -1,0 +1,95 @@
+#include "datagen/graph.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+uint64_t
+Graph::outDegree(uint32_t v) const
+{
+    if (v >= numNodes)
+        wcrt_panic("node ", v, " out of range ", numNodes);
+    return offsets[v + 1] - offsets[v];
+}
+
+uint64_t
+Graph::nodeAddr(uint32_t v) const
+{
+    return nodeRegion.element(v, 8);
+}
+
+uint64_t
+Graph::edgeAddr(uint32_t v, uint64_t k) const
+{
+    if (v >= numNodes || k >= outDegree(v))
+        wcrt_panic("edge (", v, ",", k, ") out of range");
+    return edgeRegion.element(offsets[v] + k, 4);
+}
+
+GraphGenerator::GraphGenerator(const GraphGenOptions &options)
+    : opts(options)
+{
+    if (opts.edgesPerNode == 0)
+        wcrt_fatal("graph generator needs edgesPerNode >= 1");
+}
+
+Graph
+GraphGenerator::generate(VirtualHeap &heap, const std::string &name,
+                         uint32_t num_nodes) const
+{
+    if (num_nodes < 2)
+        wcrt_fatal("graph generator needs at least two nodes");
+
+    Rng rng(opts.seed);
+    // Preferential attachment via the repeated-endpoints trick: keep a
+    // pool of past edge endpoints; sampling uniformly from the pool is
+    // proportional to degree.
+    std::vector<uint32_t> pool;
+    pool.reserve(static_cast<size_t>(num_nodes) * opts.edgesPerNode * 2);
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    edges.reserve(static_cast<size_t>(num_nodes) * opts.edgesPerNode);
+
+    pool.push_back(0);
+    for (uint32_t v = 1; v < num_nodes; ++v) {
+        uint32_t fanout =
+            1 + static_cast<uint32_t>(rng.nextBelow(2 * opts.edgesPerNode -
+                                                    1));
+        for (uint32_t e = 0; e < fanout; ++e) {
+            uint32_t dst;
+            if (rng.nextBool(0.15)) {
+                dst = static_cast<uint32_t>(rng.nextBelow(v));
+            } else {
+                dst = pool[rng.nextBelow(pool.size())];
+            }
+            if (dst == v)
+                dst = (dst + 1) % num_nodes;
+            edges.emplace_back(v, dst);
+            pool.push_back(dst);
+        }
+        pool.push_back(v);
+    }
+
+    std::sort(edges.begin(), edges.end());
+
+    Graph g;
+    g.numNodes = num_nodes;
+    g.offsets.assign(num_nodes + 1, 0);
+    g.targets.reserve(edges.size());
+    for (const auto &[src, dst] : edges)
+        ++g.offsets[src + 1];
+    for (uint32_t v = 0; v < num_nodes; ++v)
+        g.offsets[v + 1] += g.offsets[v];
+    for (const auto &[src, dst] : edges)
+        g.targets.push_back(dst);
+
+    g.nodeRegion = heap.alloc(name + ".nodes",
+                              static_cast<uint64_t>(num_nodes) * 8);
+    g.edgeRegion = heap.alloc(
+        name + ".edges",
+        std::max<uint64_t>(g.targets.size() * 4, 1));
+    return g;
+}
+
+} // namespace wcrt

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * BDGS-style graph generation (the "Graph Generator of BDGS").
+ *
+ * Preferential-attachment graphs reproduce the heavy-tailed degree
+ * distributions of the paper's Google web graph and Facebook social
+ * network datasets, which is what gives PageRank its skewed,
+ * cache-unfriendly access pattern.
+ */
+
+#ifndef WCRT_DATAGEN_GRAPH_HH
+#define WCRT_DATAGEN_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "trace/virtual_heap.hh"
+
+namespace wcrt {
+
+/**
+ * Directed graph in CSR form with synthetic trace addresses.
+ */
+struct Graph
+{
+    uint32_t numNodes = 0;
+    std::vector<uint64_t> offsets;  //!< CSR row offsets (n+1 entries)
+    std::vector<uint32_t> targets;  //!< concatenated out-edges
+
+    HeapRegion nodeRegion;   //!< per-node state (ranks, labels)
+    HeapRegion edgeRegion;   //!< the CSR target array
+
+    uint64_t numEdges() const { return targets.size(); }
+
+    /** Out-degree of node `v`. */
+    uint64_t outDegree(uint32_t v) const;
+
+    /** Trace address of node v's per-node state slot (8 bytes each). */
+    uint64_t nodeAddr(uint32_t v) const;
+
+    /** Trace address of the k-th out-edge of node v. */
+    uint64_t edgeAddr(uint32_t v, uint64_t k) const;
+};
+
+/** Graph generator tunables. */
+struct GraphGenOptions
+{
+    uint32_t edgesPerNode = 6;  //!< average out-degree
+    uint64_t seed = 3;
+};
+
+/**
+ * Preferential-attachment (Barabasi-Albert flavoured) generator.
+ */
+class GraphGenerator
+{
+  public:
+    explicit GraphGenerator(const GraphGenOptions &options);
+
+    /** Generate a graph with `num_nodes` nodes. */
+    Graph generate(VirtualHeap &heap, const std::string &name,
+                   uint32_t num_nodes) const;
+
+  private:
+    GraphGenOptions opts;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_DATAGEN_GRAPH_HH

@@ -1,0 +1,254 @@
+#include "datagen/table.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+size_t
+Column::size() const
+{
+    switch (type) {
+      case ColumnType::Int64:
+        return ints.size();
+      case ColumnType::Float64:
+        return doubles.size();
+      case ColumnType::Text:
+        return texts.size();
+    }
+    return 0;
+}
+
+uint64_t
+Column::valueBytes() const
+{
+    switch (type) {
+      case ColumnType::Int64:
+      case ColumnType::Float64:
+        return 8;
+      case ColumnType::Text:
+        return 16;  // pointer + length representation
+    }
+    return 8;
+}
+
+const Column &
+DataTable::column(const std::string &column_name) const
+{
+    return columns[columnIndex(column_name)];
+}
+
+size_t
+DataTable::columnIndex(const std::string &column_name) const
+{
+    for (size_t i = 0; i < columns.size(); ++i)
+        if (columns[i].name == column_name)
+            return i;
+    wcrt_panic("table '", name, "' has no column '", column_name, "'");
+}
+
+uint64_t
+DataTable::cellAddr(size_t col, uint64_t row) const
+{
+    if (col >= columnRegions.size())
+        wcrt_panic("column index ", col, " out of range");
+    return columnRegions[col].element(row, columns[col].valueBytes());
+}
+
+void
+DataTable::mapRegions(VirtualHeap &heap)
+{
+    columnRegions.clear();
+    for (const auto &c : columns) {
+        uint64_t bytes = std::max<uint64_t>(rows * c.valueBytes(), 1);
+        columnRegions.push_back(heap.alloc(name + "." + c.name, bytes));
+    }
+}
+
+uint64_t
+KvDataset::keyAddr(size_t i) const
+{
+    return keyRegion.element(i, 32);
+}
+
+uint64_t
+KvDataset::valueAddr(size_t i) const
+{
+    return valueRegion.element(i, valueBytes);
+}
+
+TableGenerator::TableGenerator(uint64_t seed) : seed(seed) {}
+
+DataTable
+TableGenerator::ecommerceOrders(VirtualHeap &heap, uint64_t rows) const
+{
+    Rng rng(seed ^ 0x0acc);
+    DataTable t;
+    t.name = "ecom_orders";
+    t.rows = rows;
+
+    Column order_id{"order_id", ColumnType::Int64, {}, {}, {}};
+    Column buyer_id{"buyer_id", ColumnType::Int64, {}, {}, {}};
+    Column create_date{"create_date", ColumnType::Int64, {}, {}, {}};
+    Column amount{"amount", ColumnType::Float64, {}, {}, {}};
+    for (uint64_t r = 0; r < rows; ++r) {
+        order_id.ints.push_back(static_cast<int64_t>(r + 1));
+        buyer_id.ints.push_back(
+            static_cast<int64_t>(rng.nextBelow(rows / 4 + 1)));
+        create_date.ints.push_back(
+            20120101 + static_cast<int64_t>(rng.nextBelow(365)));
+        amount.doubles.push_back(1.0 + rng.nextDouble() * 500.0);
+    }
+    t.columns = {std::move(order_id), std::move(buyer_id),
+                 std::move(create_date), std::move(amount)};
+    t.mapRegions(heap);
+    return t;
+}
+
+DataTable
+TableGenerator::ecommerceItems(VirtualHeap &heap, uint64_t rows,
+                               uint64_t order_rows) const
+{
+    Rng rng(seed ^ 0x17e5);
+    DataTable t;
+    t.name = "ecom_items";
+    t.rows = rows;
+
+    Column item_id{"item_id", ColumnType::Int64, {}, {}, {}};
+    Column order_id{"order_id", ColumnType::Int64, {}, {}, {}};
+    Column goods_id{"goods_id", ColumnType::Int64, {}, {}, {}};
+    Column goods_number{"goods_number", ColumnType::Int64, {}, {}, {}};
+    Column goods_price{"goods_price", ColumnType::Float64, {}, {}, {}};
+    Column category{"category", ColumnType::Int64, {}, {}, {}};
+    for (uint64_t r = 0; r < rows; ++r) {
+        item_id.ints.push_back(static_cast<int64_t>(r + 1));
+        order_id.ints.push_back(
+            static_cast<int64_t>(rng.nextBelow(order_rows) + 1));
+        goods_id.ints.push_back(
+            static_cast<int64_t>(rng.nextBelow(10000)));
+        goods_number.ints.push_back(
+            static_cast<int64_t>(1 + rng.nextBelow(10)));
+        goods_price.doubles.push_back(0.5 + rng.nextDouble() * 100.0);
+        category.ints.push_back(static_cast<int64_t>(rng.nextBelow(64)));
+    }
+    t.columns = {std::move(item_id), std::move(order_id),
+                 std::move(goods_id), std::move(goods_number),
+                 std::move(goods_price), std::move(category)};
+    t.mapRegions(heap);
+    return t;
+}
+
+KvDataset
+TableGenerator::profSearchResumes(VirtualHeap &heap, uint64_t rows) const
+{
+    Rng rng(seed ^ 0xbe5);
+    KvDataset kv;
+    kv.valueBytes = 1128;  // the paper's record size
+    kv.keys.reserve(rows);
+    kv.values.reserve(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+        // Zero-padded keys sort lexicographically like numerically.
+        std::string key = "person-";
+        std::string num = std::to_string(r);
+        key += std::string(10 - num.size(), '0') + num;
+        kv.keys.push_back(std::move(key));
+
+        std::string value;
+        value.reserve(kv.valueBytes);
+        value += "name:applicant-" + num + ";education:";
+        value += std::to_string(rng.nextBelow(5));
+        value += ";occupation:" + std::to_string(rng.nextBelow(200));
+        value += ";resume:";
+        while (value.size() < kv.valueBytes)
+            value.push_back(static_cast<char>('a' + rng.nextBelow(26)));
+        kv.values.push_back(std::move(value));
+    }
+    kv.keyRegion = heap.alloc("profsearch.keys",
+                              std::max<uint64_t>(rows * 32, 1));
+    kv.valueRegion = heap.alloc(
+        "profsearch.values", std::max<uint64_t>(rows * kv.valueBytes, 1));
+    return kv;
+}
+
+DataTable
+TableGenerator::tpcdsWebSales(VirtualHeap &heap, uint64_t rows) const
+{
+    Rng rng(seed ^ 0xd5);
+    DataTable t;
+    t.name = "web_sales";
+    t.rows = rows;
+
+    Column date_sk{"ws_sold_date_sk", ColumnType::Int64, {}, {}, {}};
+    Column item_sk{"ws_item_sk", ColumnType::Int64, {}, {}, {}};
+    Column cust_sk{"ws_bill_customer_sk", ColumnType::Int64, {}, {}, {}};
+    Column quantity{"ws_quantity", ColumnType::Int64, {}, {}, {}};
+    Column price{"ws_sales_price", ColumnType::Float64, {}, {}, {}};
+    Column profit{"ws_net_profit", ColumnType::Float64, {}, {}, {}};
+    for (uint64_t r = 0; r < rows; ++r) {
+        date_sk.ints.push_back(
+            static_cast<int64_t>(rng.nextBelow(1461)));  // 4 years
+        item_sk.ints.push_back(
+            static_cast<int64_t>(rng.nextBelow(18000)));
+        cust_sk.ints.push_back(
+            static_cast<int64_t>(rng.nextBelow(rows / 8 + 16)));
+        quantity.ints.push_back(
+            static_cast<int64_t>(1 + rng.nextBelow(100)));
+        price.doubles.push_back(rng.nextDouble() * 300.0);
+        profit.doubles.push_back(rng.nextDouble() * 60.0 - 10.0);
+    }
+    t.columns = {std::move(date_sk), std::move(item_sk),
+                 std::move(cust_sk), std::move(quantity),
+                 std::move(price), std::move(profit)};
+    t.mapRegions(heap);
+    return t;
+}
+
+DataTable
+TableGenerator::tpcdsDateDim(VirtualHeap &heap, uint64_t days) const
+{
+    DataTable t;
+    t.name = "date_dim";
+    t.rows = days;
+
+    Column date_sk{"d_date_sk", ColumnType::Int64, {}, {}, {}};
+    Column year{"d_year", ColumnType::Int64, {}, {}, {}};
+    Column moy{"d_moy", ColumnType::Int64, {}, {}, {}};
+    Column dom{"d_dom", ColumnType::Int64, {}, {}, {}};
+    for (uint64_t d = 0; d < days; ++d) {
+        date_sk.ints.push_back(static_cast<int64_t>(d));
+        year.ints.push_back(static_cast<int64_t>(1998 + d / 365));
+        moy.ints.push_back(static_cast<int64_t>((d / 30) % 12 + 1));
+        dom.ints.push_back(static_cast<int64_t>(d % 30 + 1));
+    }
+    t.columns = {std::move(date_sk), std::move(year), std::move(moy),
+                 std::move(dom)};
+    t.mapRegions(heap);
+    return t;
+}
+
+DataTable
+TableGenerator::tpcdsItemDim(VirtualHeap &heap, uint64_t items) const
+{
+    Rng rng(seed ^ 0x17e);
+    DataTable t;
+    t.name = "item";
+    t.rows = items;
+
+    Column item_sk{"i_item_sk", ColumnType::Int64, {}, {}, {}};
+    Column category{"i_category_id", ColumnType::Int64, {}, {}, {}};
+    Column manager{"i_manager_id", ColumnType::Int64, {}, {}, {}};
+    Column price{"i_current_price", ColumnType::Float64, {}, {}, {}};
+    for (uint64_t i = 0; i < items; ++i) {
+        item_sk.ints.push_back(static_cast<int64_t>(i));
+        category.ints.push_back(static_cast<int64_t>(rng.nextBelow(10)));
+        manager.ints.push_back(static_cast<int64_t>(rng.nextBelow(100)));
+        price.doubles.push_back(0.5 + rng.nextDouble() * 200.0);
+    }
+    t.columns = {std::move(item_sk), std::move(category),
+                 std::move(manager), std::move(price)};
+    t.mapRegions(heap);
+    return t;
+}
+
+} // namespace wcrt

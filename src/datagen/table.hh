@@ -1,0 +1,117 @@
+/**
+ * @file
+ * BDGS-style structured-data generation (the "Table Generator of
+ * BDGS" and TPC DSGen stand-in).
+ *
+ * Provides a small columnar table representation plus generators for
+ * the paper's structured datasets: the two e-commerce transaction
+ * tables, ProfSearch person resumes (key-value records for the HBase
+ * read workload), and TPC-DS-flavoured web tables.
+ */
+
+#ifndef WCRT_DATAGEN_TABLE_HH
+#define WCRT_DATAGEN_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "trace/virtual_heap.hh"
+
+namespace wcrt {
+
+/** Column data types. */
+enum class ColumnType : uint8_t { Int64, Float64, Text };
+
+/** One column: a name, a type, and the matching value vector. */
+struct Column
+{
+    std::string name;
+    ColumnType type = ColumnType::Int64;
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+    std::vector<std::string> texts;
+
+    /** Number of values in whichever vector is active. */
+    size_t size() const;
+
+    /** Approximate bytes of one value (trace-address stride). */
+    uint64_t valueBytes() const;
+};
+
+/**
+ * Columnar table with synthetic trace addresses per column.
+ */
+struct DataTable
+{
+    std::string name;
+    std::vector<Column> columns;
+    std::vector<HeapRegion> columnRegions;  //!< parallel to columns
+    uint64_t rows = 0;
+
+    /** Column lookup by name; panics when missing. */
+    const Column &column(const std::string &column_name) const;
+    size_t columnIndex(const std::string &column_name) const;
+
+    /** Trace address of cell (row, col). */
+    uint64_t cellAddr(size_t col, uint64_t row) const;
+
+    /** Register all column regions in the heap (called by makers). */
+    void mapRegions(VirtualHeap &heap);
+};
+
+/** Key-value record set (ProfSearch resumes, HBase rows). */
+struct KvDataset
+{
+    std::vector<std::string> keys;    //!< sorted ascending
+    std::vector<std::string> values;  //!< ~1 KB blobs
+    HeapRegion keyRegion;
+    HeapRegion valueRegion;
+    uint64_t valueBytes = 0;
+
+    uint64_t keyAddr(size_t i) const;
+    uint64_t valueAddr(size_t i) const;
+};
+
+/**
+ * Generators for the paper's Table-1 structured datasets. All are
+ * deterministic in the seed and scalable in the row count.
+ */
+class TableGenerator
+{
+  public:
+    explicit TableGenerator(uint64_t seed = 5);
+
+    /** E-commerce Table 1: ORDER(order_id, buyer_id, date, amount). */
+    DataTable ecommerceOrders(VirtualHeap &heap, uint64_t rows) const;
+
+    /**
+     * E-commerce Table 2: ITEM(item_id, order_id, goods_id, number,
+     * price, category). `order_rows` bounds the foreign keys.
+     */
+    DataTable ecommerceItems(VirtualHeap &heap, uint64_t rows,
+                             uint64_t order_rows) const;
+
+    /** ProfSearch resumes: ~1128-byte key-value records, sorted. */
+    KvDataset profSearchResumes(VirtualHeap &heap, uint64_t rows) const;
+
+    /**
+     * TPC-DS-flavoured web_sales fact table (date key, item key,
+     * customer key, quantity, price, profit).
+     */
+    DataTable tpcdsWebSales(VirtualHeap &heap, uint64_t rows) const;
+
+    /** TPC-DS date dimension (date key, year, month, day). */
+    DataTable tpcdsDateDim(VirtualHeap &heap, uint64_t days) const;
+
+    /** TPC-DS item dimension (item key, category, price band). */
+    DataTable tpcdsItemDim(VirtualHeap &heap, uint64_t items) const;
+
+  private:
+    uint64_t seed;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_DATAGEN_TABLE_HH

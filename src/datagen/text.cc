@@ -1,0 +1,75 @@
+#include "datagen/text.hh"
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+uint64_t
+TextCorpus::docAddr(size_t i, uint64_t offset) const
+{
+    if (i >= docs.size())
+        wcrt_panic("docAddr index ", i, " out of ", docs.size());
+    return region.addr(docOffsets[i] + offset);
+}
+
+TextGenerator::TextGenerator(const TextGenOptions &options) : opts(options)
+{
+    if (opts.vocabulary == 0)
+        wcrt_fatal("text generator needs a non-empty vocabulary");
+    if (opts.minWordLen == 0 || opts.maxWordLen < opts.minWordLen)
+        wcrt_fatal("bad word length bounds");
+
+    // Build a deterministic vocabulary: lowercase pseudo-words whose
+    // lengths follow the rank (frequent words tend to be short, like
+    // natural language).
+    Rng rng(opts.seed);
+    words.reserve(opts.vocabulary);
+    for (uint32_t rank = 0; rank < opts.vocabulary; ++rank) {
+        uint32_t span = opts.maxWordLen - opts.minWordLen + 1;
+        // Short words for low ranks, spreading longer with rank.
+        uint32_t len = opts.minWordLen +
+                       static_cast<uint32_t>(
+                           (static_cast<uint64_t>(rank) * span) /
+                           opts.vocabulary);
+        len = std::min(
+            opts.maxWordLen,
+            std::max(opts.minWordLen,
+                     len + static_cast<uint32_t>(rng.nextBelow(3))));
+        std::string w;
+        w.reserve(len);
+        for (uint32_t c = 0; c < len; ++c)
+            w.push_back(static_cast<char>('a' + rng.nextBelow(26)));
+        words.push_back(std::move(w));
+    }
+}
+
+TextCorpus
+TextGenerator::generate(VirtualHeap &heap, const std::string &name,
+                        size_t num_docs) const
+{
+    TextCorpus corpus;
+    corpus.docs.reserve(num_docs);
+    corpus.docOffsets.reserve(num_docs);
+
+    Rng rng(opts.seed ^ 0xc0ffee);
+    ZipfSampler zipf(words.size(), opts.zipfSkew);
+
+    uint64_t offset = 0;
+    for (size_t d = 0; d < num_docs; ++d) {
+        std::string doc;
+        doc.reserve(static_cast<size_t>(opts.wordsPerDoc) * 6);
+        for (uint32_t w = 0; w < opts.wordsPerDoc; ++w) {
+            if (w)
+                doc.push_back(' ');
+            doc += words[zipf.sample(rng)];
+        }
+        corpus.docOffsets.push_back(offset);
+        offset += doc.size() + 1;  // +1 for the record separator
+        corpus.docs.push_back(std::move(doc));
+    }
+    corpus.totalBytes = offset;
+    corpus.region = heap.alloc(name, std::max<uint64_t>(offset, 1));
+    return corpus;
+}
+
+} // namespace wcrt

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * BDGS-style text generation (the "Text Generator of BDGS").
+ *
+ * Produces corpora with a Zipfian word-frequency distribution, the
+ * statistical property that makes WordCount/Grep/Bayes behave like
+ * they do on Wikipedia or review text: a few words dominate hash-table
+ * hits while a long tail keeps the dictionary growing.
+ */
+
+#ifndef WCRT_DATAGEN_TEXT_HH
+#define WCRT_DATAGEN_TEXT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "trace/virtual_heap.hh"
+
+namespace wcrt {
+
+/**
+ * An in-memory corpus with synthetic trace addresses.
+ *
+ * Documents are real strings (the workloads genuinely tokenize,
+ * compare and hash them); `region` maps the concatenated corpus into
+ * the trace address space so cache behaviour matches the layout.
+ */
+struct TextCorpus
+{
+    std::vector<std::string> docs;
+    std::vector<uint64_t> docOffsets;  //!< byte offset of each doc
+    HeapRegion region;
+    uint64_t totalBytes = 0;
+
+    /** Trace address of byte `offset` within document `i`. */
+    uint64_t docAddr(size_t i, uint64_t offset = 0) const;
+};
+
+/** Tunables for the text generator. */
+struct TextGenOptions
+{
+    uint32_t vocabulary = 20000;  //!< distinct words
+    double zipfSkew = 1.0;        //!< word-frequency skew
+    uint32_t minWordLen = 2;
+    uint32_t maxWordLen = 12;
+    uint32_t wordsPerDoc = 200;
+    uint64_t seed = 1;
+};
+
+/**
+ * Deterministic Zipfian text generator.
+ */
+class TextGenerator
+{
+  public:
+    explicit TextGenerator(const TextGenOptions &options);
+
+    /**
+     * Generate a corpus of `num_docs` documents, registering its bytes
+     * in `heap` under `name`.
+     */
+    TextCorpus generate(VirtualHeap &heap, const std::string &name,
+                        size_t num_docs) const;
+
+    /** The generator's word list (rank order). */
+    const std::vector<std::string> &vocabulary() const { return words; }
+
+  private:
+    TextGenOptions opts;
+    std::vector<std::string> words;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_DATAGEN_TEXT_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Branch prediction models for the paper's Table 4 comparison.
+ *
+ * Two machine flavours are modelled:
+ *  - Atom D510: two-level adaptive predictor with a global history
+ *    table, 128-entry BTB, no indirect-target predictor, 15-cycle
+ *    misprediction penalty.
+ *  - Xeon E5645: hybrid predictor combining the two-level scheme with a
+ *    loop counter, an indirect jump/call target predictor, an
+ *    8192-entry BTB, and an 11-13 cycle penalty.
+ *
+ * The predictor consumes control-transfer MicroOps and reports whether
+ * the fetch redirect would have been correct.
+ */
+
+#ifndef WCRT_SIM_BRANCH_HH
+#define WCRT_SIM_BRANCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/microop.hh"
+
+namespace wcrt {
+
+/** Branch-unit configuration. */
+struct BranchConfig
+{
+    uint32_t historyBits = 12;       //!< global history length
+    uint32_t phtEntries = 4096;      //!< pattern history table (2-bit)
+    uint32_t btbEntries = 8192;
+    uint32_t btbAssoc = 4;
+    bool hasLoopPredictor = true;
+    uint32_t loopEntries = 128;
+    bool hasIndirectPredictor = true;
+    uint32_t indirectEntries = 512;
+    uint32_t rasEntries = 16;
+    double mispredictPenalty = 12.0; //!< cycles per mispredict
+
+    /**
+     * In-order front-ends (Atom) cannot resteer a taken branch at
+     * decode: a BTB miss costs the full refetch, so it counts as a
+     * misprediction. Out-of-order decode-resteer cores keep it a
+     * cheap bubble.
+     */
+    bool btbMissIsMispredict = false;
+};
+
+/** Counters the predictor accumulates. */
+struct BranchStats
+{
+    uint64_t conditional = 0;
+    uint64_t conditionalMispredicts = 0;
+    uint64_t unconditional = 0;      //!< direct jumps
+    uint64_t unconditionalMispredicts = 0; //!< in-order BTB refetches
+    uint64_t taken = 0;
+    uint64_t indirect = 0;          //!< indirect jumps + indirect calls
+    uint64_t indirectMispredicts = 0;
+    uint64_t returns = 0;
+    uint64_t returnMispredicts = 0;
+    uint64_t btbMisses = 0;         //!< taken transfers missing a target
+
+    /** All predicted control transfers. */
+    uint64_t
+    total() const
+    {
+        return conditional + unconditional + indirect + returns;
+    }
+
+    /** All mispredicted control transfers. */
+    uint64_t
+    mispredicts() const
+    {
+        return conditionalMispredicts + unconditionalMispredicts +
+               indirectMispredicts + returnMispredicts;
+    }
+
+    /** Misprediction ratio over all predicted transfers. */
+    double
+    mispredictRatio() const
+    {
+        return total() ? static_cast<double>(mispredicts()) /
+                             static_cast<double>(total())
+                       : 0.0;
+    }
+};
+
+/**
+ * Configurable branch unit: gshare-style two-level direction predictor,
+ * optional loop predictor with a chooser, BTB, optional indirect-target
+ * predictor and a return address stack.
+ */
+class BranchUnit
+{
+  public:
+    explicit BranchUnit(const BranchConfig &config);
+
+    /**
+     * Predict and train on one control-transfer op. Non-control ops
+     * are ignored.
+     *
+     * @return true when the prediction (direction and target) was
+     *         correct; also true for ignored ops.
+     */
+    bool predict(const MicroOp &op);
+
+    const BranchStats &stats() const { return st; }
+    const BranchConfig &config() const { return cfg; }
+    void resetStats() { st = BranchStats{}; }
+
+  private:
+    bool predictConditional(const MicroOp &op);
+    bool predictIndirect(const MicroOp &op);
+    bool predictReturn(const MicroOp &op);
+    void pushRas(uint64_t return_pc);
+
+    /** Two-bit saturating counter helpers. */
+    static bool counterTaken(uint8_t c) { return c >= 2; }
+    static uint8_t bump(uint8_t c, bool taken);
+
+    /** BTB lookup/update; @return true when the target was present. */
+    bool btbLookupUpdate(uint64_t pc, uint64_t target);
+
+    struct LoopEntry
+    {
+        uint64_t pc = 0;
+        uint32_t tripCount = 0;   //!< learned iterations before exit
+        uint32_t currentCount = 0;
+        uint8_t confidence = 0;   //!< saturating confirmation counter
+        bool valid = false;
+    };
+
+    struct BtbEntry
+    {
+        uint64_t pc = 0;
+        uint64_t target = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    BranchConfig cfg;
+    BranchStats st;
+
+    uint64_t history = 0;
+    std::vector<uint8_t> pht;        //!< 2-bit counters
+    std::vector<uint8_t> chooser;    //!< 2-bit loop-vs-gshare chooser
+    std::vector<LoopEntry> loops;
+    std::vector<uint64_t> indirectTargets;
+    std::vector<BtbEntry> btb;
+    std::vector<uint64_t> ras;
+    size_t rasTop = 0;
+    size_t rasDepth = 0;
+    uint64_t btbTick = 0;
+};
+
+/** D510-flavoured branch unit configuration (Table 4, left column). */
+BranchConfig atomD510Branch();
+
+/** E5645-flavoured branch unit configuration (Table 4, right column). */
+BranchConfig xeonE5645Branch();
+
+} // namespace wcrt
+
+#endif // WCRT_SIM_BRANCH_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Co-run model: two workloads sharing the last-level cache.
+ *
+ * The paper's 45 metrics include off-core requests and snoop
+ * responses, and its related work (Tang et al.) studies datacenter
+ * resource sharing. This model makes both measurable: two traces are
+ * captured, then replayed interleaved (proportionally to their
+ * lengths) through private L1/L2 hierarchies into one shared L3. The
+ * interesting outputs are each workload's solo-vs-co-run L3 MPKI (the
+ * contention penalty) and the snoop traffic the sharing creates.
+ */
+
+#ifndef WCRT_SIM_CORUN_HH
+#define WCRT_SIM_CORUN_HH
+
+#include <vector>
+
+#include "sim/machine.hh"
+#include "trace/microop.hh"
+
+namespace wcrt {
+
+/** Per-workload co-run measurements. */
+struct CoRunLane
+{
+    uint64_t instructions = 0;
+    uint64_t l2Misses = 0;       //!< requests reaching the shared L3
+    uint64_t l3MissesSolo = 0;   //!< with the L3 to itself
+    uint64_t l3MissesShared = 0; //!< sharing the L3 with the co-runner
+
+    double soloL3Mpki() const;
+    double sharedL3Mpki() const;
+
+    /** Shared / solo L3 MPKI (1.0 = no interference). */
+    double degradation() const;
+};
+
+/** Result of one co-run experiment. */
+struct CoRunResult
+{
+    CoRunLane a;
+    CoRunLane b;
+    uint64_t snoopHits = 0;  //!< shared-L3 hits on lines the other
+                             //!< lane installed (cross-lane reuse)
+};
+
+/**
+ * Record a trace into memory for replay.
+ */
+class TraceRecorder : public TraceSink
+{
+  public:
+    void consume(const MicroOp &op) override { ops.push_back(op); }
+    const std::vector<MicroOp> &trace() const { return ops; }
+
+  private:
+    std::vector<MicroOp> ops;
+};
+
+/**
+ * Replay two recorded traces through private L1/L2 and a shared L3.
+ *
+ * @param machine Geometry for the private levels and the shared L3.
+ * @param a First workload's trace.
+ * @param b Second workload's trace.
+ */
+CoRunResult coRun(const MachineConfig &machine,
+                  const std::vector<MicroOp> &a,
+                  const std::vector<MicroOp> &b);
+
+} // namespace wcrt
+
+#endif // WCRT_SIM_CORUN_HH

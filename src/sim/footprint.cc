@@ -1,0 +1,65 @@
+#include "sim/footprint.hh"
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+std::vector<uint32_t>
+paperSweepSizesKb()
+{
+    return {16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+}
+
+FootprintSweep::FootprintSweep(std::vector<uint32_t> sizes_kb,
+                               uint32_t assoc, uint32_t line_bytes)
+    : sizes(std::move(sizes_kb))
+{
+    if (sizes.empty())
+        wcrt_fatal("footprint sweep needs at least one capacity");
+    for (uint32_t kb : sizes) {
+        CacheConfig cfg{"sweep", static_cast<uint64_t>(kb) * 1024,
+                        assoc, line_bytes};
+        icaches.emplace_back(cfg);
+        dcaches.emplace_back(cfg);
+        ucaches.emplace_back(cfg);
+    }
+}
+
+void
+FootprintSweep::consume(const MicroOp &op)
+{
+    ++ops;
+    for (size_t k = 0; k < sizes.size(); ++k) {
+        icaches[k].access(op.pc, false);
+        ucaches[k].access(op.pc, false);
+        if (op.memSize > 0) {
+            bool is_write = op.kind == OpKind::Store;
+            dcaches[k].access(op.memAddr, is_write);
+            ucaches[k].access(op.memAddr, is_write);
+        }
+    }
+}
+
+std::vector<double>
+FootprintSweep::missRatios(SweepKind kind) const
+{
+    const std::vector<Cache> *set = nullptr;
+    switch (kind) {
+      case SweepKind::Instruction:
+        set = &icaches;
+        break;
+      case SweepKind::Data:
+        set = &dcaches;
+        break;
+      case SweepKind::Unified:
+        set = &ucaches;
+        break;
+    }
+    std::vector<double> out;
+    out.reserve(set->size());
+    for (const auto &c : *set)
+        out.push_back(c.missRatio());
+    return out;
+}
+
+} // namespace wcrt

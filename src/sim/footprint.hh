@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cache-capacity sweep: the MARSSx86 experiment of Section 5.4.
+ *
+ * One trace pass drives a ladder of cache instances (16 KB ... 8 MB,
+ * 8-way, 64-byte lines, like the paper's simulator configuration) for
+ * the instruction side, the data side and a unified view. The
+ * resulting miss-ratio-vs-capacity curves expose each workload's
+ * instruction and data footprint: the capacity where the curve
+ * flattens is the working-set size.
+ */
+
+#ifndef WCRT_SIM_FOOTPRINT_HH
+#define WCRT_SIM_FOOTPRINT_HH
+
+#include <vector>
+
+#include "sim/cache.hh"
+#include "trace/microop.hh"
+
+namespace wcrt {
+
+/** Which reference stream a sweep curve describes. */
+enum class SweepKind : uint8_t { Instruction, Data, Unified };
+
+/**
+ * Multi-capacity cache sweep sink.
+ */
+class FootprintSweep : public TraceSink
+{
+  public:
+    /**
+     * @param sizes_kb Cache capacities to ladder (ascending).
+     * @param assoc Associativity of every rung (paper: 8).
+     * @param line_bytes Line size (paper: 64).
+     */
+    explicit FootprintSweep(std::vector<uint32_t> sizes_kb,
+                            uint32_t assoc = 8,
+                            uint32_t line_bytes = 64);
+
+    void consume(const MicroOp &op) override;
+
+    /** The capacities swept, in KB. */
+    const std::vector<uint32_t> &sizesKb() const { return sizes; }
+
+    /** Miss ratio at each capacity for one stream kind. */
+    std::vector<double> missRatios(SweepKind kind) const;
+
+    /** Instructions consumed. */
+    uint64_t instructions() const { return ops; }
+
+  private:
+    std::vector<uint32_t> sizes;
+    std::vector<Cache> icaches;
+    std::vector<Cache> dcaches;
+    std::vector<Cache> ucaches;
+    uint64_t ops = 0;
+};
+
+/** The paper's capacity ladder: 16 KB to 8192 KB, doubling. */
+std::vector<uint32_t> paperSweepSizesKb();
+
+} // namespace wcrt
+
+#endif // WCRT_SIM_FOOTPRINT_HH

@@ -1,0 +1,71 @@
+#include "sim/prefetcher.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &config)
+    : cfg(config)
+{
+    if (cfg.streams == 0 || cfg.streams > table.size())
+        wcrt_fatal("stream prefetcher supports 1..", table.size(),
+                   " streams");
+}
+
+StreamPrefetcher::Advice
+StreamPrefetcher::observe(uint64_t addr)
+{
+    Advice advice;
+    if (!cfg.enabled)
+        return advice;
+
+    ++tick;
+    uint64_t line = addr / cfg.lineBytes;
+
+    Entry *lru = &table[0];
+    for (uint32_t i = 0; i < cfg.streams; ++i) {
+        Entry &e = table[i];
+        if (!e.valid) {
+            lru = &e;
+            continue;
+        }
+        if (lru->valid && e.lastUse < lru->lastUse)
+            lru = &e;
+
+        // Within the stream window (the expected next line or a small
+        // forward jitter)?
+        if (line >= e.nextLine && line < e.nextLine + 4) {
+            e.lastUse = tick;
+            e.lastLine = line;
+            e.nextLine = line + 1;
+            if (e.confidence < 4)
+                ++e.confidence;
+            if (e.confidence >= 2) {
+                if (e.confidence == 2)
+                    ++confirmed;
+                ++coveredCount;
+                advice.covered = true;
+                advice.prefetchLines = cfg.degree;
+                advice.prefetchFrom = (line + 1) * cfg.lineBytes;
+            }
+            return advice;
+        }
+        if (line == e.lastLine) {
+            // Re-touching the same line keeps the stream warm.
+            e.lastUse = tick;
+            return advice;
+        }
+    }
+
+    // New potential stream.
+    lru->valid = true;
+    lru->lastLine = line;
+    lru->nextLine = line + 1;
+    lru->lastUse = tick;
+    lru->confidence = 0;
+    return advice;
+}
+
+} // namespace wcrt

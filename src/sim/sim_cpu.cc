@@ -1,0 +1,221 @@
+#include "sim/sim_cpu.hh"
+
+#include <algorithm>
+
+namespace wcrt {
+
+SimCpu::SimCpu(const MachineConfig &config)
+    : cfg(config),
+      l1iCache(config.l1i),
+      l1dCache(config.l1d),
+      l2Cache(config.l2),
+      l3Cache(config.l3),
+      itlbUnit(config.itlb),
+      dtlbUnit(config.dtlb),
+      branchUnit(config.branch),
+      prefetcher(config.prefetch)
+{
+}
+
+void
+SimCpu::consume(const MicroOp &op)
+{
+    mixCounter.consume(op);
+
+    // Instruction side: every op fetches through ITLB and L1I.
+    if (!itlbUnit.access(op.pc))
+        ++itlbMisses;
+    codeLines.insert(op.pc >> 6);
+    if (!l1iCache.access(op.pc, false)) {
+        ++l1iMissCount;
+        if (!l2Cache.access(op.pc, false)) {
+            ++l2MissesFromL1i;
+            if (!cfg.hasL3 || !l3Cache.access(op.pc, false))
+                ++l3MissesTotal;
+        }
+    }
+
+    // Data side.
+    if (op.memSize > 0) {
+        bool is_write = op.kind == OpKind::Store;
+        if (!dtlbUnit.access(op.memAddr))
+            ++dtlbMisses;
+        dataPages.insert(op.memAddr >> 12);
+        // Hardware stream prefetch fills lines ahead of confirmed
+        // sequential streams so streamed data hits on demand.
+        auto advice = prefetcher.observe(op.memAddr);
+        for (uint32_t p = 0; p < advice.prefetchLines; ++p) {
+            uint64_t line_addr = advice.prefetchFrom +
+                                 static_cast<uint64_t>(p) * 64;
+            l1dCache.prefetch(line_addr);
+            l2Cache.prefetch(line_addr);
+            if (cfg.hasL3)
+                l3Cache.prefetch(line_addr);
+        }
+        if (!l1dCache.access(op.memAddr, is_write)) {
+            ++l1dMissCount;
+            if (!l2Cache.access(op.memAddr, is_write)) {
+                ++l2MissesFromL1d;
+                if (!cfg.hasL3 || !l3Cache.access(op.memAddr, is_write)) {
+                    ++l3MissesTotal;
+                    if (is_write)
+                        ++storesMissingL3;
+                }
+            }
+        }
+    }
+
+    // Control side.
+    if (isControl(op.kind))
+        branchUnit.predict(op);
+}
+
+CpuReport
+SimCpu::report() const
+{
+    CpuReport r;
+    r.machine = cfg.name;
+    uint64_t insts = mixCounter.total();
+    r.instructions = insts;
+    if (insts == 0)
+        return r;
+
+    double kilo = static_cast<double>(insts) / 1000.0;
+
+    // Instruction mix.
+    r.loadRatio = mixCounter.loadRatio();
+    r.storeRatio = mixCounter.storeRatio();
+    r.branchRatio = mixCounter.branchRatio();
+    r.integerRatio = mixCounter.integerRatio();
+    r.fpRatio = mixCounter.fpRatio();
+    r.otherRatio = mixCounter.otherRatio();
+    r.intAddressShare = mixCounter.intAddressShare();
+    r.fpAddressShare = mixCounter.fpAddressShare();
+    r.otherIntShare = mixCounter.otherIntShare();
+    r.dataMovementRatio = mixCounter.dataMovementRatio();
+    r.dataMovementWithBranchRatio =
+        mixCounter.dataMovementWithBranchRatio();
+
+    // Caches.
+    r.l1iMpki = static_cast<double>(l1iMissCount) / kilo;
+    r.l1iMissRatio = l1iCache.missRatio();
+    r.l1dMpki = static_cast<double>(l1dMissCount) / kilo;
+    r.l1dMissRatio = l1dCache.missRatio();
+    uint64_t l2_misses = l2MissesFromL1i + l2MissesFromL1d;
+    r.l2Mpki = static_cast<double>(l2_misses) / kilo;
+    r.l2MissRatio = l2Cache.missRatio();
+    r.l3Mpki = static_cast<double>(l3MissesTotal) / kilo;
+    r.l3MissRatio = cfg.hasL3 ? l3Cache.missRatio() : 1.0;
+
+    // TLBs.
+    r.itlbMpki = static_cast<double>(itlbMisses) / kilo;
+    r.dtlbMpki = static_cast<double>(dtlbMisses) / kilo;
+
+    // Branches.
+    const BranchStats &bs = branchUnit.stats();
+    r.branchMispredictRatio = bs.mispredictRatio();
+    uint64_t branches = mixCounter.count(OpKind::BranchCond) +
+                        mixCounter.count(OpKind::BranchUncond) +
+                        mixCounter.count(OpKind::BranchIndirect);
+    r.branchTakenRatio =
+        branches ? static_cast<double>(bs.taken) /
+                       static_cast<double>(bs.total() +
+                                           mixCounter.count(
+                                               OpKind::BranchUncond))
+                 : 0.0;
+    r.btbMissPki = static_cast<double>(bs.btbMisses) / kilo;
+    r.branchStats = bs;
+
+    // Pipeline: additive cycle accounting.
+    const CoreParams &core = cfg.core;
+    uint64_t fp_dyn = mixCounter.count(OpKind::FpAlu) +
+                      mixCounter.count(OpKind::FpMul) +
+                      mixCounter.count(OpKind::FpDiv);
+    uint64_t div_dyn = mixCounter.count(OpKind::FpDiv) +
+                       mixCounter.count(OpKind::IntDiv);
+    double base_cycles = static_cast<double>(insts) * core.baseCpi +
+                         static_cast<double>(fp_dyn) * core.fpExtraCpi +
+                         static_cast<double>(div_dyn) * core.divExtraCpi;
+    double mispredict_cycles = static_cast<double>(bs.mispredicts()) *
+                               cfg.branch.mispredictPenalty;
+    double l1i_cycles =
+        static_cast<double>(l1iMissCount) * core.l1iMissPenalty;
+    double itlb_cycles =
+        static_cast<double>(itlbMisses) * core.tlbMissPenalty;
+    double btb_cycles =
+        static_cast<double>(bs.btbMisses) * core.btbResteerPenalty;
+    double frontend_cycles =
+        mispredict_cycles + l1i_cycles + itlb_cycles + btb_cycles;
+
+    double l2_hit_data =
+        static_cast<double>(l1dMissCount -
+                            std::min(l1dMissCount, l2MissesFromL1d)) *
+        core.l2HitLatency;
+    double l3_hit_data = 0.0;
+    double mem_data = 0.0;
+    if (cfg.hasL3) {
+        uint64_t l3_data_misses =
+            std::min(l3MissesTotal, l2MissesFromL1d);
+        l3_hit_data = static_cast<double>(l2MissesFromL1d -
+                                          l3_data_misses) *
+                      core.l3HitLatency;
+        mem_data = static_cast<double>(l3_data_misses) * core.memLatency;
+    } else {
+        mem_data = static_cast<double>(l2MissesFromL1d) * core.memLatency;
+    }
+    double dtlb_cycles =
+        static_cast<double>(dtlbMisses) * core.tlbMissPenalty;
+    double backend_cycles =
+        (l2_hit_data + l3_hit_data + mem_data) / std::max(core.mlp, 1.0) +
+        dtlb_cycles;
+
+    r.cycles = base_cycles + frontend_cycles + backend_cycles;
+    r.ipc = static_cast<double>(insts) / r.cycles;
+    r.cpi = 1.0 / r.ipc;
+    r.frontendStallRatio = frontend_cycles / r.cycles;
+    r.backendStallRatio = backend_cycles / r.cycles;
+    uint64_t all_ctrl = branches + mixCounter.count(OpKind::Call) +
+                        mixCounter.count(OpKind::CallIndirect) +
+                        mixCounter.count(OpKind::Return);
+    r.basicBlockSize =
+        all_ctrl ? static_cast<double>(insts) /
+                       static_cast<double>(all_ctrl)
+                 : static_cast<double>(insts);
+
+    // Off-core and locality.
+    uint64_t llc_requests =
+        cfg.hasL3 ? l3Cache.accesses() : l2Cache.accesses();
+    r.offcoreRequestPki = static_cast<double>(llc_requests) / kilo;
+    // Snoops: shared-LLC fills that another core may service; modelled
+    // as a fixed fraction of LLC hits in lieu of a multi-core model.
+    uint64_t llc_hits = llc_requests >= l3MissesTotal
+                            ? llc_requests - l3MissesTotal
+                            : 0;
+    r.snoopResponsePki =
+        0.1 * static_cast<double>(llc_hits) / kilo;
+    r.memoryBytesPki = static_cast<double>(l3MissesTotal) * 64.0 / kilo;
+    r.codeFootprintKb =
+        static_cast<double>(codeLines.size()) * 64.0 / 1024.0;
+    r.dataFootprintKb =
+        static_cast<double>(dataPages.size()) * 4096.0 / 1024.0;
+
+    // Intensity.
+    uint64_t fp_ops = mixCounter.count(OpKind::FpAlu) +
+                      mixCounter.count(OpKind::FpMul) +
+                      mixCounter.count(OpKind::FpDiv);
+    uint64_t int_ops = mixCounter.count(OpKind::IntAlu) +
+                       mixCounter.count(OpKind::IntMul) +
+                       mixCounter.count(OpKind::IntDiv);
+    double dram_bytes = std::max(
+        static_cast<double>(l3MissesTotal) * 64.0, 1.0);
+    r.fpPki = static_cast<double>(fp_ops) / kilo;
+    r.operationIntensity = static_cast<double>(fp_ops) / dram_bytes;
+    r.integerIntensity = static_cast<double>(int_ops) / dram_bytes;
+    r.mlp = core.mlp;
+    // Achieved GFLOPS = fp ops per cycle * frequency.
+    r.gflops = static_cast<double>(fp_ops) / r.cycles *
+               core.frequencyGhz;
+    return r;
+}
+
+} // namespace wcrt

@@ -1,0 +1,141 @@
+#include "stack/kvstore/store.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "trace/idioms.hh"
+
+namespace wcrt {
+
+namespace {
+
+uint32_t
+scaledSize(double scale, uint32_t bytes)
+{
+    auto v = static_cast<uint32_t>(bytes * scale);
+    return std::max<uint32_t>(v, 64);
+}
+
+} // namespace
+
+KvStore::KvStore(CodeLayout &layout, const KvDataset &data,
+                 const KvStoreConfig &config)
+    : data(data), cfg(config)
+{
+    auto fw = [&](const std::string &name, uint32_t bytes,
+                  uint32_t overhead, uint32_t rotation) {
+        return layout.addFunction("hbase." + name, CodeLayer::Framework,
+                                  scaledSize(cfg.codeScale, bytes),
+                                  CallProfile{overhead, rotation});
+    };
+
+    // A region server executes a *lot* of distinct code per request;
+    // eight alternative RPC handler flavours (auth, versioning, filter
+    // combinations) model the stochastic path selection.
+    rpcListener = fw("rpcServer.listen", 96 * 1024, 600, 8192);
+    for (int h = 0; h < 12; ++h) {
+        rpcHandlers.push_back(fw("rpcHandler." + std::to_string(h),
+                                 128 * 1024, 700, 16384));
+    }
+    regionLocate = fw("hregion.locate", 64 * 1024, 180, 2048);
+    memstoreCheck = fw("memstore.get", 72 * 1024, 160, 2048);
+    bloomCheck = fw("bloomFilter.contains", 24 * 1024, 45, 512);
+    blockIndexSearch = fw("hfileBlockIndex.seek", 48 * 1024, 90, 1024);
+    blockLoad = fw("hfileBlock.read", 64 * 1024, 200, 2048);
+    blockScan = fw("storeScanner.next", 72 * 1024, 120, 1024);
+    valueCopy = fw("keyValue.copy", 24 * 1024, 30, 256);
+    rpcEncode = fw("rpcServer.respond", 80 * 1024, 260, 2048);
+    gcMinor = fw("jvm.gcMinor", 144 * 1024, 2400, 8192);
+}
+
+uint64_t
+KvStore::get(Tracer &t, RunEnv &env, size_t index)
+{
+    if (index >= data.keys.size())
+        return 0;
+    ++served;
+
+    Tracer::Scope listen(t, rpcListener);
+    // Handler flavour depends on the request (stochastic path).
+    Tracer::Scope handler(
+        t, rpcHandlers[served % rpcHandlers.size()], true);
+    {
+        Tracer::Scope loc(t, regionLocate);
+        idioms::hashBytes(t, data.keyAddr(index),
+                          std::min<uint64_t>(data.keys[index].size(),
+                                             16));
+    }
+    {
+        // Memstore miss (read-mostly region): probe then fall through.
+        Tracer::Scope ms(t, memstoreCheck);
+        t.branchForward(false, 48);
+    }
+    {
+        Tracer::Scope bf(t, bloomCheck);
+        idioms::hashBytes(t, data.keyAddr(index), 8);
+        t.branchForward(true, 32);
+    }
+
+    // Block index: binary search over ceil(n / blockRecords) blocks.
+    size_t blocks =
+        (data.keys.size() + cfg.blockRecords - 1) / cfg.blockRecords;
+    uint32_t probes = static_cast<uint32_t>(
+        std::bit_width(std::max<size_t>(blocks, 1)));
+    {
+        Tracer::Scope ix(t, blockIndexSearch);
+        idioms::binarySearch(t, data.keyRegion.base, blocks, 32, probes,
+                             true);
+    }
+
+    size_t block = index / cfg.blockRecords;
+    size_t block_begin = block * cfg.blockRecords;
+    size_t block_end =
+        std::min(data.keys.size(), block_begin + cfg.blockRecords);
+    {
+        // Load the block from the OS page cache / disk.
+        Tracer::Scope ld(t, blockLoad);
+        uint64_t block_bytes =
+            (block_end - block_begin) * data.valueBytes;
+        env.io.diskReadBytes += block_bytes;
+        idioms::copyBytes(t, data.valueAddr(block_begin),
+                          data.valueAddr(block_begin),
+                          std::min<uint64_t>(block_bytes, 4096));
+    }
+    {
+        // Scan within the block to the exact key.
+        Tracer::Scope sc(t, blockScan);
+        t.loop(index - block_begin + 1, [&](uint64_t k) {
+            idioms::compareBytes(t, data.keyAddr(block_begin + k),
+                                 data.keyAddr(index), 8);
+        });
+    }
+    uint64_t value_size = data.values[index].size();
+    {
+        Tracer::Scope vc(t, valueCopy);
+        idioms::copyBytes(t, data.valueAddr(index),
+                          data.valueAddr(index),
+                          std::min<uint64_t>(value_size, 1024));
+    }
+    {
+        Tracer::Scope enc(t, rpcEncode);
+        env.io.networkBytes += value_size;
+    }
+    if (served % 512 == 0) {
+        Tracer::Scope gc(t, gcMinor);
+    }
+    env.data.outputBytes += value_size;
+    return value_size;
+}
+
+void
+KvStore::serve(Tracer &t, RunEnv &env, uint64_t count, Rng &rng)
+{
+    ZipfSampler zipf(data.keys.size(), 0.9);
+    env.data.inputBytes +=
+        data.keys.size() * (32 + data.valueBytes);
+    for (uint64_t i = 0; i < count; ++i)
+        get(t, env, zipf.sample(rng));
+}
+
+} // namespace wcrt

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * HBase-flavoured key-value store read path.
+ *
+ * Models the region-server read pipeline: RPC decode, region lookup,
+ * memstore check, block-index binary search, HFile block scan, value
+ * copy and RPC encode. Service requests arrive from a Zipfian client
+ * mix over many distinct handler paths, which is why the paper sees
+ * the highest L1I MPKI (~51) on H-Read: the executed code per request
+ * is stochastic and spread over a very large static footprint.
+ */
+
+#ifndef WCRT_STACK_KVSTORE_STORE_HH
+#define WCRT_STACK_KVSTORE_STORE_HH
+
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "datagen/table.hh"
+#include "stack/run_env.hh"
+#include "trace/tracer.hh"
+
+namespace wcrt {
+
+/** Store tunables. */
+struct KvStoreConfig
+{
+    uint32_t blockRecords = 32;   //!< records per HFile block
+    double codeScale = 1.0;
+};
+
+/**
+ * A read-only region server over one sorted KV dataset.
+ */
+class KvStore
+{
+  public:
+    /**
+     * @param layout Code layout to register the server path in.
+     * @param data Sorted key-value records (the region contents).
+     * @param config Tunables.
+     */
+    KvStore(CodeLayout &layout, const KvDataset &data,
+            const KvStoreConfig &config = {});
+
+    /**
+     * Serve one GET.
+     *
+     * @param t Tracer.
+     * @param env I/O accounting (block reads hit "disk").
+     * @param index Which record to fetch.
+     * @return Value size in bytes (0 if out of range).
+     */
+    uint64_t get(Tracer &t, RunEnv &env, size_t index);
+
+    /**
+     * Serve a Zipfian request stream of `count` GETs (the service
+     * loop the paper's H-Read measures).
+     */
+    void serve(Tracer &t, RunEnv &env, uint64_t count, Rng &rng);
+
+  private:
+    const KvDataset &data;
+    KvStoreConfig cfg;
+
+    // Server code path; several alternative handler flavours model the
+    // stochastic per-request paths of a real region server.
+    FunctionId rpcListener;
+    std::vector<FunctionId> rpcHandlers;
+    FunctionId regionLocate;
+    FunctionId memstoreCheck;
+    FunctionId bloomCheck;
+    FunctionId blockIndexSearch;
+    FunctionId blockLoad;
+    FunctionId blockScan;
+    FunctionId valueCopy;
+    FunctionId rpcEncode;
+    FunctionId gcMinor;
+
+    uint64_t served = 0;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_STACK_KVSTORE_STORE_HH

@@ -1,0 +1,301 @@
+#include "stack/mapreduce/engine.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "base/strings.hh"
+#include "trace/idioms.hh"
+
+namespace wcrt {
+
+namespace {
+
+/** Scale a code size by the config's ablation factor. */
+uint32_t
+scaled(double scale, uint32_t bytes)
+{
+    auto v = static_cast<uint32_t>(bytes * scale);
+    return std::max<uint32_t>(v, 64);
+}
+
+} // namespace
+
+MapReduceEngine::MapReduceEngine(CodeLayout &layout,
+                                 const MapReduceConfig &config)
+    : cfg(config)
+{
+    auto fw = [&](const char *name, uint32_t bytes, uint32_t overhead,
+                  uint32_t rotation) {
+        return layout.addFunction(std::string("hadoop.") + name,
+                                  CodeLayer::Framework,
+                                  scaled(cfg.codeScale, bytes),
+                                  CallProfile{overhead, rotation});
+    };
+    auto rt = [&](const char *name, uint32_t bytes, uint32_t overhead,
+                  uint32_t rotation) {
+        return layout.addFunction(std::string("jvm.") + name,
+                                  CodeLayer::Runtime,
+                                  scaled(cfg.codeScale, bytes),
+                                  CallProfile{overhead, rotation});
+    };
+
+    // Sizes are calibrated to a ~1.1 MB framework instruction working
+    // set (the paper's Section 5.4 Hadoop footprint), spread over the
+    // execution path so per-record processing touches many regions.
+    jobSubmit = fw("jobSubmit", 96 * 1024, 1500, 4096);
+    taskLaunch = fw("taskLaunch", 80 * 1024, 900, 4096);
+    heartbeat = fw("taskTracker.heartbeat", 48 * 1024, 300, 2048);
+    splitReader = fw("splitReader.open", 40 * 1024, 400, 2048);
+    recordReaderNext = fw("lineRecordReader.next", 56 * 1024, 50, 64);
+    deserialize = fw("writable.deserialize", 48 * 1024, 30, 64);
+    mapRunner = fw("mapRunner.run", 64 * 1024, 35, 64);
+    collectorCollect = fw("outputCollector.collect", 72 * 1024, 40, 64);
+    partitioner = fw("hashPartitioner.getPartition", 16 * 1024, 12, 32);
+    spillSort = fw("spill.sortAndSpill", 64 * 1024, 500, 2048);
+    compareKeys = fw("writableComparator.compare", 12 * 1024, 8, 16);
+    ifileWrite = fw("ifile.append", 56 * 1024, 35, 64);
+    shuffleFetch = fw("shuffle.fetchOutputs", 88 * 1024, 700, 4096);
+    mergeIterator = fw("merger.next", 56 * 1024, 35, 64);
+    reduceRunner = fw("reduceRunner.run", 64 * 1024, 35, 64);
+    valuesIterator = fw("valuesIterator.next", 40 * 1024, 20, 32);
+    serialize = fw("writable.serialize", 44 * 1024, 25, 64);
+    outputWrite = fw("recordWriter.write", 56 * 1024, 35, 64);
+    gcMinor = rt("gcMinor", 128 * 1024, 2200, 8192);
+    jitCompile = rt("jitWarmup", 96 * 1024, 1800, 8192);
+}
+
+void
+MapReduceEngine::gcTick(Tracer &t, uint64_t &counter, uint64_t amount)
+{
+    counter += amount;
+    if (counter >= cfg.gcEveryRecords) {
+        counter = 0;
+        Tracer::Scope gc(t, gcMinor);
+        // The collector walks a chunk of heap metadata.
+        t.loop(64, [&](uint64_t i) {
+            t.intAlu(IntPurpose::IntAddress, 2);
+            t.load(mapOutputBuffer.base + (i * 512) %
+                                             mapOutputBuffer.bytes);
+            t.intAlu(IntPurpose::Compute, 1);
+        });
+    }
+}
+
+void
+MapReduceEngine::assignBufferAddr(Record &r, HeapRegion &region,
+                                  uint64_t &cursor) const
+{
+    uint64_t need = std::max<uint64_t>(r.bytes(), 16);
+    if (cursor + need > region.bytes)
+        cursor = 0;  // circular reuse, like a real serialization buffer
+    r.keyAddr = region.base + cursor;
+    r.valueAddr = region.base + cursor + r.key.size();
+    cursor += need;
+}
+
+RecordVec
+MapReduceEngine::run(RunEnv &env, Tracer &t, const RecordVec &input,
+                     Mapper &mapper, Reducer &reducer)
+{
+    if (!buffersReady) {
+        mapOutputBuffer = env.heap.alloc("hadoop.mapOutputBuffer",
+                                         4 * 1024 * 1024);
+        shuffleBuffer = env.heap.alloc("hadoop.shuffleBuffer",
+                                       4 * 1024 * 1024);
+        outputBuffer = env.heap.alloc("hadoop.outputBuffer",
+                                      2 * 1024 * 1024);
+        buffersReady = true;
+    }
+
+    uint64_t input_bytes = totalBytes(input);
+    env.io.diskReadBytes += input_bytes;
+    env.data.inputBytes += input_bytes;
+
+    // --- Job submission and task launch. ---
+    {
+        Tracer::Scope s(t, jobSubmit);
+        t.intAlu(IntPurpose::Compute, 40);
+    }
+    {
+        Tracer::Scope s(t, jitCompile);
+    }
+
+    size_t num_splits =
+        (input.size() + cfg.recordsPerSplit - 1) /
+        std::max<uint32_t>(cfg.recordsPerSplit, 1);
+    num_splits = std::max<size_t>(num_splits, 1);
+
+    // Per-reducer partitions of intermediate data.
+    std::vector<RecordVec> partitions(cfg.numReducers);
+    uint64_t gc_counter = 0;
+    uint64_t intermediate_bytes = 0;
+
+    // --- Map phase. ---
+    for (size_t split = 0; split < num_splits; ++split) {
+        Tracer::Scope task(t, taskLaunch);
+        {
+            Tracer::Scope open(t, splitReader);
+        }
+        size_t begin = split * cfg.recordsPerSplit;
+        size_t end = std::min(input.size(),
+                              begin + cfg.recordsPerSplit);
+
+        RecordVec spill_buffer;
+        auto flush_spill = [&]() {
+            if (spill_buffer.empty())
+                return;
+            Tracer::Scope sp(t, spillSort);
+            // Genuine sort of the buffered keys; the comparator emits
+            // the actual byte-compare work.
+            std::sort(spill_buffer.begin(), spill_buffer.end(),
+                      [&](const Record &a, const Record &b) {
+                          Tracer::Scope cmp(t, compareKeys);
+                          size_t n = std::min(a.key.size(),
+                                              b.key.size());
+                          size_t same = 0;
+                          while (same < n && a.key[same] == b.key[same])
+                              ++same;
+                          idioms::compareBytes(t, a.keyAddr, b.keyAddr,
+                                               std::min<uint64_t>(
+                                                   same + 1, n ? n : 1));
+                          return a.key < b.key;
+                      });
+            if (cfg.useCombiner) {
+                // Map-side combine: run the reducer over each sorted
+                // key group before anything is spilled, shrinking the
+                // intermediate data the way real Hadoop jobs do.
+                RecordVec combined;
+                size_t i = 0;
+                while (i < spill_buffer.size()) {
+                    size_t j = i;
+                    while (j < spill_buffer.size() &&
+                           spill_buffer[j].key == spill_buffer[i].key)
+                        ++j;
+                    RecordVec group(
+                        spill_buffer.begin() + static_cast<long>(i),
+                        spill_buffer.begin() + static_cast<long>(j));
+                    reducer.reduce(t, spill_buffer[i].key, group,
+                                   combined);
+                    i = j;
+                }
+                spill_buffer = std::move(combined);
+            }
+            for (auto &rec : spill_buffer) {
+                Tracer::Scope wr(t, ifileWrite);
+                idioms::copyBytes(t, rec.keyAddr, shuffleBuffer.base,
+                                  rec.bytes());
+                env.io.diskWriteBytes += rec.bytes();
+                intermediate_bytes += rec.bytes();
+                size_t part = fnv1a(rec.key) % cfg.numReducers;
+                partitions[part].push_back(std::move(rec));
+            }
+            spill_buffer.clear();
+        };
+
+        for (size_t i = begin; i < end; ++i) {
+            {
+                Tracer::Scope hb_maybe(t, recordReaderNext);
+            }
+            {
+                Tracer::Scope de(t, deserialize);
+                idioms::copyBytes(t, input[i].keyAddr,
+                                  mapOutputBuffer.base,
+                                  std::min<uint64_t>(input[i].bytes(),
+                                                     256));
+            }
+            RecordVec out;
+            {
+                Tracer::Scope mr(t, mapRunner);
+                mapper.map(t, input[i], out);
+            }
+            for (auto &rec : out) {
+                Tracer::Scope col(t, collectorCollect);
+                assignBufferAddr(rec, mapOutputBuffer, mapBufCursor);
+                {
+                    Tracer::Scope pt(t, partitioner);
+                    idioms::hashBytes(t, rec.keyAddr,
+                                      std::min<uint64_t>(rec.key.size(),
+                                                         16));
+                }
+                spill_buffer.push_back(std::move(rec));
+                if (spill_buffer.size() >= cfg.sortBufferRecords)
+                    flush_spill();
+            }
+            gcTick(t, gc_counter, 1);
+        }
+        flush_spill();
+        {
+            Tracer::Scope hb(t, heartbeat);
+        }
+    }
+
+    env.data.intermediateBytes += intermediate_bytes;
+
+    // --- Shuffle + reduce phase. ---
+    RecordVec output;
+    for (uint32_t r = 0; r < cfg.numReducers; ++r) {
+        Tracer::Scope task(t, taskLaunch);
+        {
+            Tracer::Scope sh(t, shuffleFetch);
+            // Remote fetch: ~ (numReducers-1)/numReducers of the
+            // partition crosses the network.
+            uint64_t part_bytes = totalBytes(partitions[r]);
+            env.io.networkBytes +=
+                part_bytes * (cfg.numReducers - 1) / cfg.numReducers;
+        }
+
+        // Merge: records arrive spill-sorted per map task; the merge
+        // is modelled as a full instrumented sort of the partition
+        // (equivalent comparison volume for k sorted runs).
+        auto &part = partitions[r];
+        {
+            Tracer::Scope mg(t, mergeIterator);
+            std::sort(part.begin(), part.end(),
+                      [&](const Record &a, const Record &b) {
+                          Tracer::Scope cmp(t, compareKeys);
+                          idioms::compareBytes(
+                              t, a.keyAddr, b.keyAddr,
+                              std::min<uint64_t>(
+                                  std::min(a.key.size(), b.key.size()),
+                                  8) + 1);
+                          return a.key < b.key;
+                      });
+        }
+
+        // Group by key and reduce.
+        size_t i = 0;
+        while (i < part.size()) {
+            size_t j = i;
+            while (j < part.size() && part[j].key == part[i].key)
+                ++j;
+            RecordVec values(part.begin() + static_cast<long>(i),
+                             part.begin() + static_cast<long>(j));
+            for (size_t k = 0; k < values.size(); ++k) {
+                Tracer::Scope vi(t, valuesIterator);
+            }
+            RecordVec reduced;
+            {
+                Tracer::Scope rr(t, reduceRunner);
+                reducer.reduce(t, part[i].key, values, reduced);
+            }
+            for (auto &rec : reduced) {
+                {
+                    Tracer::Scope se(t, serialize);
+                    assignBufferAddr(rec, outputBuffer, outBufCursor);
+                }
+                Tracer::Scope ow(t, outputWrite);
+                idioms::copyBytes(t, rec.keyAddr, outputBuffer.base,
+                                  rec.bytes());
+                env.io.diskWriteBytes += rec.bytes();
+                output.push_back(std::move(rec));
+            }
+            gcTick(t, gc_counter, j - i);
+            i = j;
+        }
+    }
+
+    env.data.outputBytes += totalBytes(output);
+    return output;
+}
+
+} // namespace wcrt

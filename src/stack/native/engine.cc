@@ -1,0 +1,130 @@
+#include "stack/native/engine.hh"
+
+#include <algorithm>
+
+#include "trace/idioms.hh"
+
+namespace wcrt {
+
+namespace {
+
+uint32_t
+scaledSize(double scale, uint32_t bytes)
+{
+    auto v = static_cast<uint32_t>(bytes * scale);
+    return std::max<uint32_t>(v, 64);
+}
+
+} // namespace
+
+NativeEngine::NativeEngine(CodeLayout &layout, const NativeConfig &config)
+    : cfg(config)
+{
+    auto lib = [&](const char *name, uint32_t bytes, uint32_t overhead,
+                   uint32_t rotation) {
+        return layout.addFunction(std::string("mpi.") + name,
+                                  CodeLayer::Library,
+                                  scaledSize(cfg.codeScale, bytes),
+                                  CallProfile{overhead, rotation});
+    };
+
+    // The whole runtime is ~90 KB of executed code: thin by design.
+    mpiInit = lib("init", 24 * 1024, 400, 1024);
+    mpiPack = lib("pack", 8 * 1024, 12, 64);
+    mpiUnpack = lib("unpack", 8 * 1024, 12, 64);
+    mpiAlltoall = lib("alltoallv", 20 * 1024, 150, 512);
+    mpiBarrier = lib("barrier", 8 * 1024, 40, 128);
+    libcIo = lib("libc.read", 20 * 1024, 60, 256);
+}
+
+RecordVec
+NativeEngine::run(RunEnv &env, Tracer &t, const RecordVec &input,
+                  NativeKernel &kernel)
+{
+    if (!buffersReady) {
+        messageBuffer = env.heap.alloc("mpi.messageBuffer",
+                                       4 * 1024 * 1024);
+        buffersReady = true;
+    }
+
+    uint64_t input_bytes = totalBytes(input);
+    env.io.diskReadBytes += input_bytes;
+    env.data.inputBytes += input_bytes;
+
+    {
+        Tracer::Scope init(t, mpiInit);
+    }
+
+    // Partition input contiguously among ranks.
+    size_t per_rank =
+        std::max<size_t>((input.size() + cfg.ranks - 1) / cfg.ranks, 1);
+    std::vector<std::vector<RecordVec>> outboxes(cfg.ranks);
+
+    for (uint32_t rank = 0; rank < cfg.ranks; ++rank) {
+        size_t begin = static_cast<size_t>(rank) * per_rank;
+        size_t end = std::min(input.size(), begin + per_rank);
+        if (begin >= end) {
+            outboxes[rank].assign(cfg.ranks, {});
+            continue;
+        }
+        {
+            Tracer::Scope rd(t, libcIo);
+        }
+        RecordVec part(input.begin() + static_cast<long>(begin),
+                       input.begin() + static_cast<long>(end));
+        outboxes[rank].assign(cfg.ranks, {});
+        kernel.processPartition(t, part, outboxes[rank]);
+    }
+
+    // Alltoall exchange: pack, transfer, unpack.
+    std::vector<RecordVec> inboxes(cfg.ranks);
+    {
+        Tracer::Scope xchg(t, mpiAlltoall);
+        for (uint32_t src = 0; src < cfg.ranks; ++src) {
+            for (uint32_t dst = 0; dst < cfg.ranks; ++dst) {
+                for (auto &rec : outboxes[src][dst]) {
+                    {
+                        Tracer::Scope pk(t, mpiPack);
+                        idioms::copyBytes(t, rec.keyAddr,
+                                          messageBuffer.base + msgCursor,
+                                          rec.bytes());
+                    }
+                    uint64_t need = std::max<uint64_t>(rec.bytes(), 16);
+                    if (msgCursor + need > messageBuffer.bytes)
+                        msgCursor = 0;
+                    rec.keyAddr = messageBuffer.base + msgCursor;
+                    rec.valueAddr = rec.keyAddr + rec.key.size();
+                    msgCursor += need;
+                    if (src != dst)
+                        env.io.networkBytes += rec.bytes();
+                    env.data.intermediateBytes += rec.bytes();
+                    {
+                        Tracer::Scope up(t, mpiUnpack);
+                    }
+                    inboxes[dst].push_back(std::move(rec));
+                }
+            }
+        }
+    }
+    {
+        Tracer::Scope bar(t, mpiBarrier);
+    }
+
+    // Finalize per rank.
+    RecordVec output;
+    for (uint32_t rank = 0; rank < cfg.ranks; ++rank) {
+        RecordVec out;
+        kernel.finalize(t, inboxes[rank], out);
+        for (auto &rec : out) {
+            env.io.diskWriteBytes += rec.bytes();
+            output.push_back(std::move(rec));
+        }
+    }
+    {
+        Tracer::Scope bar(t, mpiBarrier);
+    }
+    env.data.outputBytes += totalBytes(output);
+    return output;
+}
+
+} // namespace wcrt

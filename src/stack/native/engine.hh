@@ -1,0 +1,87 @@
+/**
+ * @file
+ * MPI-flavoured native execution engine — the paper's thin stack.
+ *
+ * The contrast case for Section 5.5: the same algorithms run as SPMD
+ * ranks with direct function calls, explicit message packing and an
+ * alltoall exchange. The entire runtime is a handful of small
+ * functions (~100 KB executed code, like PARSEC), so the instruction
+ * working set stays L1I-resident and front-end behaviour matches
+ * traditional workloads.
+ */
+
+#ifndef WCRT_STACK_NATIVE_ENGINE_HH
+#define WCRT_STACK_NATIVE_ENGINE_HH
+
+#include "stack/record.hh"
+#include "stack/run_env.hh"
+#include "trace/tracer.hh"
+
+namespace wcrt {
+
+/** SPMD kernel run by every rank. */
+class NativeKernel
+{
+  public:
+    virtual ~NativeKernel() = default;
+
+    /** Register the kernel's code regions. */
+    virtual void registerCode(CodeLayout &layout) = 0;
+
+    /**
+     * Phase 1 (local): process this rank's partition, routing derived
+     * records to destination ranks (the shuffle).
+     *
+     * @param to_ranks One outbound bucket per rank.
+     */
+    virtual void processPartition(Tracer &t, const RecordVec &in,
+                                  std::vector<RecordVec> &to_ranks) = 0;
+
+    /**
+     * Phase 2 (after exchange): fold everything this rank received
+     * into final output records.
+     */
+    virtual void finalize(Tracer &t, const RecordVec &received,
+                          RecordVec &out) = 0;
+};
+
+/** Engine tunables. */
+struct NativeConfig
+{
+    uint32_t ranks = 4;
+    double codeScale = 1.0;
+};
+
+/**
+ * The engine: partitions input, runs the kernel on each rank, performs
+ * the alltoall exchange and the finalize pass.
+ */
+class NativeEngine
+{
+  public:
+    NativeEngine(CodeLayout &layout, const NativeConfig &config = {});
+
+    /** Execute one SPMD job. */
+    RecordVec run(RunEnv &env, Tracer &t, const RecordVec &input,
+                  NativeKernel &kernel);
+
+    const NativeConfig &config() const { return cfg; }
+
+  private:
+    NativeConfig cfg;
+
+    FunctionId mpiInit;
+    FunctionId mpiPack;
+    FunctionId mpiUnpack;
+    FunctionId mpiAlltoall;
+    FunctionId mpiBarrier;
+    FunctionId libcIo;
+
+    bool buffersReady = false;
+    HeapRegion messageBuffer;
+    uint64_t msgCursor = 0;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_STACK_NATIVE_ENGINE_HH

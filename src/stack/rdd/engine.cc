@@ -1,0 +1,432 @@
+#include "stack/rdd/engine.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "trace/idioms.hh"
+
+namespace wcrt {
+
+/** One lineage node. */
+struct Rdd::Node
+{
+    enum class Kind : uint8_t {
+        Source,
+        Map,
+        Filter,
+        ReduceByKey,
+        GroupByKey,
+        SortByKey,
+        Cache,
+    };
+
+    Kind kind = Kind::Source;
+    std::string name;
+    std::shared_ptr<Node> parent;
+
+    // Only the member matching `kind` is set.
+    const RecordVec *source = nullptr;
+    RddMapFn mapFn;
+    RddFilterFn filterFn;
+    RddCombineFn combineFn;
+
+    // Cache state (filled on first materialization of a Cache node).
+    bool cached = false;
+    RecordVec cachedRecords;
+};
+
+namespace {
+
+uint32_t
+scaledSize(double scale, uint32_t bytes)
+{
+    auto v = static_cast<uint32_t>(bytes * scale);
+    return std::max<uint32_t>(v, 64);
+}
+
+} // namespace
+
+Rdd::Rdd(RddEngine *engine, std::shared_ptr<Node> node)
+    : engine(engine), node(std::move(node))
+{
+}
+
+Rdd
+Rdd::map(RddMapFn fn, const std::string &name) const
+{
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::Map;
+    n->name = name;
+    n->parent = node;
+    n->mapFn = std::move(fn);
+    return Rdd(engine, n);
+}
+
+Rdd
+Rdd::filter(RddFilterFn fn, const std::string &name) const
+{
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::Filter;
+    n->name = name;
+    n->parent = node;
+    n->filterFn = std::move(fn);
+    return Rdd(engine, n);
+}
+
+Rdd
+Rdd::reduceByKey(RddCombineFn fn) const
+{
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::ReduceByKey;
+    n->name = "reduceByKey";
+    n->parent = node;
+    n->combineFn = std::move(fn);
+    return Rdd(engine, n);
+}
+
+Rdd
+Rdd::groupByKey() const
+{
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::GroupByKey;
+    n->name = "groupByKey";
+    n->parent = node;
+    return Rdd(engine, n);
+}
+
+Rdd
+Rdd::sortByKey() const
+{
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::SortByKey;
+    n->name = "sortByKey";
+    n->parent = node;
+    return Rdd(engine, n);
+}
+
+Rdd
+Rdd::cache() const
+{
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::Cache;
+    n->name = "cache";
+    n->parent = node;
+    return Rdd(engine, n);
+}
+
+RecordVec
+Rdd::collect(RunEnv &env, Tracer &t) const
+{
+    return engine->execute(env, t, node);
+}
+
+uint64_t
+Rdd::count(RunEnv &env, Tracer &t) const
+{
+    return engine->execute(env, t, node).size();
+}
+
+RddEngine::RddEngine(CodeLayout &layout, const RddConfig &config)
+    : cfg(config)
+{
+    auto fw = [&](const char *name, uint32_t bytes, uint32_t overhead,
+                  uint32_t rotation) {
+        return layout.addFunction(std::string("spark.") + name,
+                                  CodeLayer::Framework,
+                                  scaledSize(cfg.codeScale, bytes),
+                                  CallProfile{overhead, rotation});
+    };
+    auto rtf = [&](const char *name, uint32_t bytes, uint32_t overhead,
+                   uint32_t rotation) {
+        return layout.addFunction(std::string("scala.") + name,
+                                  CodeLayer::Runtime,
+                                  scaledSize(cfg.codeScale, bytes),
+                                  CallProfile{overhead, rotation});
+    };
+
+    // Spark's executed code base is larger than Hadoop's (Scala
+    // runtime + closures + block manager); calibrated to ~1.4 MB.
+    sparkContextSubmit = fw("context.runJob", 112 * 1024, 1600, 4096);
+    dagScheduler = fw("dagScheduler.submitStage", 96 * 1024, 1000, 4096);
+    taskScheduler = fw("taskScheduler.resourceOffers", 72 * 1024, 600,
+                       4096);
+    executorLaunch = fw("executor.launchTask", 88 * 1024, 800, 4096);
+    iteratorNext = fw("interruptibleIterator.next", 64 * 1024, 35, 96);
+    closureDispatch = rtf("closure.apply", 72 * 1024, 30, 48);
+    serializerWrite = fw("javaSerializer.write", 64 * 1024, 35, 48);
+    serializerRead = fw("javaSerializer.read", 64 * 1024, 30, 48);
+    shuffleWrite = fw("hashShuffleWriter.write", 80 * 1024, 45, 64);
+    shuffleRead = fw("blockStoreShuffleFetcher.fetch", 88 * 1024, 60,
+                     64);
+    externalAppendMerge = fw("externalAppendOnlyMap.insert", 72 * 1024,
+                             40, 48);
+    sortWithinPartition = fw("sorter.insertAll", 64 * 1024, 400, 2048);
+    compareKeys = fw("ordering.compare", 12 * 1024, 8, 16);
+    blockManagerPut = fw("blockManager.putIterator", 72 * 1024, 60, 128);
+    blockManagerGet = fw("blockManager.getLocal", 56 * 1024, 40, 128);
+    gcMinor = rtf("gcMinor", 160 * 1024, 2600, 8192);
+    scalaRuntime = rtf("boxing.conversions", 48 * 1024, 12, 32);
+}
+
+Rdd
+RddEngine::parallelize(const RecordVec &input)
+{
+    auto n = std::make_shared<Rdd::Node>();
+    n->kind = Rdd::Node::Kind::Source;
+    n->name = "parallelize";
+    n->source = &input;
+    return Rdd(this, n);
+}
+
+void
+RddEngine::gcTick(Tracer &t, uint64_t amount)
+{
+    gcCounter += amount;
+    if (gcCounter >= cfg.gcEveryRecords) {
+        gcCounter = 0;
+        Tracer::Scope gc(t, gcMinor);
+        t.loop(96, [&](uint64_t i) {
+            t.intAlu(IntPurpose::IntAddress, 2);
+            t.load(cacheBuffer.base + (i * 768) % cacheBuffer.bytes);
+            t.intAlu(IntPurpose::Compute, 1);
+        });
+    }
+}
+
+void
+RddEngine::assignAddr(Record &r)
+{
+    uint64_t need = std::max<uint64_t>(r.bytes(), 16);
+    if (shuffleCursor + need > shuffleBuffer.bytes)
+        shuffleCursor = 0;
+    r.keyAddr = shuffleBuffer.base + shuffleCursor;
+    r.valueAddr = shuffleBuffer.base + shuffleCursor + r.key.size();
+    shuffleCursor += need;
+}
+
+std::vector<RecordVec>
+RddEngine::shufflePartition(RunEnv &env, Tracer &t, RecordVec &&records)
+{
+    std::vector<RecordVec> parts(cfg.numPartitions);
+    for (auto &rec : records) {
+        Tracer::Scope sw(t, shuffleWrite);
+        {
+            Tracer::Scope se(t, serializerWrite);
+            idioms::hashBytes(t, rec.keyAddr,
+                              std::min<uint64_t>(rec.key.size(), 16));
+            // Serialize the record payload into the shuffle buffer.
+            idioms::copyBytes(t, rec.valueAddr,
+                              shuffleBuffer.base + shuffleCursor,
+                              std::min<uint64_t>(rec.bytes(), 4096));
+        }
+        size_t p = fnv1a(rec.key) % cfg.numPartitions;
+        uint64_t bytes = rec.bytes();
+        env.io.networkBytes +=
+            bytes * (cfg.numPartitions - 1) / cfg.numPartitions;
+        env.data.intermediateBytes += bytes;
+        assignAddr(rec);
+        parts[p].push_back(std::move(rec));
+        gcTick(t, 1);
+    }
+    return parts;
+}
+
+RecordVec
+RddEngine::runStage(RunEnv &env, Tracer &t,
+                    const std::shared_ptr<Rdd::Node> &node)
+{
+    using Kind = Rdd::Node::Kind;
+
+    // Collect the narrow chain of this stage (in execution order) and
+    // find the stage input (source, cache hit, or wide parent).
+    std::vector<Rdd::Node *> chain;
+    Rdd::Node *cursor = node.get();
+    while (cursor &&
+           (cursor->kind == Kind::Map || cursor->kind == Kind::Filter)) {
+        chain.push_back(cursor);
+        cursor = cursor->parent.get();
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    RecordVec input;
+    if (!cursor) {
+        wcrt_panic("RDD lineage without a source");
+    } else if (cursor->kind == Kind::Source) {
+        input = *cursor->source;
+        uint64_t bytes = totalBytes(input);
+        env.io.diskReadBytes += bytes;
+        env.data.inputBytes += bytes;
+    } else if (cursor->kind == Kind::Cache) {
+        if (cursor->cached) {
+            Tracer::Scope get(t, blockManagerGet);
+            input = cursor->cachedRecords;
+        } else {
+            input = execute(env, t, cursor->parent);
+            Tracer::Scope put(t, blockManagerPut);
+            cursor->cached = true;
+            cursor->cachedRecords = input;
+        }
+    } else {
+        // Wide dependency: materialize the parent (its own stages).
+        input = execute(env, t,
+                        std::shared_ptr<Rdd::Node>(node, cursor));
+    }
+
+    // Execute the fused narrow chain per record, stage-style.
+    {
+        Tracer::Scope submit(t, dagScheduler);
+    }
+    RecordVec out;
+    size_t per_part =
+        std::max<size_t>(input.size() / cfg.numPartitions, 1);
+    size_t in_partition = 0;
+    bool task_open = false;
+    for (size_t i = 0; i < input.size(); ++i) {
+        if (!task_open) {
+            Tracer::Scope sched(t, taskScheduler);
+            Tracer::Scope launch(t, executorLaunch);
+            task_open = true;
+        }
+        RecordVec current;
+        current.push_back(input[i]);
+        {
+            // Reading the source through the stage's iterator chain
+            // costs one dispatch per record even for pass-through
+            // stages (sort/shuffle inputs).
+            Tracer::Scope it(t, iteratorNext);
+        }
+        for (Rdd::Node *op : chain) {
+            RecordVec next;
+            for (auto &rec : current) {
+                Tracer::Scope it(t, iteratorNext);
+                Tracer::Scope cd(t, closureDispatch, true);
+                {
+                    Tracer::Scope box(t, scalaRuntime);
+                }
+                if (op->kind == Kind::Map) {
+                    op->mapFn(t, rec, next);
+                } else if (op->filterFn(t, rec)) {
+                    next.push_back(std::move(rec));
+                }
+            }
+            current = std::move(next);
+            if (current.empty())
+                break;
+        }
+        for (auto &rec : current)
+            out.push_back(std::move(rec));
+        gcTick(t, 1);
+        if (++in_partition >= per_part) {
+            in_partition = 0;
+            task_open = false;
+        }
+    }
+    return out;
+}
+
+RecordVec
+RddEngine::execute(RunEnv &env, Tracer &t,
+                   const std::shared_ptr<Rdd::Node> &node)
+{
+    using Kind = Rdd::Node::Kind;
+
+    if (!buffersReady) {
+        shuffleBuffer = env.heap.alloc("spark.shuffleBuffer",
+                                       6 * 1024 * 1024);
+        cacheBuffer = env.heap.alloc("spark.blockManagerCache",
+                                     8 * 1024 * 1024);
+        buffersReady = true;
+    }
+    {
+        Tracer::Scope submit(t, sparkContextSubmit);
+    }
+
+    switch (node->kind) {
+      case Kind::Source:
+      case Kind::Map:
+      case Kind::Filter:
+      case Kind::Cache:
+        return runStage(env, t, node);
+
+      case Kind::ReduceByKey: {
+        RecordVec parent = execute(env, t, node->parent);
+        auto parts = shufflePartition(env, t, std::move(parent));
+        RecordVec out;
+        for (auto &part : parts) {
+            Tracer::Scope rd(t, shuffleRead);
+            std::map<std::string, Record> agg;
+            for (auto &rec : part) {
+                Tracer::Scope ins(t, externalAppendMerge);
+                {
+                    Tracer::Scope de(t, serializerRead);
+                }
+                auto it = agg.find(rec.key);
+                if (it == agg.end()) {
+                    agg.emplace(rec.key, std::move(rec));
+                } else {
+                    Tracer::Scope cd(t, closureDispatch, true);
+                    it->second =
+                        node->combineFn(t, it->second, rec);
+                }
+                gcTick(t, 1);
+            }
+            for (auto &[key, rec] : agg)
+                out.push_back(std::move(rec));
+        }
+        env.data.outputBytes = totalBytes(out);
+        return out;
+      }
+
+      case Kind::GroupByKey: {
+        RecordVec parent = execute(env, t, node->parent);
+        auto parts = shufflePartition(env, t, std::move(parent));
+        RecordVec out;
+        for (auto &part : parts) {
+            Tracer::Scope rd(t, shuffleRead);
+            std::map<std::string, RecordVec> groups;
+            for (auto &rec : part) {
+                Tracer::Scope ins(t, externalAppendMerge);
+                groups[rec.key].push_back(std::move(rec));
+                gcTick(t, 1);
+            }
+            for (auto &[key, members] : groups) {
+                Record merged;
+                merged.key = key;
+                merged.value = std::to_string(members.size());
+                assignAddr(merged);
+                out.push_back(std::move(merged));
+            }
+        }
+        env.data.outputBytes = totalBytes(out);
+        return out;
+      }
+
+      case Kind::SortByKey: {
+        RecordVec parent = execute(env, t, node->parent);
+        auto parts = shufflePartition(env, t, std::move(parent));
+        RecordVec out;
+        for (auto &part : parts) {
+            Tracer::Scope so(t, sortWithinPartition);
+            std::sort(part.begin(), part.end(),
+                      [&](const Record &a, const Record &b) {
+                          Tracer::Scope cmp(t, compareKeys);
+                          idioms::compareBytes(
+                              t, a.keyAddr, b.keyAddr,
+                              std::min<uint64_t>(
+                                  std::min(a.key.size(), b.key.size()),
+                                  8) + 1);
+                          return a.key < b.key;
+                      });
+            for (auto &rec : part)
+                out.push_back(std::move(rec));
+        }
+        env.data.outputBytes = totalBytes(out);
+        return out;
+      }
+    }
+    wcrt_panic("unreachable RDD kind");
+}
+
+} // namespace wcrt

@@ -1,0 +1,14 @@
+#include "stack/record.hh"
+
+namespace wcrt {
+
+uint64_t
+totalBytes(const RecordVec &records)
+{
+    uint64_t sum = 0;
+    for (const auto &r : records)
+        sum += r.bytes();
+    return sum;
+}
+
+} // namespace wcrt

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The key-value record every stack engine moves around.
+ *
+ * Records carry both real string payloads (the workload kernels
+ * genuinely compare, hash and merge them) and trace addresses into the
+ * synthetic data space (so the cache model sees a realistic layout).
+ */
+
+#ifndef WCRT_STACK_RECORD_HH
+#define WCRT_STACK_RECORD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wcrt {
+
+/** One key-value record with trace addresses. */
+struct Record
+{
+    std::string key;
+    std::string value;
+    uint64_t keyAddr = 0;
+    uint64_t valueAddr = 0;
+
+    /** Payload bytes (for I/O accounting). */
+    uint64_t bytes() const { return key.size() + value.size(); }
+};
+
+using RecordVec = std::vector<Record>;
+
+/** Total payload bytes of a record batch. */
+uint64_t totalBytes(const RecordVec &records);
+
+} // namespace wcrt
+
+#endif // WCRT_STACK_RECORD_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Per-run environment shared by engines and workloads.
+ *
+ * A run owns one code layout (all functions of the stack and the app),
+ * one synthetic heap (all data regions), and the I/O / data-behaviour
+ * accounting the system monitor classifies from. Workloads populate it
+ * during setup; engines update the counters while executing.
+ */
+
+#ifndef WCRT_STACK_RUN_ENV_HH
+#define WCRT_STACK_RUN_ENV_HH
+
+#include "sysmon/sysmon.hh"
+#include "trace/code_layout.hh"
+#include "trace/virtual_heap.hh"
+
+namespace wcrt {
+
+/** Mutable state of one workload run. */
+struct RunEnv
+{
+    CodeLayout layout;
+    VirtualHeap heap;
+    IoCounters io;
+    DataBehavior data;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_STACK_RUN_ENV_HH

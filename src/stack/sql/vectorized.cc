@@ -1,0 +1,347 @@
+#include "stack/sql/vectorized.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/logging.hh"
+#include "trace/idioms.hh"
+
+namespace wcrt {
+
+namespace {
+
+uint32_t
+scaledSize(double scale, uint32_t bytes)
+{
+    auto v = static_cast<uint32_t>(bytes * scale);
+    return std::max<uint32_t>(v, 64);
+}
+
+} // namespace
+
+VectorizedEngine::VectorizedEngine(CodeLayout &layout,
+                                   const VectorizedConfig &config)
+    : cfg(config)
+{
+    auto fw = [&](const char *name, uint32_t bytes, uint32_t overhead,
+                  uint32_t rotation) {
+        return layout.addFunction(std::string("impala.") + name,
+                                  CodeLayer::Framework,
+                                  scaledSize(cfg.codeScale, bytes),
+                                  CallProfile{overhead, rotation});
+    };
+
+    // Native engine: ~350 KB of executed code, far below the JVM
+    // stacks but above a bare kernel.
+    planFragment = fw("planFragmentExecutor", 64 * 1024, 700, 2048);
+    scannerNext = fw("hdfsScanner.getNext", 56 * 1024, 80, 512);
+    exprEval = fw("exprEvaluator.evalBatch", 32 * 1024, 30, 256);
+    projectOp = fw("projectNode.getNext", 40 * 1024, 40, 256);
+    sortOp = fw("sortNode.sortRun", 48 * 1024, 300, 1024);
+    sortCompare = fw("tupleRowComparator", 8 * 1024, 6, 64);
+    hashBuild = fw("hashTable.insert", 32 * 1024, 25, 256);
+    hashProbe = fw("hashTable.probe", 32 * 1024, 22, 256);
+    aggUpdate = fw("aggregationNode.update", 40 * 1024, 28, 256);
+    resultSink = fw("resultSink.send", 32 * 1024, 90, 512);
+}
+
+template <typename Body>
+void
+VectorizedEngine::forBatches(Tracer &t, FunctionId op, size_t count,
+                             Body &&body)
+{
+    size_t done = 0;
+    while (done < count) {
+        size_t n = std::min<size_t>(cfg.batchRows, count - done);
+        Tracer::Scope batch(t, op);
+        body(done, n);
+        done += n;
+    }
+}
+
+Selection
+VectorizedEngine::scan(RunEnv &env, Tracer &t, const DataTable &table)
+{
+    Tracer::Scope frag(t, planFragment);
+    uint64_t row_bytes = 0;
+    for (const auto &c : table.columns)
+        row_bytes += c.valueBytes();
+    env.io.diskReadBytes += table.rows * row_bytes;
+    env.data.inputBytes += table.rows * row_bytes;
+
+    Selection sel;
+    sel.reserve(table.rows);
+    forBatches(t, scannerNext, table.rows, [&](size_t begin, size_t n) {
+        t.loop(n, [&](uint64_t k) {
+            t.intAlu(IntPurpose::IntAddress, 1);
+            sel.push_back(begin + k);
+        });
+    });
+    return sel;
+}
+
+Selection
+VectorizedEngine::filterInt64(RunEnv &env, Tracer &t,
+                              const DataTable &table,
+                              const std::string &column,
+                              const Selection &in,
+                              const std::function<bool(int64_t)> &pred)
+{
+    (void)env;
+    size_t col = table.columnIndex(column);
+    const auto &values = table.columns[col].ints;
+    Selection out;
+    forBatches(t, exprEval, in.size(), [&](size_t begin, size_t n) {
+        t.loop(n, [&](uint64_t k) {
+            uint64_t row = in[begin + k];
+            t.intAlu(IntPurpose::IntAddress, 1);
+            t.load(table.cellAddr(col, row), 8);
+            t.intAlu(IntPurpose::Compute, 1);
+            bool keep = pred(values[row]);
+            t.branchForward(!keep, 16);
+            if (keep) {
+                t.store(table.cellAddr(col, row) ^ 0x40000000, 8);
+                out.push_back(row);
+            }
+        });
+    });
+    return out;
+}
+
+Selection
+VectorizedEngine::filterFloat64(RunEnv &env, Tracer &t,
+                                const DataTable &table,
+                                const std::string &column,
+                                const Selection &in,
+                                const std::function<bool(double)> &pred)
+{
+    (void)env;
+    size_t col = table.columnIndex(column);
+    const auto &values = table.columns[col].doubles;
+    Selection out;
+    forBatches(t, exprEval, in.size(), [&](size_t begin, size_t n) {
+        t.loop(n, [&](uint64_t k) {
+            uint64_t row = in[begin + k];
+            t.intAlu(IntPurpose::FpAddress, 1);
+            t.load(table.cellAddr(col, row), 8);
+            t.fpAlu(1);
+            bool keep = pred(values[row]);
+            t.branchForward(!keep, 16);
+            if (keep)
+                out.push_back(row);
+        });
+    });
+    return out;
+}
+
+void
+VectorizedEngine::project(RunEnv &env, Tracer &t, const DataTable &table,
+                          const std::vector<std::string> &columns,
+                          const Selection &in)
+{
+    std::vector<size_t> cols;
+    uint64_t out_row_bytes = 0;
+    for (const auto &name : columns) {
+        cols.push_back(table.columnIndex(name));
+        out_row_bytes += table.columns[cols.back()].valueBytes();
+    }
+    forBatches(t, projectOp, in.size(), [&](size_t begin, size_t n) {
+        t.loop(n, [&](uint64_t k) {
+            uint64_t row = in[begin + k];
+            for (size_t c : cols) {
+                t.intAlu(IntPurpose::IntAddress, 1);
+                t.load(table.cellAddr(c, row), 8);
+                t.store(table.cellAddr(c, row) ^ 0x80000000, 8);
+            }
+        });
+    });
+    {
+        Tracer::Scope sink(t, resultSink);
+        env.io.diskWriteBytes += in.size() * out_row_bytes;
+        env.data.outputBytes += in.size() * out_row_bytes;
+    }
+}
+
+Selection
+VectorizedEngine::orderByInt64(RunEnv &env, Tracer &t,
+                               const DataTable &table,
+                               const std::string &column,
+                               const Selection &in)
+{
+    size_t col = table.columnIndex(column);
+    const auto &values = table.columns[col].ints;
+    Selection out = in;
+    {
+        Tracer::Scope so(t, sortOp);
+        std::sort(out.begin(), out.end(),
+                  [&](uint64_t a, uint64_t b) {
+                      // Compiled comparators on integer keys are
+                      // branchless (setcc/cmov), so no branch here.
+                      Tracer::Scope cmp(t, sortCompare);
+                      t.load(table.cellAddr(col, a), 8);
+                      t.load(table.cellAddr(col, b), 8);
+                      t.intAlu(IntPurpose::Compute, 2);
+                      return values[a] < values[b];
+                  });
+    }
+    // A full sort writes a materialized run of every selected row.
+    uint64_t row_bytes = 0;
+    for (const auto &c : table.columns)
+        row_bytes += c.valueBytes();
+    env.data.intermediateBytes += out.size() * row_bytes;
+    env.io.diskWriteBytes += out.size() * row_bytes;
+    env.data.outputBytes += out.size() * row_bytes;
+    return out;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+VectorizedEngine::hashJoinInt64(RunEnv &env, Tracer &t,
+                                const DataTable &left,
+                                const std::string &left_col,
+                                const Selection &left_sel,
+                                const DataTable &right,
+                                const std::string &right_col,
+                                const Selection &right_sel)
+{
+    (void)env;
+    size_t lc = left.columnIndex(left_col);
+    size_t rc = right.columnIndex(right_col);
+    const auto &lv = left.columns[lc].ints;
+    const auto &rv = right.columns[rc].ints;
+
+    // Build on the smaller side.
+    const bool build_right = right_sel.size() <= left_sel.size();
+    const Selection &build_sel = build_right ? right_sel : left_sel;
+    const Selection &probe_sel = build_right ? left_sel : right_sel;
+    const auto &build_vals = build_right ? rv : lv;
+    const auto &probe_vals = build_right ? lv : rv;
+    const DataTable &build_tab = build_right ? right : left;
+    const DataTable &probe_tab = build_right ? left : right;
+    size_t build_col = build_right ? rc : lc;
+    size_t probe_col = build_right ? lc : rc;
+
+    std::unordered_multimap<int64_t, uint64_t> ht;
+    ht.reserve(build_sel.size());
+    forBatches(t, hashBuild, build_sel.size(),
+               [&](size_t begin, size_t n) {
+                   t.loop(n, [&](uint64_t k) {
+                       uint64_t row = build_sel[begin + k];
+                       t.intAlu(IntPurpose::IntAddress, 2);
+                       t.load(build_tab.cellAddr(build_col, row), 8);
+                       t.intMul(1);
+                       t.store(build_tab.cellAddr(build_col, row) ^
+                                   0x20000000,
+                               8);
+                       ht.emplace(build_vals[row], row);
+                   });
+               });
+
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    forBatches(t, hashProbe, probe_sel.size(),
+               [&](size_t begin, size_t n) {
+                   t.loop(n, [&](uint64_t k) {
+                       uint64_t row = probe_sel[begin + k];
+                       t.intAlu(IntPurpose::IntAddress, 2);
+                       t.load(probe_tab.cellAddr(probe_col, row), 8);
+                       t.intMul(1);
+                       auto [lo, hi] = ht.equal_range(probe_vals[row]);
+                       bool any = lo != hi;
+                       t.branchForward(any, 24);
+                       for (auto it = lo; it != hi; ++it) {
+                           t.load(build_tab.cellAddr(build_col,
+                                                     it->second),
+                                  8);
+                           t.intAlu(IntPurpose::Compute, 1);
+                           if (build_right)
+                               out.emplace_back(row, it->second);
+                           else
+                               out.emplace_back(it->second, row);
+                       }
+                   });
+               });
+    return out;
+}
+
+std::vector<std::pair<int64_t, double>>
+VectorizedEngine::aggregateSum(RunEnv &env, Tracer &t,
+                               const DataTable &table,
+                               const std::string &group_col,
+                               const std::string &value_col,
+                               const Selection &in)
+{
+    size_t gc = table.columnIndex(group_col);
+    size_t vc = table.columnIndex(value_col);
+    const auto &groups = table.columns[gc].ints;
+    const auto &values = table.columns[vc].doubles;
+
+    std::unordered_map<int64_t, double> agg;
+    forBatches(t, aggUpdate, in.size(), [&](size_t begin, size_t n) {
+        t.loop(n, [&](uint64_t k) {
+            uint64_t row = in[begin + k];
+            t.intAlu(IntPurpose::IntAddress, 2);
+            t.load(table.cellAddr(gc, row), 8);
+            t.intMul(1);
+            t.intAlu(IntPurpose::FpAddress, 1);
+            t.load(table.cellAddr(vc, row), 8);
+            t.fpAlu(1);
+            agg[groups[row]] += values[row];
+        });
+    });
+
+    std::vector<std::pair<int64_t, double>> out(agg.begin(), agg.end());
+    std::sort(out.begin(), out.end());
+    {
+        Tracer::Scope sink(t, resultSink);
+        env.io.diskWriteBytes += out.size() * 16;
+        env.data.outputBytes += out.size() * 16;
+    }
+    return out;
+}
+
+Selection
+VectorizedEngine::differenceInt64(RunEnv &env, Tracer &t,
+                                  const DataTable &left,
+                                  const std::string &left_col,
+                                  const Selection &left_sel,
+                                  const DataTable &right,
+                                  const std::string &right_col,
+                                  const Selection &right_sel)
+{
+    (void)env;
+    size_t lc = left.columnIndex(left_col);
+    size_t rc = right.columnIndex(right_col);
+    const auto &lv = left.columns[lc].ints;
+    const auto &rv = right.columns[rc].ints;
+
+    std::unordered_set<int64_t> keys;
+    keys.reserve(right_sel.size());
+    forBatches(t, hashBuild, right_sel.size(),
+               [&](size_t begin, size_t n) {
+                   t.loop(n, [&](uint64_t k) {
+                       uint64_t row = right_sel[begin + k];
+                       t.intAlu(IntPurpose::IntAddress, 2);
+                       t.load(right.cellAddr(rc, row), 8);
+                       t.intMul(1);
+                       keys.insert(rv[row]);
+                   });
+               });
+
+    Selection out;
+    forBatches(t, hashProbe, left_sel.size(),
+               [&](size_t begin, size_t n) {
+                   t.loop(n, [&](uint64_t k) {
+                       uint64_t row = left_sel[begin + k];
+                       t.intAlu(IntPurpose::IntAddress, 2);
+                       t.load(left.cellAddr(lc, row), 8);
+                       t.intMul(1);
+                       bool keep = !keys.count(lv[row]);
+                       t.branchForward(keep, 16);
+                       if (keep)
+                           out.push_back(row);
+                   });
+               });
+    return out;
+}
+
+} // namespace wcrt

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Impala-flavoured native vectorized query executor.
+ *
+ * Impala's defining property in the paper is that it is C++ native: a
+ * modest code footprint, tight per-batch loops over columnar data, no
+ * JVM. The executor provides the relational operators the Table-2
+ * interactive-analysis workloads need (filter, project, order-by,
+ * hash join, aggregate, set difference); the Hive- and Shark-flavoured
+ * versions of the same queries are built on the MapReduce and RDD
+ * engines instead.
+ *
+ * Operators run batch-at-a-time (1024 rows): per batch one framework
+ * dispatch, then a tight, highly-predictable inner loop over real
+ * column values.
+ */
+
+#ifndef WCRT_STACK_SQL_VECTORIZED_HH
+#define WCRT_STACK_SQL_VECTORIZED_HH
+
+#include <functional>
+#include <vector>
+
+#include "datagen/table.hh"
+#include "stack/run_env.hh"
+#include "trace/tracer.hh"
+
+namespace wcrt {
+
+/** Row selection produced by scans/filters (row indices, ascending). */
+using Selection = std::vector<uint64_t>;
+
+/** Engine tunables. */
+struct VectorizedConfig
+{
+    uint32_t batchRows = 1024;
+    double codeScale = 1.0;
+};
+
+/**
+ * The vectorized executor.
+ */
+class VectorizedEngine
+{
+  public:
+    VectorizedEngine(CodeLayout &layout,
+                     const VectorizedConfig &config = {});
+
+    /** Full-table scan: returns all rows, accounts input I/O. */
+    Selection scan(RunEnv &env, Tracer &t, const DataTable &table);
+
+    /**
+     * Filter an int64 column with a predicate over the real values.
+     */
+    Selection filterInt64(RunEnv &env, Tracer &t, const DataTable &table,
+                          const std::string &column, const Selection &in,
+                          const std::function<bool(int64_t)> &pred);
+
+    /** Filter a float64 column. */
+    Selection filterFloat64(RunEnv &env, Tracer &t,
+                            const DataTable &table,
+                            const std::string &column,
+                            const Selection &in,
+                            const std::function<bool(double)> &pred);
+
+    /**
+     * Project columns of the selected rows (accounts output bytes).
+     */
+    void project(RunEnv &env, Tracer &t, const DataTable &table,
+                 const std::vector<std::string> &columns,
+                 const Selection &in);
+
+    /**
+     * Sort selected rows by an int64 column; returns the permuted
+     * selection. The sort runs for real over the column values.
+     */
+    Selection orderByInt64(RunEnv &env, Tracer &t, const DataTable &table,
+                           const std::string &column,
+                           const Selection &in);
+
+    /**
+     * Hash join (inner): returns (left row, right row) pairs where the
+     * int64 key columns match.
+     */
+    std::vector<std::pair<uint64_t, uint64_t>> hashJoinInt64(
+        RunEnv &env, Tracer &t, const DataTable &left,
+        const std::string &left_col, const Selection &left_sel,
+        const DataTable &right, const std::string &right_col,
+        const Selection &right_sel);
+
+    /**
+     * Group by an int64 column, summing a float64 column; returns
+     * (group, sum) pairs sorted by group.
+     */
+    std::vector<std::pair<int64_t, double>> aggregateSum(
+        RunEnv &env, Tracer &t, const DataTable &table,
+        const std::string &group_col, const std::string &value_col,
+        const Selection &in);
+
+    /**
+     * Set difference on int64 key columns: rows of `left` whose key
+     * does not appear in `right`.
+     */
+    Selection differenceInt64(RunEnv &env, Tracer &t,
+                              const DataTable &left,
+                              const std::string &left_col,
+                              const Selection &left_sel,
+                              const DataTable &right,
+                              const std::string &right_col,
+                              const Selection &right_sel);
+
+  private:
+    /** Iterate a selection in batches with a per-batch dispatch. */
+    template <typename Body>
+    void forBatches(Tracer &t, FunctionId op, size_t count, Body &&body);
+
+    VectorizedConfig cfg;
+
+    FunctionId planFragment;
+    FunctionId scannerNext;
+    FunctionId exprEval;
+    FunctionId projectOp;
+    FunctionId sortOp;
+    FunctionId sortCompare;
+    FunctionId hashBuild;
+    FunctionId hashProbe;
+    FunctionId aggUpdate;
+    FunctionId resultSink;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_STACK_SQL_VECTORIZED_HH

@@ -1,0 +1,238 @@
+#include "stats/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+double
+squaredDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        wcrt_panic("squaredDistance dimension mismatch");
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+namespace {
+
+double
+distToRow(const Matrix &m, size_t r, const std::vector<double> &v)
+{
+    double s = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) {
+        double d = m.at(r, c) - v[c];
+        s += d * d;
+    }
+    return s;
+}
+
+/** k-means++ seeding: spread initial centroids by D^2 sampling. */
+Matrix
+seedCentroids(const Matrix &samples, size_t k, Rng &rng)
+{
+    size_t n = samples.rows();
+    size_t d = samples.cols();
+    Matrix centroids(k, d);
+
+    size_t first = rng.nextBelow(n);
+    for (size_t c = 0; c < d; ++c)
+        centroids.at(0, c) = samples.at(first, c);
+
+    std::vector<double> dist(n, std::numeric_limits<double>::max());
+    for (size_t ci = 1; ci < k; ++ci) {
+        double total = 0.0;
+        for (size_t r = 0; r < n; ++r) {
+            double dd = distToRow(samples, r, centroids.row(ci - 1));
+            dist[r] = std::min(dist[r], dd);
+            total += dist[r];
+        }
+        size_t chosen = 0;
+        if (total <= 0.0) {
+            chosen = rng.nextBelow(n);
+        } else {
+            double u = rng.nextDouble() * total;
+            double acc = 0.0;
+            for (size_t r = 0; r < n; ++r) {
+                acc += dist[r];
+                if (acc >= u) {
+                    chosen = r;
+                    break;
+                }
+            }
+        }
+        for (size_t c = 0; c < d; ++c)
+            centroids.at(ci, c) = samples.at(chosen, c);
+    }
+    return centroids;
+}
+
+KMeansResult
+lloyd(const Matrix &samples, size_t k, int max_iterations, Rng &rng)
+{
+    size_t n = samples.rows();
+    size_t d = samples.cols();
+
+    KMeansResult res;
+    res.centroids = seedCentroids(samples, k, rng);
+    res.assignment.assign(n, 0);
+    res.sizes.assign(k, 0);
+
+    for (int iter = 0; iter < max_iterations; ++iter) {
+        bool changed = false;
+        for (size_t r = 0; r < n; ++r) {
+            size_t best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (size_t ci = 0; ci < k; ++ci) {
+                double dd = 0.0;
+                for (size_t c = 0; c < d; ++c) {
+                    double diff =
+                        samples.at(r, c) - res.centroids.at(ci, c);
+                    dd += diff * diff;
+                    if (dd >= best_d)
+                        break;
+                }
+                if (dd < best_d) {
+                    best_d = dd;
+                    best = ci;
+                }
+            }
+            if (res.assignment[r] != best) {
+                res.assignment[r] = best;
+                changed = true;
+            }
+        }
+
+        res.iterations = iter + 1;
+        if (!changed && iter > 0) {
+            res.converged = true;
+            break;
+        }
+
+        // Recompute centroids; re-seed empty clusters from the sample
+        // farthest from its centroid to keep k populated clusters.
+        Matrix sums(k, d);
+        std::vector<size_t> counts(k, 0);
+        for (size_t r = 0; r < n; ++r) {
+            size_t ci = res.assignment[r];
+            ++counts[ci];
+            for (size_t c = 0; c < d; ++c)
+                sums.at(ci, c) += samples.at(r, c);
+        }
+        for (size_t ci = 0; ci < k; ++ci) {
+            if (counts[ci] == 0) {
+                size_t worst = 0;
+                double worst_d = -1.0;
+                for (size_t r = 0; r < n; ++r) {
+                    double dd = distToRow(
+                        samples, r, res.centroids.row(res.assignment[r]));
+                    if (dd > worst_d) {
+                        worst_d = dd;
+                        worst = r;
+                    }
+                }
+                for (size_t c = 0; c < d; ++c)
+                    res.centroids.at(ci, c) = samples.at(worst, c);
+                continue;
+            }
+            for (size_t c = 0; c < d; ++c)
+                res.centroids.at(ci, c) =
+                    sums.at(ci, c) / static_cast<double>(counts[ci]);
+        }
+    }
+
+    res.sizes.assign(k, 0);
+    res.wcss = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+        size_t ci = res.assignment[r];
+        ++res.sizes[ci];
+        res.wcss += distToRow(samples, r, res.centroids.row(ci));
+    }
+    return res;
+}
+
+} // namespace
+
+std::vector<size_t>
+KMeansResult::representatives(const Matrix &samples) const
+{
+    size_t k = centroids.rows();
+    std::vector<size_t> rep(k, 0);
+    std::vector<double> best(k, std::numeric_limits<double>::max());
+    for (size_t r = 0; r < samples.rows(); ++r) {
+        size_t ci = assignment[r];
+        double dd = squaredDistance(samples.row(r), centroids.row(ci));
+        if (dd < best[ci]) {
+            best[ci] = dd;
+            rep[ci] = r;
+        }
+    }
+    return rep;
+}
+
+KMeansResult
+kMeans(const Matrix &samples, size_t k, const KMeansOptions &opts)
+{
+    if (k == 0 || k > samples.rows())
+        wcrt_fatal("k-means k=", k, " invalid for ", samples.rows(),
+                   " samples");
+    Rng rng(opts.seed);
+    KMeansResult best;
+    best.wcss = std::numeric_limits<double>::max();
+    for (int run = 0; run < std::max(1, opts.restarts); ++run) {
+        KMeansResult r = lloyd(samples, k, opts.max_iterations, rng);
+        if (r.wcss < best.wcss)
+            best = std::move(r);
+    }
+    return best;
+}
+
+double
+silhouette(const Matrix &samples, const std::vector<size_t> &assignment,
+           size_t k)
+{
+    size_t n = samples.rows();
+    if (k < 2 || n < 2)
+        return 0.0;
+
+    double total = 0.0;
+    size_t counted = 0;
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<double> mean_dist(k, 0.0);
+        std::vector<size_t> counts(k, 0);
+        for (size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            double d = std::sqrt(
+                squaredDistance(samples.row(i), samples.row(j)));
+            mean_dist[assignment[j]] += d;
+            ++counts[assignment[j]];
+        }
+        size_t own = assignment[i];
+        if (counts[own] == 0)
+            continue; // singleton cluster: silhouette undefined, skip
+        double a = mean_dist[own] / static_cast<double>(counts[own]);
+        double b = std::numeric_limits<double>::max();
+        for (size_t ci = 0; ci < k; ++ci) {
+            if (ci == own || counts[ci] == 0)
+                continue;
+            b = std::min(b,
+                         mean_dist[ci] / static_cast<double>(counts[ci]));
+        }
+        if (b == std::numeric_limits<double>::max())
+            continue;
+        double s = (b - a) / std::max(a, b);
+        total += s;
+        ++counted;
+    }
+    return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+} // namespace wcrt

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * K-means clustering with k-means++ seeding plus the cluster-quality
+ * scores the reduction study reports (WCSS, silhouette).
+ *
+ * This is the final stage of the paper's Section-3 pipeline: the
+ * PCA-projected workload vectors are clustered and one representative
+ * per cluster (the member closest to its centroid) is selected.
+ */
+
+#ifndef WCRT_STATS_KMEANS_HH
+#define WCRT_STATS_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "stats/matrix.hh"
+
+namespace wcrt {
+
+/** Result of one k-means run. */
+struct KMeansResult
+{
+    Matrix centroids;                 //!< k x d centroid matrix
+    std::vector<size_t> assignment;   //!< cluster id per sample
+    std::vector<size_t> sizes;        //!< member count per cluster
+    double wcss = 0.0;                //!< within-cluster sum of squares
+    int iterations = 0;               //!< Lloyd iterations executed
+    bool converged = false;           //!< true if assignments stabilized
+
+    /**
+     * Index of the sample nearest to each centroid — the cluster
+     * representatives the reduction study selects.
+     */
+    std::vector<size_t> representatives(const Matrix &samples) const;
+};
+
+/** Tunables for kMeans(). */
+struct KMeansOptions
+{
+    int max_iterations = 200;
+    int restarts = 8;          //!< best-of-N independent runs
+    uint64_t seed = 42;
+};
+
+/**
+ * Cluster samples (rows) into k clusters.
+ *
+ * Runs Lloyd's algorithm from k-means++ seeds, restarting a few times
+ * and keeping the lowest-WCSS result. Deterministic given the seed.
+ *
+ * @param samples Sample matrix, one row per sample.
+ * @param k Number of clusters, 1 <= k <= samples.rows().
+ */
+KMeansResult kMeans(const Matrix &samples, size_t k,
+                    const KMeansOptions &opts = {});
+
+/**
+ * Mean silhouette coefficient of a clustering, in [-1, 1]; higher is
+ * better separated. Returns 0 for degenerate clusterings (k < 2).
+ */
+double silhouette(const Matrix &samples,
+                  const std::vector<size_t> &assignment, size_t k);
+
+/** Squared Euclidean distance between two equal-length vectors. */
+double squaredDistance(const std::vector<double> &a,
+                       const std::vector<double> &b);
+
+} // namespace wcrt
+
+#endif // WCRT_STATS_KMEANS_HH

@@ -1,0 +1,116 @@
+#include "stats/matrix.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : nRows(rows), nCols(cols), data(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    if (rows.empty())
+        return {};
+    Matrix m(rows.size(), rows[0].size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+        if (rows[r].size() != m.nCols)
+            wcrt_panic("ragged rows in Matrix::fromRows");
+        for (size_t c = 0; c < m.nCols; ++c)
+            m.at(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(size_t r, size_t c)
+{
+    if (r >= nRows || c >= nCols)
+        wcrt_panic("Matrix index (", r, ",", c, ") out of ", nRows, "x",
+                   nCols);
+    return data[r * nCols + c];
+}
+
+double
+Matrix::at(size_t r, size_t c) const
+{
+    if (r >= nRows || c >= nCols)
+        wcrt_panic("Matrix index (", r, ",", c, ") out of ", nRows, "x",
+                   nCols);
+    return data[r * nCols + c];
+}
+
+std::vector<double>
+Matrix::row(size_t r) const
+{
+    std::vector<double> out(nCols);
+    for (size_t c = 0; c < nCols; ++c)
+        out[c] = at(r, c);
+    return out;
+}
+
+std::vector<double>
+Matrix::col(size_t c) const
+{
+    std::vector<double> out(nRows);
+    for (size_t r = 0; r < nRows; ++r)
+        out[r] = at(r, c);
+    return out;
+}
+
+Matrix
+Matrix::multiply(const Matrix &rhs) const
+{
+    if (nCols != rhs.nRows)
+        wcrt_panic("Matrix multiply ", nRows, "x", nCols, " * ", rhs.nRows,
+                   "x", rhs.nCols);
+    Matrix out(nRows, rhs.nCols);
+    for (size_t r = 0; r < nRows; ++r) {
+        for (size_t k = 0; k < nCols; ++k) {
+            double v = at(r, k);
+            if (v == 0.0)
+                continue;
+            for (size_t c = 0; c < rhs.nCols; ++c)
+                out.at(r, c) += v * rhs.at(k, c);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(nCols, nRows);
+    for (size_t r = 0; r < nRows; ++r)
+        for (size_t c = 0; c < nCols; ++c)
+            out.at(c, r) = at(r, c);
+    return out;
+}
+
+double
+Matrix::distance(const Matrix &rhs) const
+{
+    if (nRows != rhs.nRows || nCols != rhs.nCols)
+        wcrt_panic("Matrix distance dimension mismatch");
+    double sum = 0.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+        double d = data[i] - rhs.data[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum);
+}
+
+} // namespace wcrt

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal dense row-major matrix for the analyzer's linear algebra.
+ *
+ * The analyzer works on workload-by-metric matrices that are tiny
+ * (77 x 45), so clarity beats blocking/vectorization here.
+ */
+
+#ifndef WCRT_STATS_MATRIX_HH
+#define WCRT_STATS_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace wcrt {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix initialized to a fill value. */
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    /** Build from nested initializer-style data; rows must be uniform. */
+    static Matrix fromRows(const std::vector<std::vector<double>> &rows);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(size_t n);
+
+    double &at(size_t r, size_t c);
+    double at(size_t r, size_t c) const;
+
+    size_t rows() const { return nRows; }
+    size_t cols() const { return nCols; }
+
+    /** One row as a vector copy. */
+    std::vector<double> row(size_t r) const;
+
+    /** One column as a vector copy. */
+    std::vector<double> col(size_t c) const;
+
+    /** Matrix product; dimensions must agree. */
+    Matrix multiply(const Matrix &rhs) const;
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Frobenius norm of (this - rhs); dimensions must agree. */
+    double distance(const Matrix &rhs) const;
+
+  private:
+    size_t nRows = 0;
+    size_t nCols = 0;
+    std::vector<double> data;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_STATS_MATRIX_HH

@@ -1,0 +1,175 @@
+#include "stats/pca.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+Normalized
+zscore(const Matrix &samples)
+{
+    Normalized out;
+    size_t n = samples.rows();
+    size_t d = samples.cols();
+    out.data = Matrix(n, d);
+    out.mean.assign(d, 0.0);
+    out.stddev.assign(d, 1.0);
+    if (n == 0)
+        return out;
+
+    for (size_t c = 0; c < d; ++c) {
+        double mean = 0.0;
+        for (size_t r = 0; r < n; ++r)
+            mean += samples.at(r, c);
+        mean /= static_cast<double>(n);
+        double var = 0.0;
+        for (size_t r = 0; r < n; ++r) {
+            double dv = samples.at(r, c) - mean;
+            var += dv * dv;
+        }
+        var /= static_cast<double>(n);
+        double sd = std::sqrt(var);
+        out.mean[c] = mean;
+        out.stddev[c] = sd > 1e-12 ? sd : 1.0;
+        for (size_t r = 0; r < n; ++r) {
+            double z = (samples.at(r, c) - mean) / out.stddev[c];
+            out.data.at(r, c) = sd > 1e-12 ? z : 0.0;
+        }
+    }
+    return out;
+}
+
+EigenResult
+jacobiEigen(const Matrix &input, int max_sweeps)
+{
+    if (input.rows() != input.cols())
+        wcrt_panic("jacobiEigen needs a square matrix");
+    size_t n = input.rows();
+    Matrix a = input;
+    Matrix v = Matrix::identity(n);
+
+    auto off_diag = [&]() {
+        double s = 0.0;
+        for (size_t r = 0; r < n; ++r)
+            for (size_t c = r + 1; c < n; ++c)
+                s += a.at(r, c) * a.at(r, c);
+        return s;
+    };
+
+    for (int sweep = 0; sweep < max_sweeps && off_diag() > 1e-20; ++sweep) {
+        for (size_t p = 0; p + 1 < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                double apq = a.at(p, q);
+                if (std::abs(apq) < 1e-15)
+                    continue;
+                double app = a.at(p, p);
+                double aqq = a.at(q, q);
+                double theta = (aqq - app) / (2.0 * apq);
+                double t = (theta >= 0 ? 1.0 : -1.0) /
+                           (std::abs(theta) +
+                            std::sqrt(theta * theta + 1.0));
+                double c = 1.0 / std::sqrt(t * t + 1.0);
+                double s = t * c;
+
+                for (size_t k = 0; k < n; ++k) {
+                    double akp = a.at(k, p);
+                    double akq = a.at(k, q);
+                    a.at(k, p) = c * akp - s * akq;
+                    a.at(k, q) = s * akp + c * akq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double apk = a.at(p, k);
+                    double aqk = a.at(q, k);
+                    a.at(p, k) = c * apk - s * aqk;
+                    a.at(q, k) = s * apk + c * aqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double vkp = v.at(k, p);
+                    double vkq = v.at(k, q);
+                    v.at(k, p) = c * vkp - s * vkq;
+                    v.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return a.at(x, x) > a.at(y, y);
+    });
+
+    EigenResult res;
+    res.values.resize(n);
+    res.vectors = Matrix(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        res.values[i] = a.at(order[i], order[i]);
+        for (size_t r = 0; r < n; ++r)
+            res.vectors.at(r, i) = v.at(r, order[i]);
+    }
+    return res;
+}
+
+Matrix
+PcaModel::project(const Matrix &normalized_samples) const
+{
+    return normalized_samples.multiply(components.transposed());
+}
+
+PcaModel
+fitPca(const Matrix &normalized, double variance_target)
+{
+    if (variance_target <= 0.0 || variance_target > 1.0)
+        wcrt_fatal("PCA variance target must be in (0, 1], got ",
+                   variance_target);
+    size_t n = normalized.rows();
+    size_t d = normalized.cols();
+    if (n < 2)
+        wcrt_fatal("PCA needs at least two samples");
+
+    // Covariance of z-scored data; population normalization matches
+    // the z-score step.
+    Matrix cov(d, d);
+    for (size_t i = 0; i < d; ++i) {
+        for (size_t j = i; j < d; ++j) {
+            double s = 0.0;
+            for (size_t r = 0; r < n; ++r)
+                s += normalized.at(r, i) * normalized.at(r, j);
+            s /= static_cast<double>(n);
+            cov.at(i, j) = s;
+            cov.at(j, i) = s;
+        }
+    }
+
+    EigenResult eig = jacobiEigen(cov);
+    double total = 0.0;
+    for (double ev : eig.values)
+        total += std::max(ev, 0.0);
+    if (total <= 0.0)
+        total = 1.0;
+
+    PcaModel model;
+    model.eigenvalues = eig.values;
+    model.explained.resize(eig.values.size());
+    for (size_t i = 0; i < eig.values.size(); ++i)
+        model.explained[i] = std::max(eig.values[i], 0.0) / total;
+
+    double acc = 0.0;
+    size_t keep = 0;
+    while (keep < d && acc < variance_target) {
+        acc += model.explained[keep];
+        ++keep;
+    }
+    keep = std::max<size_t>(keep, 1);
+    model.retained = keep;
+    model.components = Matrix(keep, d);
+    for (size_t k = 0; k < keep; ++k)
+        for (size_t c = 0; c < d; ++c)
+            model.components.at(k, c) = eig.vectors.at(c, k);
+    return model;
+}
+
+} // namespace wcrt

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Z-score normalization and principal component analysis.
+ *
+ * Implements the analyzer pipeline from the paper's Section 3: metric
+ * values are normalized to a standard Gaussian per column, the
+ * covariance matrix is eigendecomposed (cyclic Jacobi — exact for the
+ * symmetric 45x45 matrices involved), and samples are projected onto
+ * the components that retain a requested fraction of total variance.
+ */
+
+#ifndef WCRT_STATS_PCA_HH
+#define WCRT_STATS_PCA_HH
+
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace wcrt {
+
+/**
+ * Column-wise z-score normalization result.
+ */
+struct Normalized
+{
+    Matrix data;                 //!< normalized samples (rows = samples)
+    std::vector<double> mean;    //!< per-column mean of the input
+    std::vector<double> stddev;  //!< per-column stddev (1 for constants)
+};
+
+/**
+ * Normalize each column to zero mean, unit variance.
+ *
+ * Constant columns (zero variance) are mapped to all-zeros rather than
+ * NaN so that degenerate metrics cannot poison the PCA.
+ */
+Normalized zscore(const Matrix &samples);
+
+/**
+ * Eigendecomposition of a symmetric matrix.
+ */
+struct EigenResult
+{
+    std::vector<double> values;  //!< eigenvalues, descending
+    Matrix vectors;              //!< columns are matching eigenvectors
+};
+
+/**
+ * Cyclic Jacobi eigensolver for symmetric matrices.
+ *
+ * @param m Symmetric input (asymmetry beyond tolerance is a bug).
+ * @param max_sweeps Safety bound on full Jacobi sweeps.
+ */
+EigenResult jacobiEigen(const Matrix &m, int max_sweeps = 64);
+
+/**
+ * A fitted PCA model.
+ */
+struct PcaModel
+{
+    std::vector<double> eigenvalues;   //!< all eigenvalues, descending
+    Matrix components;                 //!< rows = retained components
+    std::vector<double> explained;     //!< variance fraction per PC
+    size_t retained = 0;               //!< number of PCs kept
+
+    /** Project normalized samples onto the retained components. */
+    Matrix project(const Matrix &normalized_samples) const;
+};
+
+/**
+ * Fit PCA on normalized samples, keeping the smallest number of leading
+ * components whose cumulative explained variance reaches the target.
+ *
+ * @param normalized Samples with zero-mean unit-variance columns.
+ * @param variance_target Fraction of variance to retain, in (0, 1].
+ */
+PcaModel fitPca(const Matrix &normalized, double variance_target = 0.9);
+
+} // namespace wcrt
+
+#endif // WCRT_STATS_PCA_HH

@@ -1,0 +1,125 @@
+#include "sysmon/sysmon.hh"
+
+#include <algorithm>
+
+namespace wcrt {
+
+const char *
+toString(SystemBehavior b)
+{
+    switch (b) {
+      case SystemBehavior::CpuIntensive:
+        return "CPU-Intensive";
+      case SystemBehavior::IoIntensive:
+        return "IO-Intensive";
+      case SystemBehavior::Hybrid:
+        return "Hybrid";
+    }
+    return "?";
+}
+
+SystemProfile
+computeProfile(uint64_t instructions, const IoCounters &io,
+               const NodeModel &node)
+{
+    SystemProfile p;
+    p.cpuSeconds =
+        static_cast<double>(instructions) / (node.cpuGips * 1e9);
+    double disk_bytes = static_cast<double>(io.diskReadBytes) +
+                        static_cast<double>(io.diskWriteBytes);
+    p.diskSeconds = disk_bytes / (node.diskMBps * 1e6);
+    p.networkSeconds =
+        static_cast<double>(io.networkBytes) / (node.networkMBps * 1e6);
+
+    // Pipelined overlap: the longer side dominates; 15% of the shorter
+    // side resists overlap (setup, dependency stalls).
+    double io_seconds = p.diskSeconds + p.networkSeconds;
+    double longer = std::max(p.cpuSeconds, io_seconds);
+    double shorter = std::min(p.cpuSeconds, io_seconds);
+    p.wallSeconds = std::max(longer + 0.15 * shorter, 1e-12);
+
+    p.cpuUtilization = p.cpuSeconds / p.wallSeconds;
+    p.ioWaitRatio =
+        std::max(0.0, io_seconds - p.cpuSeconds) / p.wallSeconds;
+    p.weightedDiskIoTimeRatio =
+        p.diskSeconds * node.diskQueueDepth / p.wallSeconds;
+    p.diskReadMBps = static_cast<double>(io.diskReadBytes) / 1e6 /
+                     p.wallSeconds;
+    p.diskWriteMBps = static_cast<double>(io.diskWriteBytes) / 1e6 /
+                      p.wallSeconds;
+    p.networkMBps = static_cast<double>(io.networkBytes) / 1e6 /
+                    p.wallSeconds;
+    return p;
+}
+
+SystemBehavior
+classifySystemBehavior(const SystemProfile &p)
+{
+    if (p.cpuUtilization > 0.85)
+        return SystemBehavior::CpuIntensive;
+    bool heavy_io = p.weightedDiskIoTimeRatio > 10.0 ||
+                    p.ioWaitRatio > 0.20;
+    if (heavy_io && p.cpuUtilization < 0.60)
+        return SystemBehavior::IoIntensive;
+    return SystemBehavior::Hybrid;
+}
+
+const char *
+toString(DataVolume v)
+{
+    switch (v) {
+      case DataVolume::MuchLess:
+        return "<<Input";
+      case DataVolume::Less:
+        return "<Input";
+      case DataVolume::Equal:
+        return "=Input";
+      case DataVolume::Greater:
+        return ">Input";
+    }
+    return "?";
+}
+
+DataVolume
+classifyDataVolume(uint64_t numerator_bytes, uint64_t input_bytes)
+{
+    double ratio = input_bytes
+                       ? static_cast<double>(numerator_bytes) /
+                             static_cast<double>(input_bytes)
+                       : 0.0;
+    if (ratio >= 1.1)
+        return DataVolume::Greater;
+    if (ratio >= 0.9)
+        return DataVolume::Equal;
+    if (ratio >= 0.01)
+        return DataVolume::Less;
+    return DataVolume::MuchLess;
+}
+
+DataVolume
+DataBehavior::outputVsInput() const
+{
+    return classifyDataVolume(outputBytes, inputBytes);
+}
+
+DataVolume
+DataBehavior::intermediateVsInput() const
+{
+    return classifyDataVolume(intermediateBytes, inputBytes);
+}
+
+std::string
+DataBehavior::describe() const
+{
+    std::string s = "Output";
+    s += toString(outputVsInput());
+    if (intermediateBytes == 0) {
+        s += ", no Intermediate";
+    } else {
+        s += ", Intermediate";
+        s += toString(intermediateVsInput());
+    }
+    return s;
+}
+
+} // namespace wcrt

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * System-behaviour model: the paper's Section 3.2.1/3.2.2 rules.
+ *
+ * The stack engines report the I/O they perform (split reads, spills,
+ * shuffle transfers, output writes); combined with the traced
+ * instruction count and a node resource model this yields the CPU
+ * utilization, I/O wait ratio and weighted-disk-I/O-time metrics the
+ * paper uses to classify workloads as CPU-intensive, I/O-intensive or
+ * hybrid, and the input/intermediate/output ratios behind the data
+ * behaviour labels in Table 2.
+ */
+
+#ifndef WCRT_SYSMON_SYSMON_HH
+#define WCRT_SYSMON_SYSMON_HH
+
+#include <cstdint>
+#include <string>
+
+namespace wcrt {
+
+/** Hardware throughput assumptions for one node (Table 3 testbed). */
+struct NodeModel
+{
+    /**
+     * Effective instruction rate. The traces compress the JVM stacks'
+     * per-record instruction counts, so this is lower than the
+     * hardware's raw rate; 2 GIPS maximizes agreement with the
+     * paper's Table-2 system-behaviour labels.
+     */
+    double cpuGips = 2.0;
+    double diskMBps = 140.0;     //!< sequential disk bandwidth
+    double networkMBps = 110.0;  //!< ~1 GbE
+    double diskQueueDepth = 8.0; //!< in-flight requests while streaming
+};
+
+/** I/O volume accumulated while a workload runs. */
+struct IoCounters
+{
+    uint64_t diskReadBytes = 0;
+    uint64_t diskWriteBytes = 0;
+    uint64_t networkBytes = 0;
+
+    void
+    merge(const IoCounters &o)
+    {
+        diskReadBytes += o.diskReadBytes;
+        diskWriteBytes += o.diskWriteBytes;
+        networkBytes += o.networkBytes;
+    }
+};
+
+/** The paper's three system-behaviour classes. */
+enum class SystemBehavior : uint8_t { CpuIntensive, IoIntensive, Hybrid };
+
+/** Human-readable class name. */
+const char *toString(SystemBehavior b);
+
+/** Derived system-behaviour profile for one run. */
+struct SystemProfile
+{
+    double cpuSeconds = 0.0;
+    double diskSeconds = 0.0;
+    double networkSeconds = 0.0;
+    double wallSeconds = 0.0;
+    double cpuUtilization = 0.0;        //!< fraction of wall time on CPU
+    double ioWaitRatio = 0.0;           //!< fraction waiting on disk
+    double weightedDiskIoTimeRatio = 0.0; //!< avg in-flight IO weighting
+    double diskReadMBps = 0.0;
+    double diskWriteMBps = 0.0;
+    double networkMBps = 0.0;
+};
+
+/**
+ * Compute the profile for a run.
+ *
+ * Wall time models pipelined CPU/IO overlap: the longer of the two
+ * dominates and a fraction of the shorter resists overlap.
+ *
+ * @param instructions Dynamic instructions the workload executed.
+ * @param io I/O volumes the stack reported.
+ * @param node Node throughput model.
+ */
+SystemProfile computeProfile(uint64_t instructions, const IoCounters &io,
+                             const NodeModel &node = {});
+
+/**
+ * The paper's classification rule: CPU-intensive when CPU utilization
+ * exceeds 85%; I/O-intensive when the weighted disk-I/O-time ratio
+ * exceeds 10 or the I/O-wait ratio exceeds 20% while CPU utilization
+ * stays below 60%; hybrid otherwise.
+ */
+SystemBehavior classifySystemBehavior(const SystemProfile &profile);
+
+/** Data-capacity comparison labels (Section 3.2.2). */
+enum class DataVolume : uint8_t {
+    MuchLess,  //!< ratio < 0.01           (“Output<<Input”)
+    Less,      //!< 0.01 <= ratio < 0.9    (“Output<Input”)
+    Equal,     //!< 0.9 <= ratio < 1.1     (“Output=Input”)
+    Greater,   //!< ratio >= 1.1           (“Output>Input”)
+};
+
+/** Human-readable volume label relative to the input. */
+const char *toString(DataVolume v);
+
+/** Apply the paper's thresholds to an output/input byte ratio. */
+DataVolume classifyDataVolume(uint64_t numerator_bytes,
+                              uint64_t input_bytes);
+
+/** Input/intermediate/output volumes of one run. */
+struct DataBehavior
+{
+    uint64_t inputBytes = 0;
+    uint64_t intermediateBytes = 0;
+    uint64_t outputBytes = 0;
+
+    DataVolume outputVsInput() const;
+    DataVolume intermediateVsInput() const;
+
+    /** Formatted like Table 2, e.g. "Output<<Input, Intermediate<Input". */
+    std::string describe() const;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_SYSMON_SYSMON_HH

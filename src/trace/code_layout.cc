@@ -1,0 +1,35 @@
+#include "trace/code_layout.hh"
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+CodeLayout::CodeLayout() = default;
+
+FunctionId
+CodeLayout::addFunction(const std::string &name, CodeLayer layer,
+                        uint32_t bytes, CallProfile profile)
+{
+    if (bytes == 0)
+        wcrt_panic("function '", name, "' registered with zero size");
+    uint32_t rounded = (bytes + 15u) & ~15u;
+    Function f;
+    f.name = name;
+    f.layer = layer;
+    f.base = cursor;
+    f.bytes = rounded;
+    f.profile = profile;
+    cursor += rounded;
+    funcs.push_back(std::move(f));
+    return FunctionId{static_cast<uint32_t>(funcs.size() - 1)};
+}
+
+const CodeLayout::Function &
+CodeLayout::function(FunctionId id) const
+{
+    if (!id.valid() || id.index >= funcs.size())
+        wcrt_panic("invalid FunctionId");
+    return funcs[id.index];
+}
+
+} // namespace wcrt

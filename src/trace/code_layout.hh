@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Synthetic static code layout.
+ *
+ * The paper's central front-end observation is that deep software
+ * stacks (Hadoop, Spark) execute framework code with an instruction
+ * working set around 1 MB, while thin stacks (MPI) and PARSEC fit in
+ * ~128 KB. To make that *emerge* from a cache model instead of being
+ * asserted, every modelled function registers here and receives a
+ * contiguous synthetic address range sized like its real counterpart.
+ * The tracer then walks pcs inside the active function's range, so the
+ * I-side reference stream has a realistic static layout: hot loops
+ * re-touch small ranges, deep per-record stack traversals touch many
+ * distant ranges.
+ */
+
+#ifndef WCRT_TRACE_CODE_LAYOUT_HH
+#define WCRT_TRACE_CODE_LAYOUT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wcrt {
+
+/**
+ * Which layer of the software stack a function belongs to. Layers only
+ * label provenance (for reports); the cache model sees addresses.
+ */
+enum class CodeLayer : uint8_t {
+    Kernel,      //!< OS kernel / syscall paths
+    Runtime,     //!< language runtime (JVM-like services, GC, JIT stubs)
+    Framework,   //!< Hadoop/Spark/SQL-engine style middleware
+    Library,     //!< libc / compression / serialization libraries
+    Application, //!< the algorithm kernel itself
+};
+
+/** Handle to a registered function. */
+struct FunctionId
+{
+    uint32_t index = UINT32_MAX;
+
+    bool valid() const { return index != UINT32_MAX; }
+};
+
+/**
+ * Per-function emission profile: how much automatic bookkeeping a call
+ * executes and how its code range is swept.
+ */
+struct CallProfile
+{
+    /** Ops emitted automatically per invocation (0 for app kernels). */
+    uint32_t overheadOps = 0;
+
+    /**
+     * Rotation stride in bytes between consecutive invocations' start
+     * offsets. Non-zero rotation makes repeated calls take different
+     * paths through a large function, as real framework code does.
+     */
+    uint32_t rotationBytes = 0;
+};
+
+/**
+ * Registry that lays registered functions out in one synthetic text
+ * segment.
+ */
+class CodeLayout
+{
+  public:
+    /** Metadata for one registered function. */
+    struct Function
+    {
+        std::string name;
+        CodeLayer layer;
+        uint64_t base;   //!< first code byte
+        uint32_t bytes;  //!< static size of the function
+        CallProfile profile;  //!< automatic per-call emission
+    };
+
+    CodeLayout();
+
+    /**
+     * Register a function and allocate its address range.
+     *
+     * @param name Diagnostic name (need not be unique).
+     * @param layer Stack layer the function belongs to.
+     * @param bytes Static code size; rounded up to 16 bytes.
+     * @param profile Automatic per-call overhead emission.
+     */
+    FunctionId addFunction(const std::string &name, CodeLayer layer,
+                           uint32_t bytes, CallProfile profile = {});
+
+    /** Metadata lookup. */
+    const Function &function(FunctionId id) const;
+
+    /** Number of registered functions. */
+    size_t size() const { return funcs.size(); }
+
+    /** Total static code bytes laid out. */
+    uint64_t totalBytes() const { return cursor - textBase; }
+
+    /** Base of the synthetic text segment. */
+    static constexpr uint64_t textBase = 0x400000;
+
+  private:
+    std::vector<Function> funcs;
+    uint64_t cursor = textBase;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_TRACE_CODE_LAYOUT_HH

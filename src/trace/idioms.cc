@@ -1,0 +1,104 @@
+#include "trace/idioms.hh"
+
+#include <algorithm>
+
+namespace wcrt::idioms {
+
+void
+compareBytes(Tracer &t, uint64_t a, uint64_t b, uint64_t compared)
+{
+    // Compiled memcmp compares word-at-a-time; short compares (the
+    // common case — most key pairs diverge in the first word) are a
+    // single predictable iteration.
+    uint64_t words = compared / 8 + 1;
+    t.loop(words, [&](uint64_t i) {
+        t.intAlu(IntPurpose::IntAddress, 2);
+        t.load(a + i * 8, 8);
+        t.load(b + i * 8, 8);
+        t.intAlu(IntPurpose::Compute, 1);
+    });
+}
+
+void
+copyBytes(Tracer &t, uint64_t src, uint64_t dst, uint64_t bytes)
+{
+    uint64_t words = (bytes + 7) / 8;
+    t.loop(words, [&](uint64_t i) {
+        t.intAlu(IntPurpose::IntAddress, 2);
+        t.load(src + i * 8, 8);
+        t.store(dst + i * 8, 8);
+    });
+}
+
+void
+hashBytes(Tracer &t, uint64_t addr, uint64_t bytes)
+{
+    // Word-at-a-time hashing (how production hash functions consume
+    // short keys): one predictable iteration for keys up to 8 bytes.
+    uint64_t words = bytes / 8 + 1;
+    t.loop(words, [&](uint64_t i) {
+        t.intAlu(IntPurpose::IntAddress, 1);
+        t.load(addr + i * 8, 8);
+        t.intAlu(IntPurpose::Compute, 1);
+        t.intMul(1);
+    });
+}
+
+void
+scanTokens(Tracer &t, uint64_t addr, uint64_t bytes, uint64_t tokens)
+{
+    // The per-byte classify loop: load, compare, branch on delimiter.
+    // Emitting one iteration per byte would dominate run time for large
+    // corpora, so the loop models 8-byte strides with the same per-byte
+    // op balance compressed into wider steps.
+    uint64_t steps = bytes / 8 + 1;
+    uint64_t token_every = tokens ? std::max<uint64_t>(steps / tokens, 1)
+                                  : steps + 1;
+    t.loop(steps, [&](uint64_t i) {
+        t.intAlu(IntPurpose::IntAddress, 1);
+        t.load(addr + i * 8, 8);
+        t.intAlu(IntPurpose::Compute, 2);
+        bool token_end = (i % token_every) == token_every - 1;
+        t.branchForward(token_end, 24);
+        if (token_end)
+            t.intAlu(IntPurpose::Compute, 3);
+    });
+}
+
+void
+binarySearch(Tracer &t, uint64_t base, uint64_t elems, uint64_t stride,
+             uint32_t probes, bool found)
+{
+    uint64_t lo = 0;
+    uint64_t hi = elems;
+    t.loop(probes, [&](uint64_t i) {
+        uint64_t mid = (lo + hi) / 2;
+        t.intAlu(IntPurpose::IntAddress, 2);
+        t.load(base + mid * stride, 8);
+        t.intAlu(IntPurpose::Compute, 1);
+        // Direction alternates with the probe path; model with a
+        // data-dependent branch.
+        bool go_left = ((mid ^ i) & 1) != 0;
+        t.branchForward(go_left, 16);
+        if (go_left)
+            hi = mid;
+        else
+            lo = mid + 1;
+        if (hi <= lo)
+            hi = lo + 1;
+    });
+    t.branchForward(found, 16);
+}
+
+void
+fpAccumulate(Tracer &t, uint64_t base, uint64_t n)
+{
+    t.loop(n, [&](uint64_t i) {
+        t.intAlu(IntPurpose::FpAddress, 1);
+        t.load(base + i * 8, 8);
+        t.fpMul(1);
+        t.fpAlu(1);
+    });
+}
+
+} // namespace wcrt::idioms

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reusable instruction-emission idioms.
+ *
+ * Common code shapes (byte compares, copies, hashing, binary search)
+ * appear in nearly every workload; centralizing their emission keeps
+ * the per-workload kernels readable and the modelled mixes consistent.
+ * All helpers emit through the caller's active tracer frame.
+ */
+
+#ifndef WCRT_TRACE_IDIOMS_HH
+#define WCRT_TRACE_IDIOMS_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "trace/tracer.hh"
+
+namespace wcrt::idioms {
+
+/**
+ * memcmp-style loop: compare two byte ranges until a mismatch.
+ *
+ * @param t Active tracer.
+ * @param a First operand base address.
+ * @param b Second operand base address.
+ * @param compared Bytes actually examined (match length + 1, capped).
+ */
+void compareBytes(Tracer &t, uint64_t a, uint64_t b, uint64_t compared);
+
+/** memcpy-style loop moving `bytes` in 8-byte chunks. */
+void copyBytes(Tracer &t, uint64_t src, uint64_t dst, uint64_t bytes);
+
+/** Byte-wise hash loop over a buffer (FNV-like shape). */
+void hashBytes(Tracer &t, uint64_t addr, uint64_t bytes);
+
+/**
+ * Tokenizer pass over a text buffer: per byte, load + classify branch;
+ * per token, a small amount of bookkeeping.
+ *
+ * @param bytes Buffer length.
+ * @param tokens Number of tokens found (drives bookkeeping count).
+ */
+void scanTokens(Tracer &t, uint64_t addr, uint64_t bytes,
+                uint64_t tokens);
+
+/**
+ * Binary search over a sorted array.
+ *
+ * @param base Array base address.
+ * @param elems Element count.
+ * @param stride Element size in bytes.
+ * @param probes Number of probe steps actually taken (~log2(elems)).
+ * @param found Whether the final compare hit.
+ */
+void binarySearch(Tracer &t, uint64_t base, uint64_t elems,
+                  uint64_t stride, uint32_t probes, bool found);
+
+/**
+ * Emit the loads+arithmetic of reading `n` doubles from an array and
+ * accumulating (dot-product / distance shape): per element one FP
+ * address calc, one load, one FP multiply, one FP add.
+ */
+void fpAccumulate(Tracer &t, uint64_t base, uint64_t n);
+
+} // namespace wcrt::idioms
+
+#endif // WCRT_TRACE_IDIOMS_HH

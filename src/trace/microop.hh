@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The abstract micro-op stream every workload emits.
+ *
+ * The paper measures retired-instruction behaviour with hardware
+ * counters; this reproduction replaces the hardware with a trace-driven
+ * model, and MicroOp is the trace record. Workload kernels and the
+ * software-stack engines emit one MicroOp per modelled dynamic
+ * instruction while they process real data, so instruction mix, branch
+ * outcomes and memory reuse are data-dependent rather than synthetic.
+ */
+
+#ifndef WCRT_TRACE_MICROOP_HH
+#define WCRT_TRACE_MICROOP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wcrt {
+
+/** Dynamic instruction classes (Figure 1's breakdown). */
+enum class OpKind : uint8_t {
+    IntAlu,          //!< integer add/sub/logic/compare
+    IntMul,          //!< integer multiply
+    IntDiv,          //!< integer divide
+    FpAlu,           //!< floating point add/sub/compare
+    FpMul,           //!< floating point multiply
+    FpDiv,           //!< floating point divide/sqrt
+    Load,            //!< memory read
+    Store,           //!< memory write
+    BranchCond,      //!< conditional direct branch
+    BranchUncond,    //!< unconditional direct jump
+    BranchIndirect,  //!< indirect jump (switch tables, virtual calls)
+    Call,            //!< direct call
+    CallIndirect,    //!< indirect call (function pointer / vtable)
+    Return,          //!< return
+    Other,           //!< fences, system, no-ops
+};
+
+/** Number of OpKind values (for counter arrays). */
+inline constexpr size_t numOpKinds = 15;
+
+/**
+ * What an integer ALU op is computing — the paper's Figure 2 splits
+ * integer instructions into integer-address calculation, FP-address
+ * calculation and other computation.
+ */
+enum class IntPurpose : uint8_t {
+    None,        //!< not an integer ALU op
+    IntAddress,  //!< address arithmetic for integer/byte data
+    FpAddress,   //!< address arithmetic for floating-point data
+    Compute,     //!< data computation or branch-condition evaluation
+};
+
+/** True for the three branch kinds. */
+constexpr bool
+isBranch(OpKind k)
+{
+    return k == OpKind::BranchCond || k == OpKind::BranchUncond ||
+           k == OpKind::BranchIndirect;
+}
+
+/** True for control-transfer ops of any kind (branch/call/return). */
+constexpr bool
+isControl(OpKind k)
+{
+    return isBranch(k) || k == OpKind::Call ||
+           k == OpKind::CallIndirect || k == OpKind::Return;
+}
+
+/** True for FP arithmetic. */
+constexpr bool
+isFp(OpKind k)
+{
+    return k == OpKind::FpAlu || k == OpKind::FpMul || k == OpKind::FpDiv;
+}
+
+/** True for integer arithmetic. */
+constexpr bool
+isInt(OpKind k)
+{
+    return k == OpKind::IntAlu || k == OpKind::IntMul ||
+           k == OpKind::IntDiv;
+}
+
+/**
+ * One modelled dynamic instruction.
+ */
+struct MicroOp
+{
+    OpKind kind = OpKind::Other;
+    IntPurpose purpose = IntPurpose::None;
+    uint64_t pc = 0;        //!< code address (from the CodeLayout)
+    uint8_t size = 4;       //!< instruction bytes at that pc
+    uint64_t memAddr = 0;   //!< effective address for Load/Store
+    uint8_t memSize = 0;    //!< access width in bytes (0 = no access)
+    uint64_t target = 0;    //!< control-transfer destination
+    bool taken = false;     //!< conditional-branch outcome
+};
+
+/**
+ * Consumer of a micro-op stream. Implementations include the mix
+ * counter (Figures 1-2), the micro-architecture simulator (Figures
+ * 3-5) and the cache-capacity sweeper (Figures 6-9).
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Consume one dynamic instruction. */
+    virtual void consume(const MicroOp &op) = 0;
+};
+
+/** A sink that fans one stream out to several consumers. */
+class TeeSink : public TraceSink
+{
+  public:
+    /** Attach another downstream sink; not owned. */
+    void addSink(TraceSink *sink) { sinks.push_back(sink); }
+
+    void
+    consume(const MicroOp &op) override
+    {
+        for (auto *s : sinks)
+            s->consume(op);
+    }
+
+  private:
+    std::vector<TraceSink *> sinks;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_TRACE_MICROOP_HH

@@ -1,0 +1,138 @@
+#include "trace/mix_counter.hh"
+
+namespace wcrt {
+
+void
+MixCounter::consume(const MicroOp &op)
+{
+    ++totalOps;
+    ++kindCounts[static_cast<size_t>(op.kind)];
+    if (op.kind == OpKind::IntAlu) {
+        switch (op.purpose) {
+          case IntPurpose::IntAddress:
+            ++intAddressOps;
+            break;
+          case IntPurpose::FpAddress:
+            ++fpAddressOps;
+            break;
+          default:
+            ++computeIntOps;
+            break;
+        }
+    } else if (isInt(op.kind)) {
+        ++computeIntOps;
+    }
+}
+
+uint64_t
+MixCounter::count(OpKind k) const
+{
+    return kindCounts[static_cast<size_t>(k)];
+}
+
+namespace {
+
+double
+ratio(uint64_t part, uint64_t whole)
+{
+    return whole ? static_cast<double>(part) / static_cast<double>(whole)
+                 : 0.0;
+}
+
+} // namespace
+
+double
+MixCounter::branchRatio() const
+{
+    uint64_t b = count(OpKind::BranchCond) + count(OpKind::BranchUncond) +
+                 count(OpKind::BranchIndirect) + count(OpKind::Call) +
+                 count(OpKind::CallIndirect) + count(OpKind::Return);
+    return ratio(b, totalOps);
+}
+
+double
+MixCounter::loadRatio() const
+{
+    return ratio(count(OpKind::Load), totalOps);
+}
+
+double
+MixCounter::storeRatio() const
+{
+    return ratio(count(OpKind::Store), totalOps);
+}
+
+double
+MixCounter::integerRatio() const
+{
+    uint64_t i = count(OpKind::IntAlu) + count(OpKind::IntMul) +
+                 count(OpKind::IntDiv);
+    return ratio(i, totalOps);
+}
+
+double
+MixCounter::fpRatio() const
+{
+    uint64_t f = count(OpKind::FpAlu) + count(OpKind::FpMul) +
+                 count(OpKind::FpDiv);
+    return ratio(f, totalOps);
+}
+
+double
+MixCounter::otherRatio() const
+{
+    return ratio(count(OpKind::Other), totalOps);
+}
+
+double
+MixCounter::intAddressShare() const
+{
+    return ratio(intAddressOps,
+                 intAddressOps + fpAddressOps + computeIntOps);
+}
+
+double
+MixCounter::fpAddressShare() const
+{
+    return ratio(fpAddressOps,
+                 intAddressOps + fpAddressOps + computeIntOps);
+}
+
+double
+MixCounter::otherIntShare() const
+{
+    return ratio(computeIntOps,
+                 intAddressOps + fpAddressOps + computeIntOps);
+}
+
+double
+MixCounter::dataMovementRatio() const
+{
+    uint64_t moves = count(OpKind::Load) + count(OpKind::Store) +
+                     intAddressOps + fpAddressOps;
+    return ratio(moves, totalOps);
+}
+
+double
+MixCounter::dataMovementWithBranchRatio() const
+{
+    uint64_t b = count(OpKind::BranchCond) + count(OpKind::BranchUncond) +
+                 count(OpKind::BranchIndirect) + count(OpKind::Call) +
+                 count(OpKind::CallIndirect) + count(OpKind::Return);
+    uint64_t moves = count(OpKind::Load) + count(OpKind::Store) +
+                     intAddressOps + fpAddressOps + b;
+    return ratio(moves, totalOps);
+}
+
+void
+MixCounter::merge(const MixCounter &other)
+{
+    for (size_t i = 0; i < kindCounts.size(); ++i)
+        kindCounts[i] += other.kindCounts[i];
+    intAddressOps += other.intAddressOps;
+    fpAddressOps += other.fpAddressOps;
+    computeIntOps += other.computeIntOps;
+    totalOps += other.totalOps;
+}
+
+} // namespace wcrt

@@ -1,0 +1,65 @@
+#include "trace/sampling.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+std::vector<SampleWindow>
+paperSampleWindows()
+{
+    // Map 0-1%, 50-51%, 99-100%, reduce 0-1%, reduce 99-100%: with the
+    // map phase roughly the first 60% of a job's trace and reduce the
+    // last 40%, the five windows land at these absolute positions.
+    return {
+        {0.00, 0.01},  // map start
+        {0.30, 0.31},  // map middle
+        {0.59, 0.60},  // map end
+        {0.60, 0.61},  // reduce start
+        {0.99, 1.00},  // reduce end
+    };
+}
+
+SamplingSink::SamplingSink(TraceSink &downstream, uint64_t expected_ops,
+                           std::vector<SampleWindow> windows)
+    : downstream(downstream)
+{
+    if (expected_ops == 0)
+        wcrt_fatal("sampling needs a non-zero expected length");
+    double prev_end = 0.0;
+    for (const auto &w : windows) {
+        if (!(w.begin >= prev_end && w.end > w.begin && w.end <= 1.0))
+            wcrt_fatal("sample windows must be sorted, disjoint and "
+                       "within [0, 1]");
+        prev_end = w.end;
+        auto lo = static_cast<uint64_t>(w.begin *
+                                        static_cast<double>(expected_ops));
+        auto hi = static_cast<uint64_t>(w.end *
+                                        static_cast<double>(expected_ops));
+        ranges.emplace_back(lo, std::max(hi, lo + 1));
+    }
+}
+
+void
+SamplingSink::consume(const MicroOp &op)
+{
+    uint64_t index = seen++;
+    while (cursor < ranges.size() && index >= ranges[cursor].second)
+        ++cursor;
+    if (cursor < ranges.size() && index >= ranges[cursor].first) {
+        ++forwarded;
+        downstream.consume(op);
+    }
+}
+
+double
+SamplingSink::sampledFraction()
+const
+{
+    return seen ? static_cast<double>(forwarded) /
+                      static_cast<double>(seen)
+                : 0.0;
+}
+
+} // namespace wcrt

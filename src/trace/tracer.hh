@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tracer: the emission engine workloads and stack engines drive.
+ *
+ * The tracer keeps a call stack of synthetic function frames. Each
+ * emitted op gets a pc inside the active function's range; pcs advance
+ * linearly and wrap, so a static code site produces stable addresses
+ * (what branch predictors and the BTB key on), while data-dependent
+ * control flow produces data-dependent pc paths.
+ *
+ * Framework functions additionally emit an automatic "overhead walk"
+ * on every call: a deterministic stream of generic bookkeeping ops
+ * (loads, stores, integer ALU, predictable branches) that sweeps the
+ * function's code range from a per-call rotating start offset. This is
+ * how the instruction-footprint difference between thin and deep
+ * software stacks becomes a measurable cache phenomenon: deep stacks
+ * execute more framework code spread over more static bytes.
+ */
+
+#ifndef WCRT_TRACE_TRACER_HH
+#define WCRT_TRACE_TRACER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/code_layout.hh"
+#include "trace/microop.hh"
+#include "trace/virtual_heap.hh"
+
+namespace wcrt {
+
+/**
+ * Emission engine. One Tracer per simulated workload run.
+ */
+class Tracer
+{
+  public:
+    /**
+     * @param layout Code layout shared by the run.
+     * @param sink Consumer of the op stream (not owned).
+     */
+    Tracer(const CodeLayout &layout, TraceSink &sink);
+
+    /** Direct call: emits the Call op and the callee's overhead walk. */
+    void call(FunctionId f);
+
+    /** Indirect call (virtual dispatch / function pointer). */
+    void callIndirect(FunctionId f);
+
+    /** Return to the caller frame. */
+    void ret();
+
+    /** RAII call/ret pair. */
+    class Scope
+    {
+      public:
+        Scope(Tracer &tracer, FunctionId f, bool indirect = false);
+        ~Scope();
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Tracer &tracer;
+    };
+
+    /** @name Straight-line op emission in the active frame. */
+    /** @{ */
+    void intAlu(IntPurpose purpose = IntPurpose::Compute, uint32_t n = 1);
+    void intMul(uint32_t n = 1);
+    void intDiv(uint32_t n = 1);
+    void fpAlu(uint32_t n = 1);
+    void fpMul(uint32_t n = 1);
+    void fpDiv(uint32_t n = 1);
+    void load(uint64_t addr, uint8_t size = 8);
+    void store(uint64_t addr, uint8_t size = 8);
+    void other(uint32_t n = 1);
+    /** @} */
+
+    /**
+     * Conditional branch at the current pc.
+     *
+     * @param taken Outcome.
+     * @param target_offset Destination offset within the active
+     *        function (captured e.g. by loopTop()); the pc moves there
+     *        when taken.
+     */
+    void branch(bool taken, uint64_t target_offset);
+
+    /** Forward conditional branch skipping `skip_bytes` when taken. */
+    void branchForward(bool taken, uint32_t skip_bytes = 32);
+
+    /** Indirect jump through a table (switch); selector picks target. */
+    void branchIndirect(uint64_t selector);
+
+    /** Current offset within the active function (loop targets). */
+    uint64_t hereOffset() const;
+
+    /**
+     * Counted loop idiom: run `body(i)` n times, emitting the loop's
+     * backward conditional branch with a stable pc after the first
+     * iteration (taken n-1 times, then falls through).
+     *
+     * @param n Iteration count (n == 0 emits one not-taken guard).
+     * @param body Callable receiving the iteration index.
+     */
+    template <typename Body>
+    void
+    loop(uint64_t n, Body &&body)
+    {
+        uint64_t top = hereOffset();
+        if (n == 0) {
+            branch(false, top);
+            return;
+        }
+        uint64_t end = 0;
+        for (uint64_t i = 0; i < n; ++i) {
+            body(i);
+            if (i == 0)
+                end = hereOffset();
+            else
+                setOffset(end);
+            branch(i + 1 < n, top);
+        }
+    }
+
+    /** Total ops emitted so far. */
+    uint64_t opCount() const { return emitted; }
+
+    /** Current call depth. */
+    size_t depth() const { return frames.size(); }
+
+    /** The layout this tracer draws code addresses from. */
+    const CodeLayout &codeLayout() const { return layout; }
+
+  private:
+    struct Frame
+    {
+        FunctionId fid;
+        uint64_t base;
+        uint32_t bytes;
+        uint64_t cursor;    //!< offset of the next op within the function
+        uint64_t returnPc;  //!< caller pc to return to
+    };
+
+    void enter(FunctionId f, bool indirect);
+    void emit(OpKind kind, IntPurpose purpose, uint64_t mem_addr,
+              uint8_t mem_size, uint64_t target, bool taken);
+    void overheadWalk(const Frame &frame, const CallProfile &profile,
+                      uint64_t start_offset);
+    void setOffset(uint64_t offset);
+    Frame &top();
+    const Frame &top() const;
+
+    const CodeLayout &layout;
+    TraceSink &sink;
+    std::vector<Frame> frames;
+    std::vector<uint32_t> callCounts;    //!< indexed by FunctionId
+    std::vector<uint64_t> scratchBase;   //!< per-function scratch data
+    VirtualHeap scratchHeap;
+    uint64_t emitted = 0;
+
+    static constexpr uint32_t opBytes = 4;
+    static constexpr uint64_t scratchBytes = 2048;
+
+    /** Bytes at each function's start reserved for user emission. */
+    static constexpr uint64_t userReserve = 256;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_TRACE_TRACER_HH

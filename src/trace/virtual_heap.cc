@@ -1,0 +1,38 @@
+#include "trace/virtual_heap.hh"
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+uint64_t
+HeapRegion::addr(uint64_t offset) const
+{
+    if (offset >= bytes)
+        wcrt_panic("region '", name, "' offset ", offset, " out of ",
+                   bytes, " bytes");
+    return base + offset;
+}
+
+uint64_t
+HeapRegion::element(uint64_t index, uint64_t stride) const
+{
+    return addr(index * stride);
+}
+
+VirtualHeap::VirtualHeap() = default;
+
+HeapRegion
+VirtualHeap::alloc(const std::string &name, uint64_t bytes)
+{
+    if (bytes == 0)
+        wcrt_panic("zero-byte allocation for region '", name, "'");
+    uint64_t rounded = (bytes + pageBytes - 1) & ~(pageBytes - 1);
+    HeapRegion r;
+    r.name = name;
+    r.base = cursor;
+    r.bytes = rounded;
+    cursor += rounded;
+    return r;
+}
+
+} // namespace wcrt

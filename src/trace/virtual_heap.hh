@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic synthetic data-address space.
+ *
+ * Workloads keep their actual data in ordinary containers, but the
+ * addresses they *report* to the cache model come from this arena so
+ * runs are reproducible regardless of the host allocator and ASLR.
+ * Regions are page-aligned and never overlap; the layout is a simple
+ * bump allocator over a synthetic heap segment.
+ */
+
+#ifndef WCRT_TRACE_VIRTUAL_HEAP_HH
+#define WCRT_TRACE_VIRTUAL_HEAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wcrt {
+
+/** A named, contiguous synthetic allocation. */
+struct HeapRegion
+{
+    std::string name;
+    uint64_t base = 0;
+    uint64_t bytes = 0;
+
+    /** Address of byte `offset`, bounds-checked. */
+    uint64_t addr(uint64_t offset) const;
+
+    /** Address of element `index` of an array of `stride`-byte items. */
+    uint64_t element(uint64_t index, uint64_t stride) const;
+};
+
+/**
+ * Bump allocator handing out non-overlapping page-aligned regions.
+ */
+class VirtualHeap
+{
+  public:
+    VirtualHeap();
+
+    /** Allocate a region; bytes are rounded up to a full page. */
+    HeapRegion alloc(const std::string &name, uint64_t bytes);
+
+    /** Total bytes allocated so far. */
+    uint64_t allocated() const { return cursor - heapBase; }
+
+    /** Synthetic heap segment base. */
+    static constexpr uint64_t heapBase = 0x10'0000'0000ull;
+
+    /** Page size used for alignment (matches the TLB model). */
+    static constexpr uint64_t pageBytes = 4096;
+
+  private:
+    uint64_t cursor = heapBase;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_TRACE_VIRTUAL_HEAP_HH

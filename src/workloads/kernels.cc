@@ -1,0 +1,227 @@
+#include "workloads/kernels.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "trace/idioms.hh"
+
+namespace wcrt {
+
+AppKernels::AppKernels(CodeLayout &layout)
+{
+    auto app = [&](const char *name, uint32_t bytes) {
+        return layout.addFunction(std::string("app.") + name,
+                                  CodeLayer::Application, bytes);
+    };
+    // Application kernels are small: the paper notes big data analysis
+    // kernel code is simple (ComputeDist is ~40 lines).
+    tokenizeFn = app("tokenize", 768);
+    grepFn = app("grepMatch", 640);
+    parseFn = app("parseInt", 256);
+    countFn = app("addCount", 192);
+    distanceFn = app("computeDist", 512);
+    assignFn = app("closestCenter", 448);
+    rankFn = app("rankContribute", 512);
+    bayesFn = app("bayesAccumulate", 576);
+    formatFn = app("formatValue", 320);
+}
+
+std::vector<std::string_view>
+AppKernels::tokenize(Tracer &t, std::string_view doc, uint64_t doc_addr)
+{
+    Tracer::Scope fn(t, tokenizeFn);
+    std::vector<std::string_view> tokens;
+    size_t i = 0;
+    // Count tokens first (cheap, host-side) so the emitted scan loop
+    // can model per-token bookkeeping faithfully.
+    while (i < doc.size()) {
+        while (i < doc.size() && doc[i] == ' ')
+            ++i;
+        size_t start = i;
+        while (i < doc.size() && doc[i] != ' ')
+            ++i;
+        if (i > start)
+            tokens.push_back(doc.substr(start, i - start));
+    }
+    idioms::scanTokens(t, doc_addr, doc.size(), tokens.size());
+    return tokens;
+}
+
+uint64_t
+AppKernels::grepMatch(Tracer &t, std::string_view text,
+                      uint64_t text_addr, std::string_view pattern)
+{
+    Tracer::Scope fn(t, grepFn);
+    if (pattern.empty() || text.size() < pattern.size())
+        return 0;
+
+    uint64_t matches = 0;
+    // Boyer-Moore-Horspool-flavoured scan: compute the skip table for
+    // real, walk the text, emit the compare work actually performed.
+    std::array<size_t, 256> skip;
+    skip.fill(pattern.size());
+    for (size_t i = 0; i + 1 < pattern.size(); ++i)
+        skip[static_cast<unsigned char>(pattern[i])] =
+            pattern.size() - 1 - i;
+    t.loop(pattern.size(), [&](uint64_t) {
+        t.intAlu(IntPurpose::IntAddress, 1);
+        t.intAlu(IntPurpose::Compute, 1);
+    });
+
+    size_t pos = 0;
+    uint64_t steps = 0;
+    while (pos + pattern.size() <= text.size()) {
+        ++steps;
+        size_t last = pos + pattern.size() - 1;
+        // Tail-byte check then (rarely) the full compare.
+        size_t matched = 0;
+        while (matched < pattern.size() &&
+               text[last - matched] ==
+                   pattern[pattern.size() - 1 - matched])
+            ++matched;
+        bool hit = matched == pattern.size();
+        if (hit)
+            ++matches;
+        pos += hit ? pattern.size()
+                   : skip[static_cast<unsigned char>(text[last])];
+        if (steps <= 4096) {
+            // Emit the probe: one load + compare + branch, plus the
+            // extra compares a partial match performed.
+            t.intAlu(IntPurpose::IntAddress, 1);
+            t.load(text_addr + last, 1);
+            t.intAlu(IntPurpose::Compute, 1);
+            t.branchForward(matched > 0, 24);
+            if (matched > 1)
+                idioms::compareBytes(t, text_addr + pos, text_addr + pos,
+                                     std::min<uint64_t>(matched, 16));
+        }
+    }
+    // For very long texts the emission above caps at 4096 probes; fold
+    // the remainder into a compressed loop so mix ratios stay right.
+    if (steps > 4096) {
+        t.loop((steps - 4096) / 8 + 1, [&](uint64_t k) {
+            t.intAlu(IntPurpose::IntAddress, 1);
+            t.load(text_addr + (k * 64) % text.size(), 8);
+            t.intAlu(IntPurpose::Compute, 1);
+            t.branchForward(false, 24);
+        });
+    }
+    return matches;
+}
+
+int64_t
+AppKernels::parseInt(Tracer &t, std::string_view text, uint64_t addr)
+{
+    Tracer::Scope fn(t, parseFn);
+    int64_t v = 0;
+    size_t digits = 0;
+    for (char ch : text) {
+        if (!std::isdigit(static_cast<unsigned char>(ch)))
+            break;
+        v = v * 10 + (ch - '0');
+        ++digits;
+    }
+    t.loop(std::max<uint64_t>(digits, 1), [&](uint64_t k) {
+        t.intAlu(IntPurpose::IntAddress, 1);
+        t.load(addr + k, 1);
+        t.intMul(1);
+        t.intAlu(IntPurpose::Compute, 1);
+    });
+    return v;
+}
+
+void
+AppKernels::addCount(Tracer &t, uint64_t value_addr)
+{
+    Tracer::Scope fn(t, countFn);
+    t.load(value_addr, 8);
+    t.intAlu(IntPurpose::Compute, 1);
+    t.store(value_addr, 8);
+}
+
+double
+AppKernels::distance(Tracer &t, const double *a, uint64_t a_addr,
+                     const double *b, uint64_t b_addr, uint32_t dims)
+{
+    Tracer::Scope fn(t, distanceFn);
+    double sum = 0.0;
+    t.loop(dims, [&](uint64_t d) {
+        t.intAlu(IntPurpose::FpAddress, 2);
+        t.load(a_addr + d * 8, 8);
+        t.load(b_addr + d * 8, 8);
+        t.fpAlu(1);  // subtract
+        t.fpMul(1);  // square
+        t.fpAlu(1);  // accumulate
+        double diff = a[d] - b[d];
+        sum += diff * diff;
+    });
+    return sum;
+}
+
+uint32_t
+AppKernels::closestCenter(Tracer &t, const double *point,
+                          uint64_t point_addr,
+                          const std::vector<std::vector<double>> &centers,
+                          uint64_t centers_addr, uint32_t dims)
+{
+    Tracer::Scope fn(t, assignFn);
+    double min_dist = 0.0;
+    uint32_t index = 0;
+    // Algorithm 1 of the paper: the judgement-heavy main loop.
+    t.loop(centers.size(), [&](uint64_t c) {
+        double dist = distance(t, point, point_addr, centers[c].data(),
+                               centers_addr + c * dims * 8, dims);
+        bool closer = c == 0 || dist < min_dist;
+        t.fpAlu(1);  // compare
+        t.branchForward(closer, 16);
+        if (closer) {
+            t.intAlu(IntPurpose::Compute, 2);
+            min_dist = dist;
+            index = static_cast<uint32_t>(c);
+        }
+    });
+    return index;
+}
+
+void
+AppKernels::rankContribute(Tracer &t, uint64_t node_addr, double rank,
+                           uint64_t degree, uint64_t first_edge_addr)
+{
+    Tracer::Scope fn(t, rankFn);
+    t.intAlu(IntPurpose::FpAddress, 1);
+    t.load(node_addr, 8);
+    t.fpDiv(1);  // rank / degree
+    (void)rank;
+    t.loop(degree, [&](uint64_t e) {
+        t.intAlu(IntPurpose::IntAddress, 1);
+        t.load(first_edge_addr + e * 4, 4);  // neighbour id (CSR)
+    });
+}
+
+void
+AppKernels::bayesAccumulate(Tracer &t, uint64_t token_addr,
+                            uint64_t model_addr, uint32_t classes)
+{
+    Tracer::Scope fn(t, bayesFn);
+    idioms::hashBytes(t, token_addr, 8);
+    t.loop(classes, [&](uint64_t c) {
+        t.intAlu(IntPurpose::FpAddress, 1);
+        t.load(model_addr + c * 8, 8);
+        t.fpAlu(1);  // log-prob accumulate
+    });
+}
+
+std::string
+AppKernels::formatValue(Tracer &t, int64_t v)
+{
+    Tracer::Scope fn(t, formatFn);
+    std::string s = std::to_string(v);
+    t.loop(s.size(), [&](uint64_t) {
+        t.intDiv(1);
+        t.intAlu(IntPurpose::Compute, 1);
+    });
+    return s;
+}
+
+} // namespace wcrt

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared application kernels.
+ *
+ * The same algorithm appears under several stacks (the whole point of
+ * the paper's Section 5.5), so the data-dependent emission lives here
+ * once: tokenization, pattern match, hash-count, distance computation,
+ * rank propagation, Bayes scoring. Each kernel registers small
+ * application-layer functions (these are the tight loops that stay
+ * L1I-resident) and performs real work on real data while emitting.
+ */
+
+#ifndef WCRT_WORKLOADS_KERNELS_HH
+#define WCRT_WORKLOADS_KERNELS_HH
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/code_layout.hh"
+#include "trace/tracer.hh"
+
+namespace wcrt {
+
+/**
+ * Registers and emits the application-layer kernels. One instance per
+ * run; registration happens in the constructor.
+ */
+class AppKernels
+{
+  public:
+    explicit AppKernels(CodeLayout &layout);
+
+    /**
+     * Tokenize a document (really splitting it) while emitting the
+     * scan loop.
+     *
+     * @param doc Document text.
+     * @param doc_addr Trace address of the document bytes.
+     * @return The actual tokens.
+     */
+    std::vector<std::string_view> tokenize(Tracer &t,
+                                           std::string_view doc,
+                                           uint64_t doc_addr);
+
+    /**
+     * Substring search (really executed) emitting the match loop.
+     *
+     * @return Number of occurrences of `pattern` in `text`.
+     */
+    uint64_t grepMatch(Tracer &t, std::string_view text,
+                       uint64_t text_addr, std::string_view pattern);
+
+    /** Parse an ASCII integer (e.g. a count value) with emission. */
+    int64_t parseInt(Tracer &t, std::string_view text, uint64_t addr);
+
+    /** Sum a value into a running counter (combine step). */
+    void addCount(Tracer &t, uint64_t value_addr);
+
+    /**
+     * Squared Euclidean distance between two `dims`-dimensional
+     * points, emitting the FP loop; values are computed for real.
+     */
+    double distance(Tracer &t, const double *a, uint64_t a_addr,
+                    const double *b, uint64_t b_addr, uint32_t dims);
+
+    /**
+     * The K-means inner loop of the paper's Algorithm 1: find the
+     * closest of `k` centers to a point. Emits the compare/branch
+     * pattern the paper highlights.
+     *
+     * @return Index of the closest center.
+     */
+    uint32_t closestCenter(Tracer &t, const double *point,
+                           uint64_t point_addr,
+                           const std::vector<std::vector<double>> &centers,
+                           uint64_t centers_addr, uint32_t dims);
+
+    /**
+     * PageRank contribution pass for one node: read its rank, divide
+     * by degree, push to each neighbour (loads through the real CSR).
+     */
+    void rankContribute(Tracer &t, uint64_t node_addr, double rank,
+                        uint64_t degree, uint64_t first_edge_addr);
+
+    /** Naive Bayes per-token log-probability accumulation. */
+    void bayesAccumulate(Tracer &t, uint64_t token_addr,
+                         uint64_t model_addr, uint32_t classes);
+
+    /** Format a record value (int to string) with emission. */
+    std::string formatValue(Tracer &t, int64_t v);
+
+  private:
+    FunctionId tokenizeFn;
+    FunctionId grepFn;
+    FunctionId parseFn;
+    FunctionId countFn;
+    FunctionId distanceFn;
+    FunctionId assignFn;
+    FunctionId rankFn;
+    FunctionId bayesFn;
+    FunctionId formatFn;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_WORKLOADS_KERNELS_HH

@@ -1,0 +1,902 @@
+#include "workloads/ml_workloads.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+
+namespace wcrt {
+
+namespace {
+
+/** Records carrying point/node indices for the JVM-stack pipelines. */
+Record
+indexRecord(const std::string &key, uint64_t index, uint64_t key_addr,
+            uint64_t value_addr)
+{
+    Record r;
+    r.key = key;
+    r.value = std::to_string(index);
+    r.keyAddr = key_addr;
+    r.valueAddr = value_addr;
+    return r;
+}
+
+} // namespace
+
+MlWorkload::MlWorkload(MlAlgorithm algorithm, StackKind stack,
+                       double scale, uint64_t seed)
+    : algo(algorithm), stackKind(stack), scale(scale), seed(seed)
+{
+    if (stack != StackKind::Hadoop && stack != StackKind::Spark &&
+        stack != StackKind::Mpi) {
+        wcrt_fatal("ML workloads support Hadoop/Spark/MPI stacks");
+    }
+}
+
+std::string
+MlWorkload::name() const
+{
+    std::string prefix = stackKind == StackKind::Hadoop ? "H-"
+                         : stackKind == StackKind::Spark ? "S-"
+                                                         : "M-";
+    switch (algo) {
+      case MlAlgorithm::KMeans:
+        return prefix + "Kmeans";
+      case MlAlgorithm::PageRank:
+        return prefix + "PageRank";
+      case MlAlgorithm::NaiveBayes:
+        return prefix + "NaiveBayes";
+      case MlAlgorithm::ConnectedComponents:
+        return prefix + "ConnComp";
+    }
+    return prefix + "?";
+}
+
+AppCategory
+MlWorkload::category() const
+{
+    return AppCategory::DataAnalysis;
+}
+
+void
+MlWorkload::setup(RunEnv &env)
+{
+    DatasetCatalog catalog(env.heap, scale, seed);
+    kernels = std::make_unique<AppKernels>(env.layout);
+
+    switch (algo) {
+      case MlAlgorithm::KMeans: {
+        // Points around k true Gaussian blobs — the Facebook-dataset
+        // stand-in (94-byte records ~ 8 doubles + key).
+        Rng rng(seed ^ 0x137);
+        uint32_t n = static_cast<uint32_t>(catalog.scaled(4039));
+        points.assign(n, std::vector<double>(kmeansDims));
+        for (uint32_t p = 0; p < n; ++p) {
+            uint32_t blob = p % kmeansK;
+            for (uint32_t d = 0; d < kmeansDims; ++d)
+                points[p][d] =
+                    3.0 * blob + rng.nextGaussian(0.0, 0.6);
+        }
+        centers.assign(kmeansK, std::vector<double>(kmeansDims));
+        for (uint32_t c = 0; c < kmeansK; ++c)
+            centers[c] = points[c * (n / kmeansK)];
+        pointsRegion = env.heap.alloc(
+            "kmeans.points",
+            static_cast<uint64_t>(n) * kmeansDims * 8);
+        centersRegion = env.heap.alloc(
+            "kmeans.centers",
+            static_cast<uint64_t>(kmeansK) * kmeansDims * 8);
+        break;
+      }
+      case MlAlgorithm::PageRank: {
+        graph = catalog.googleWebGraph();
+        ranks.assign(graph->numNodes, 1.0);
+        break;
+      }
+      case MlAlgorithm::NaiveBayes: {
+        corpus = catalog.amazonReviews();
+        modelRegion = env.heap.alloc("bayes.model", 512 * 1024);
+        break;
+      }
+      case MlAlgorithm::ConnectedComponents: {
+        graph = catalog.facebookGraph();
+        labels.resize(graph->numNodes);
+        for (uint32_t v = 0; v < graph->numNodes; ++v)
+            labels[v] = v;
+        break;
+      }
+    }
+
+    switch (stackKind) {
+      case StackKind::Hadoop: {
+        MapReduceConfig cfg;
+        // Count-style jobs (Bayes training) combine map-side.
+        cfg.useCombiner = algo == MlAlgorithm::NaiveBayes;
+        hadoop = std::make_unique<MapReduceEngine>(env.layout, cfg);
+        break;
+      }
+      case StackKind::Spark:
+        spark = std::make_unique<RddEngine>(env.layout);
+        break;
+      default:
+        mpi = std::make_unique<NativeEngine>(env.layout);
+        break;
+    }
+}
+
+void
+MlWorkload::execute(RunEnv &env, Tracer &t)
+{
+    switch (algo) {
+      case MlAlgorithm::KMeans:
+        runKmeans(env, t);
+        break;
+      case MlAlgorithm::PageRank:
+        runPageRank(env, t);
+        break;
+      case MlAlgorithm::NaiveBayes:
+        runNaiveBayes(env, t);
+        break;
+      case MlAlgorithm::ConnectedComponents:
+        runConnectedComponents(env, t);
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// K-means
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Map side of one K-means iteration: assign points to centers. */
+class KmeansMapper : public Mapper
+{
+  public:
+    KmeansMapper(AppKernels &kernels,
+                 const std::vector<std::vector<double>> &points,
+                 const std::vector<std::vector<double>> &centers,
+                 uint64_t points_base, uint64_t centers_base,
+                 uint32_t dims)
+        : kernels(kernels), points(points), centers(centers),
+          pointsBase(points_base), centersBase(centers_base), dims(dims)
+    {
+    }
+
+    void registerCode(CodeLayout &) override {}
+
+    void
+    map(Tracer &t, const Record &in, RecordVec &out) override
+    {
+        auto index = static_cast<size_t>(std::stoll(in.value));
+        uint64_t point_addr = pointsBase + index * dims * 8;
+        uint32_t cluster = kernels.closestCenter(
+            t, points[index].data(), point_addr, centers, centersBase,
+            dims);
+        Record r = in;
+        r.key = std::to_string(cluster);
+        out.push_back(std::move(r));
+    }
+
+  private:
+    AppKernels &kernels;
+    const std::vector<std::vector<double>> &points;
+    const std::vector<std::vector<double>> &centers;
+    uint64_t pointsBase;
+    uint64_t centersBase;
+    uint32_t dims;
+};
+
+/** Reduce side: vector-sum the members of each cluster. */
+class KmeansReducer : public Reducer
+{
+  public:
+    KmeansReducer(AppKernels &kernels,
+                  const std::vector<std::vector<double>> &points,
+                  uint64_t points_base, uint32_t dims,
+                  std::vector<std::vector<double>> &new_centers,
+                  std::vector<uint64_t> &counts)
+        : kernels(kernels), points(points), pointsBase(points_base),
+          dims(dims), newCenters(new_centers), counts(counts)
+    {
+    }
+
+    void registerCode(CodeLayout &) override {}
+
+    void
+    reduce(Tracer &t, const std::string &key, const RecordVec &values,
+           RecordVec &out) override
+    {
+        auto cluster = static_cast<size_t>(std::stoll(key));
+        for (const auto &v : values) {
+            auto index = static_cast<size_t>(std::stoll(v.value));
+            uint64_t addr = pointsBase + index * dims * 8;
+            // Vector add: the real accumulation plus its FP trace.
+            t.loop(dims, [&](uint64_t d) {
+                t.intAlu(IntPurpose::FpAddress, 1);
+                t.load(addr + d * 8, 8);
+                t.fpAlu(1);
+                newCenters[cluster][d] += points[index][d];
+            });
+            ++counts[cluster];
+        }
+        Record r;
+        r.key = key;
+        r.value = kernels.formatValue(
+            t, static_cast<int64_t>(values.size()));
+        r.keyAddr = values.front().keyAddr;
+        r.valueAddr = values.front().valueAddr;
+        out.push_back(std::move(r));
+    }
+
+  private:
+    AppKernels &kernels;
+    const std::vector<std::vector<double>> &points;
+    uint64_t pointsBase;
+    uint32_t dims;
+    std::vector<std::vector<double>> &newCenters;
+    std::vector<uint64_t> &counts;
+};
+
+/** MPI K-means: local assignment + partial sums, tiny exchange. */
+class MpiKmeansKernel : public NativeKernel
+{
+  public:
+    MpiKmeansKernel(AppKernels &kernels,
+                    const std::vector<std::vector<double>> &points,
+                    const std::vector<std::vector<double>> &centers,
+                    uint64_t points_base, uint64_t centers_base,
+                    uint32_t dims, uint32_t k,
+                    std::vector<std::vector<double>> &new_centers,
+                    std::vector<uint64_t> &counts)
+        : kernels(kernels), points(points), centers(centers),
+          pointsBase(points_base), centersBase(centers_base), dims(dims),
+          k(k), newCenters(new_centers), counts(counts)
+    {
+    }
+
+    void registerCode(CodeLayout &) override {}
+
+    void
+    processPartition(Tracer &t, const RecordVec &in,
+                     std::vector<RecordVec> &to_ranks) override
+    {
+        std::vector<std::vector<double>> local_sums(
+            k, std::vector<double>(dims, 0.0));
+        std::vector<uint64_t> local_counts(k, 0);
+        for (const auto &rec : in) {
+            auto index = static_cast<size_t>(std::stoll(rec.value));
+            uint64_t addr = pointsBase + index * dims * 8;
+            uint32_t cluster = kernels.closestCenter(
+                t, points[index].data(), addr, centers, centersBase,
+                dims);
+            t.loop(dims, [&](uint64_t d) {
+                t.intAlu(IntPurpose::FpAddress, 1);
+                t.load(addr + d * 8, 8);
+                t.fpAlu(1);
+                local_sums[cluster][d] += points[index][d];
+            });
+            ++local_counts[cluster];
+        }
+        // Ship one partial-sum record per cluster to rank 0.
+        for (uint32_t c = 0; c < k; ++c) {
+            if (local_counts[c] == 0)
+                continue;
+            Record r;
+            r.key = std::to_string(c);
+            r.value = std::to_string(local_counts[c]);
+            r.keyAddr = centersBase + c * dims * 8;
+            r.valueAddr = r.keyAddr;
+            to_ranks[0].push_back(std::move(r));
+            for (uint32_t d = 0; d < dims; ++d)
+                newCenters[c][d] += local_sums[c][d];
+            counts[c] += local_counts[c];
+        }
+    }
+
+    void
+    finalize(Tracer &t, const RecordVec &received, RecordVec &out)
+        override
+    {
+        for (const auto &rec : received) {
+            t.intAlu(IntPurpose::FpAddress, 1);
+            t.fpAlu(static_cast<uint32_t>(dims));
+            out.push_back(rec);
+        }
+    }
+
+  private:
+    AppKernels &kernels;
+    const std::vector<std::vector<double>> &points;
+    const std::vector<std::vector<double>> &centers;
+    uint64_t pointsBase;
+    uint64_t centersBase;
+    uint32_t dims;
+    uint32_t k;
+    std::vector<std::vector<double>> &newCenters;
+    std::vector<uint64_t> &counts;
+};
+
+} // namespace
+
+void
+MlWorkload::runKmeans(RunEnv &env, Tracer &t)
+{
+    RecordVec input;
+    input.reserve(points.size());
+    for (size_t p = 0; p < points.size(); ++p) {
+        input.push_back(indexRecord(
+            std::to_string(p), p, pointsRegion.base + p * kmeansDims * 8,
+            pointsRegion.base + p * kmeansDims * 8));
+    }
+
+    for (uint32_t iter = 0; iter < kmeansIterations; ++iter) {
+        std::vector<std::vector<double>> sums(
+            kmeansK, std::vector<double>(kmeansDims, 0.0));
+        std::vector<uint64_t> counts(kmeansK, 0);
+
+        if (stackKind == StackKind::Hadoop) {
+            KmeansMapper m(*kernels, points, centers, pointsRegion.base,
+                           centersRegion.base, kmeansDims);
+            KmeansReducer r(*kernels, points, pointsRegion.base,
+                            kmeansDims, sums, counts);
+            hadoop->run(env, t, input, m, r);
+        } else if (stackKind == StackKind::Spark) {
+            KmeansMapper m(*kernels, points, centers, pointsRegion.base,
+                           centersRegion.base, kmeansDims);
+            Rdd assigned = spark->parallelize(input).map(
+                [&m](Tracer &tt, const Record &rec, RecordVec &out) {
+                    m.map(tt, rec, out);
+                },
+                "map:assign");
+            Rdd combined = assigned.reduceByKey(
+                [this, &sums, &counts](Tracer &tt, const Record &a,
+                                       const Record &b) {
+                    auto cluster =
+                        static_cast<size_t>(std::stoll(a.key));
+                    auto index =
+                        static_cast<size_t>(std::stoll(b.value));
+                    tt.loop(kmeansDims, [&](uint64_t d) {
+                        tt.intAlu(IntPurpose::FpAddress, 1);
+                        tt.load(pointsRegion.base +
+                                    index * kmeansDims * 8 + d * 8,
+                                8);
+                        tt.fpAlu(1);
+                        sums[cluster][d] += points[index][d];
+                    });
+                    ++counts[cluster];
+                    return a;
+                });
+            combined.collect(env, t);
+            // reduceByKey's first-record-per-key bypasses the combine
+            // callback; account those members host-side.
+            for (auto &c : counts)
+                c = std::max<uint64_t>(c, 1);
+        } else {
+            MpiKmeansKernel kernel(*kernels, points, centers,
+                                   pointsRegion.base, centersRegion.base,
+                                   kmeansDims, kmeansK, sums, counts);
+            mpi->run(env, t, input, kernel);
+        }
+
+        // New centers (host arithmetic + the trace of the division).
+        for (uint32_t c = 0; c < kmeansK; ++c) {
+            if (counts[c] == 0)
+                continue;
+            t.fpDiv(kmeansDims);
+            for (uint32_t d = 0; d < kmeansDims; ++d)
+                centers[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PageRank
+// ---------------------------------------------------------------------
+
+void
+MlWorkload::runPageRank(RunEnv &env, Tracer &t)
+{
+    const Graph &g = *graph;
+    RecordVec input;
+    input.reserve(g.numNodes);
+    for (uint32_t v = 0; v < g.numNodes; ++v)
+        input.push_back(indexRecord(std::to_string(v), v, g.nodeAddr(v),
+                                    g.nodeAddr(v)));
+
+    for (uint32_t iter = 0; iter < pagerankIterations; ++iter) {
+        std::vector<double> next(g.numNodes, 0.15);
+
+        auto contribute = [&](Tracer &tt, uint32_t v,
+                              RecordVec *out) {
+            uint64_t degree = g.outDegree(v);
+            if (degree == 0)
+                return;
+            kernels->rankContribute(tt, g.nodeAddr(v), ranks[v], degree,
+                                    g.edgeAddr(v, 0));
+            double share = 0.85 * ranks[v] /
+                           static_cast<double>(degree);
+            for (uint64_t e = 0; e < degree; ++e) {
+                uint32_t dst = g.targets[g.offsets[v] + e];
+                next[dst] += share;
+                if (out) {
+                    Record r;
+                    r.key = std::to_string(dst);
+                    r.value = "c";
+                    r.keyAddr = g.nodeAddr(dst);
+                    r.valueAddr = g.edgeAddr(v, e);
+                    out->push_back(std::move(r));
+                }
+            }
+        };
+
+        if (stackKind == StackKind::Spark) {
+            Rdd contribs = spark->parallelize(input).map(
+                [&](Tracer &tt, const Record &rec, RecordVec &out) {
+                    auto v = static_cast<uint32_t>(
+                        std::stoul(rec.value));
+                    contribute(tt, v, &out);
+                },
+                "flatMap:contribute");
+            Rdd summed = contribs.reduceByKey(
+                [](Tracer &tt, const Record &a, const Record &b) {
+                    tt.fpAlu(1);
+                    (void)b;
+                    return a;
+                });
+            summed.collect(env, t);
+        } else if (stackKind == StackKind::Hadoop) {
+            class PrMapper : public Mapper
+            {
+              public:
+                PrMapper(std::function<void(Tracer &, uint32_t,
+                                            RecordVec *)>
+                             fn)
+                    : fn(std::move(fn))
+                {
+                }
+                void registerCode(CodeLayout &) override {}
+                void
+                map(Tracer &tt, const Record &in, RecordVec &out)
+                    override
+                {
+                    fn(tt, static_cast<uint32_t>(std::stoul(in.value)),
+                       &out);
+                }
+
+              private:
+                std::function<void(Tracer &, uint32_t, RecordVec *)> fn;
+            };
+            class PrReducer : public Reducer
+            {
+              public:
+                void registerCode(CodeLayout &) override {}
+                void
+                reduce(Tracer &tt, const std::string &key,
+                       const RecordVec &values, RecordVec &out) override
+                {
+                    tt.fpAlu(static_cast<uint32_t>(values.size()));
+                    Record r;
+                    r.key = key;
+                    r.value = std::to_string(values.size());
+                    r.keyAddr = values.front().keyAddr;
+                    r.valueAddr = values.front().valueAddr;
+                    out.push_back(std::move(r));
+                }
+            };
+            PrMapper m(contribute);
+            PrReducer r;
+            hadoop->run(env, t, input, m, r);
+        } else {
+            class MpiPrKernel : public NativeKernel
+            {
+              public:
+                MpiPrKernel(const Graph &g,
+                            std::function<void(Tracer &, uint32_t,
+                                               RecordVec *)>
+                                fn,
+                            uint32_t ranks_count)
+                    : g(g), fn(std::move(fn)), ranksCount(ranks_count)
+                {
+                }
+                void registerCode(CodeLayout &) override {}
+                void
+                processPartition(Tracer &tt, const RecordVec &in,
+                                 std::vector<RecordVec> &to_ranks)
+                    override
+                {
+                    // Local aggregation per destination partition: MPI
+                    // codes ship dense partial vectors, not records.
+                    for (const auto &rec : in) {
+                        auto v = static_cast<uint32_t>(
+                            std::stoul(rec.value));
+                        fn(tt, v, nullptr);
+                    }
+                    // One aggregate message per rank.
+                    for (uint32_t r = 0; r < ranksCount; ++r) {
+                        Record msg;
+                        msg.key = std::to_string(r);
+                        msg.value = std::string(64, 'p');
+                        msg.keyAddr = g.nodeRegion.base;
+                        msg.valueAddr = g.nodeRegion.base;
+                        to_ranks[r].push_back(std::move(msg));
+                    }
+                }
+                void
+                finalize(Tracer &tt, const RecordVec &received,
+                         RecordVec &out) override
+                {
+                    tt.fpAlu(
+                        static_cast<uint32_t>(received.size() * 8));
+                    out = received;
+                }
+
+              private:
+                const Graph &g;
+                std::function<void(Tracer &, uint32_t, RecordVec *)> fn;
+                uint32_t ranksCount;
+            };
+            MpiPrKernel kernel(g, contribute, mpi->config().ranks);
+            mpi->run(env, t, input, kernel);
+        }
+
+        ranks = std::move(next);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Naive Bayes
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Training map: emit (class#token, 1) for every token. */
+class BayesMapper : public Mapper
+{
+  public:
+    BayesMapper(AppKernels &kernels, uint32_t classes)
+        : kernels(kernels), classes(classes)
+    {
+    }
+
+    void registerCode(CodeLayout &) override {}
+
+    void
+    map(Tracer &t, const Record &in, RecordVec &out) override
+    {
+        uint32_t cls = static_cast<uint32_t>(fnv1a(in.key) % classes);
+        auto tokens = kernels.tokenize(t, in.value, in.valueAddr);
+        const char *base = in.value.data();
+        for (auto tok : tokens) {
+            Record r;
+            r.key = std::to_string(cls) + "#" + std::string(tok);
+            r.value = "1";
+            r.keyAddr =
+                in.valueAddr + static_cast<uint64_t>(tok.data() - base);
+            r.valueAddr = r.keyAddr;
+            out.push_back(std::move(r));
+        }
+    }
+
+  private:
+    AppKernels &kernels;
+    uint32_t classes;
+};
+
+class BayesReducer : public Reducer
+{
+  public:
+    BayesReducer(AppKernels &kernels) : kernels(kernels) {}
+
+    void registerCode(CodeLayout &) override {}
+
+    void
+    reduce(Tracer &t, const std::string &key, const RecordVec &values,
+           RecordVec &out) override
+    {
+        int64_t total = 0;
+        for (const auto &v : values)
+            total += kernels.parseInt(t, v.value, v.valueAddr);
+        Record r;
+        r.key = key;
+        r.value = kernels.formatValue(t, total);
+        r.keyAddr = values.front().keyAddr;
+        r.valueAddr = values.front().valueAddr;
+        out.push_back(std::move(r));
+    }
+
+  private:
+    AppKernels &kernels;
+};
+
+/** MPI Bayes: local count tables, merged via the exchange. */
+class MpiBayesKernel : public NativeKernel
+{
+  public:
+    MpiBayesKernel(AppKernels &kernels, uint32_t classes,
+                   uint32_t ranks_count)
+        : kernels(kernels), classes(classes), ranksCount(ranks_count)
+    {
+    }
+
+    void registerCode(CodeLayout &) override {}
+
+    void
+    processPartition(Tracer &t, const RecordVec &in,
+                     std::vector<RecordVec> &to_ranks) override
+    {
+        std::unordered_map<std::string, int64_t> counts;
+        for (const auto &rec : in) {
+            uint32_t cls =
+                static_cast<uint32_t>(fnv1a(rec.key) % classes);
+            auto tokens = kernels.tokenize(t, rec.value, rec.valueAddr);
+            for (auto tok : tokens) {
+                t.intMul(1);
+                t.intAlu(IntPurpose::IntAddress, 2);
+                ++counts[std::to_string(cls) + "#" + std::string(tok)];
+            }
+        }
+        for (const auto &[key, count] : counts) {
+            Record r;
+            r.key = key;
+            r.value = std::to_string(count);
+            r.keyAddr = in.front().valueAddr;
+            r.valueAddr = in.front().valueAddr;
+            to_ranks[fnv1a(key) % ranksCount].push_back(std::move(r));
+        }
+    }
+
+    void
+    finalize(Tracer &t, const RecordVec &received, RecordVec &out)
+        override
+    {
+        std::unordered_map<std::string, int64_t> merged;
+        for (const auto &rec : received) {
+            t.intMul(1);
+            t.intAlu(IntPurpose::Compute, 1);
+            merged[rec.key] +=
+                kernels.parseInt(t, rec.value, rec.valueAddr);
+        }
+        for (const auto &[key, count] : merged) {
+            Record r;
+            r.key = key;
+            r.value = std::to_string(count);
+            out.push_back(std::move(r));
+        }
+    }
+
+  private:
+    AppKernels &kernels;
+    uint32_t classes;
+    uint32_t ranksCount;
+};
+
+} // namespace
+
+void
+MlWorkload::runNaiveBayes(RunEnv &env, Tracer &t)
+{
+    RecordVec input;
+    input.reserve(corpus->docs.size());
+    for (size_t d = 0; d < corpus->docs.size(); ++d) {
+        Record r;
+        r.key = "doc" + std::to_string(d);
+        r.value = corpus->docs[d];
+        r.keyAddr = corpus->docAddr(d);
+        r.valueAddr = corpus->docAddr(d);
+        input.push_back(std::move(r));
+    }
+
+    // Training pass.
+    if (stackKind == StackKind::Hadoop) {
+        BayesMapper m(*kernels, bayesClasses);
+        BayesReducer r(*kernels);
+        hadoop->run(env, t, input, m, r);
+    } else if (stackKind == StackKind::Spark) {
+        BayesMapper m(*kernels, bayesClasses);
+        Rdd counts =
+            spark->parallelize(input)
+                .map(
+                    [&m](Tracer &tt, const Record &rec, RecordVec &out) {
+                        m.map(tt, rec, out);
+                    },
+                    "flatMap:classTokens")
+                .reduceByKey([this](Tracer &tt, const Record &a,
+                                    const Record &b) {
+                    int64_t sum =
+                        kernels->parseInt(tt, a.value, a.valueAddr) +
+                        kernels->parseInt(tt, b.value, b.valueAddr);
+                    Record r = a;
+                    r.value = kernels->formatValue(tt, sum);
+                    return r;
+                });
+        counts.collect(env, t);
+    } else {
+        MpiBayesKernel kernel(*kernels, bayesClasses,
+                              mpi->config().ranks);
+        mpi->run(env, t, input, kernel);
+    }
+
+    // Scoring pass over a sample of documents (app-level FP work).
+    size_t sample = std::min<size_t>(corpus->docs.size(), 256);
+    for (size_t d = 0; d < sample; ++d) {
+        auto tokens =
+            kernels->tokenize(t, corpus->docs[d], corpus->docAddr(d));
+        const char *base = corpus->docs[d].data();
+        for (auto tok : tokens) {
+            kernels->bayesAccumulate(
+                t,
+                corpus->docAddr(d) +
+                    static_cast<uint64_t>(tok.data() - base),
+                modelRegion.base +
+                    (fnv1a(tok) % (modelRegion.bytes / 64)) * 64,
+                bayesClasses);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connected components (label propagation)
+// ---------------------------------------------------------------------
+
+void
+MlWorkload::runConnectedComponents(RunEnv &env, Tracer &t)
+{
+    const Graph &g = *graph;
+    RecordVec input;
+    input.reserve(g.numNodes);
+    for (uint32_t v = 0; v < g.numNodes; ++v)
+        input.push_back(indexRecord(std::to_string(v), v, g.nodeAddr(v),
+                                    g.nodeAddr(v)));
+
+    // Min-label propagation until quiescent (bounded rounds).
+    for (int round = 0; round < 4; ++round) {
+        std::vector<uint32_t> next = labels;
+        bool changed = false;
+
+        auto propagate = [&](Tracer &tt, uint32_t v, RecordVec *out) {
+            uint64_t degree = g.outDegree(v);
+            tt.intAlu(IntPurpose::IntAddress, 1);
+            tt.load(g.nodeAddr(v), 8);
+            tt.loop(degree, [&](uint64_t e) {
+                uint32_t dst = g.targets[g.offsets[v] + e];
+                tt.intAlu(IntPurpose::IntAddress, 1);
+                tt.load(g.nodeAddr(dst), 8);
+                tt.intAlu(IntPurpose::Compute, 1);
+                bool lower = labels[v] < next[dst];
+                tt.branchForward(lower, 16);
+                if (lower) {
+                    next[dst] = labels[v];
+                    changed = true;
+                    tt.store(g.nodeAddr(dst), 8);
+                    if (out) {
+                        Record r;
+                        r.key = std::to_string(dst);
+                        r.value = std::to_string(labels[v]);
+                        r.keyAddr = g.nodeAddr(dst);
+                        r.valueAddr = g.nodeAddr(v);
+                        out->push_back(std::move(r));
+                    }
+                }
+            });
+        };
+
+        if (stackKind == StackKind::Spark) {
+            spark->parallelize(input)
+                .map(
+                    [&](Tracer &tt, const Record &rec, RecordVec &out) {
+                        auto v = static_cast<uint32_t>(
+                            std::stoul(rec.value));
+                        propagate(tt, v, &out);
+                    },
+                    "flatMap:labels")
+                .reduceByKey([](Tracer &tt, const Record &a,
+                                const Record &b) {
+                    tt.intAlu(IntPurpose::Compute, 1);
+                    return std::stoll(a.value) <= std::stoll(b.value)
+                               ? a
+                               : b;
+                })
+                .collect(env, t);
+        } else if (stackKind == StackKind::Hadoop) {
+            class CcMapper : public Mapper
+            {
+              public:
+                explicit CcMapper(
+                    std::function<void(Tracer &, uint32_t, RecordVec *)>
+                        fn)
+                    : fn(std::move(fn))
+                {
+                }
+                void registerCode(CodeLayout &) override {}
+                void
+                map(Tracer &tt, const Record &in, RecordVec &out)
+                    override
+                {
+                    fn(tt, static_cast<uint32_t>(std::stoul(in.value)),
+                       &out);
+                }
+
+              private:
+                std::function<void(Tracer &, uint32_t, RecordVec *)> fn;
+            };
+            class MinReducer : public Reducer
+            {
+              public:
+                void registerCode(CodeLayout &) override {}
+                void
+                reduce(Tracer &tt, const std::string &key,
+                       const RecordVec &values, RecordVec &out) override
+                {
+                    int64_t best = std::stoll(values.front().value);
+                    for (const auto &v : values) {
+                        tt.intAlu(IntPurpose::Compute, 1);
+                        best = std::min<int64_t>(best, std::stoll(v.value));
+                    }
+                    Record r = values.front();
+                    r.key = key;
+                    r.value = std::to_string(best);
+                    out.push_back(std::move(r));
+                }
+            };
+            CcMapper m(propagate);
+            MinReducer r;
+            hadoop->run(env, t, input, m, r);
+        } else {
+            class MpiCcKernel : public NativeKernel
+            {
+              public:
+                MpiCcKernel(std::function<void(Tracer &, uint32_t,
+                                               RecordVec *)>
+                                fn,
+                            uint32_t ranks_count)
+                    : fn(std::move(fn)), ranksCount(ranks_count)
+                {
+                }
+                void registerCode(CodeLayout &) override {}
+                void
+                processPartition(Tracer &tt, const RecordVec &in,
+                                 std::vector<RecordVec> &to_ranks)
+                    override
+                {
+                    for (const auto &rec : in) {
+                        fn(tt,
+                           static_cast<uint32_t>(std::stoul(rec.value)),
+                           nullptr);
+                    }
+                    for (uint32_t r = 0; r < ranksCount; ++r) {
+                        Record msg;
+                        msg.key = std::to_string(r);
+                        msg.value = std::string(32, 'l');
+                        to_ranks[r].push_back(std::move(msg));
+                    }
+                }
+                void
+                finalize(Tracer &tt, const RecordVec &received,
+                         RecordVec &out) override
+                {
+                    tt.intAlu(IntPurpose::Compute,
+                              static_cast<uint32_t>(received.size()));
+                    out = received;
+                }
+
+              private:
+                std::function<void(Tracer &, uint32_t, RecordVec *)> fn;
+                uint32_t ranksCount;
+            };
+            MpiCcKernel kernel(propagate, mpi->config().ranks);
+            mpi->run(env, t, input, kernel);
+        }
+
+        labels = std::move(next);
+        if (!changed)
+            break;
+    }
+}
+
+} // namespace wcrt

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The machine-learning / graph workloads: K-means, PageRank and
+ * Naive Bayes, implementable on the Spark, Hadoop and MPI stacks.
+ *
+ * Table-2 mapping: S-Kmeans (#11), S-PageRank (#13), H-NaiveBayes
+ * (#16), plus the M-Bayes / M-Kmeans / M-PageRank contrast
+ * implementations of Section 5.5 (and Hadoop/Spark roster variants).
+ */
+
+#ifndef WCRT_WORKLOADS_ML_WORKLOADS_HH
+#define WCRT_WORKLOADS_ML_WORKLOADS_HH
+
+#include <memory>
+#include <optional>
+
+#include "datagen/datasets.hh"
+#include "stack/mapreduce/engine.hh"
+#include "stack/native/engine.hh"
+#include "stack/rdd/engine.hh"
+#include "workloads/kernels.hh"
+#include "workloads/workload.hh"
+
+namespace wcrt {
+
+/** Which ML/graph algorithm an MlWorkload instance runs. */
+enum class MlAlgorithm : uint8_t {
+    KMeans,
+    PageRank,
+    NaiveBayes,
+    ConnectedComponents,
+};
+
+/**
+ * One ML workload bound to a stack.
+ */
+class MlWorkload : public Workload
+{
+  public:
+    MlWorkload(MlAlgorithm algorithm, StackKind stack, double scale = 1.0,
+               uint64_t seed = 7);
+
+    std::string name() const override;
+    AppCategory category() const override;
+    StackKind stack() const override { return stackKind; }
+    void setup(RunEnv &env) override;
+    void execute(RunEnv &env, Tracer &t) override;
+
+  private:
+    void runKmeans(RunEnv &env, Tracer &t);
+    void runPageRank(RunEnv &env, Tracer &t);
+    void runNaiveBayes(RunEnv &env, Tracer &t);
+    void runConnectedComponents(RunEnv &env, Tracer &t);
+
+    MlAlgorithm algo;
+    StackKind stackKind;
+    double scale;
+    uint64_t seed;
+
+    // K-means state.
+    std::vector<std::vector<double>> points;
+    std::vector<std::vector<double>> centers;
+    HeapRegion pointsRegion;
+    HeapRegion centersRegion;
+    static constexpr uint32_t kmeansK = 8;
+    static constexpr uint32_t kmeansDims = 8;
+    static constexpr uint32_t kmeansIterations = 3;
+
+    // PageRank / connected-components state.
+    std::optional<Graph> graph;
+    std::vector<double> ranks;
+    std::vector<uint32_t> labels;
+    static constexpr uint32_t pagerankIterations = 3;
+
+    // Bayes state.
+    std::optional<TextCorpus> corpus;
+    HeapRegion modelRegion;
+    static constexpr uint32_t bayesClasses = 2;
+
+    std::unique_ptr<AppKernels> kernels;
+    std::unique_ptr<MapReduceEngine> hadoop;
+    std::unique_ptr<RddEngine> spark;
+    std::unique_ptr<NativeEngine> mpi;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_WORKLOADS_ML_WORKLOADS_HH

@@ -1,0 +1,763 @@
+#include "workloads/query_workloads.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+
+namespace wcrt {
+
+namespace {
+
+/** Zero-pad an integer for lexicographic ordering. */
+std::string
+padKey(int64_t v, size_t width = 12)
+{
+    std::string s = std::to_string(v);
+    if (s.size() < width)
+        s = std::string(width - s.size(), '0') + s;
+    return s;
+}
+
+/** Compact row serialization for the JVM-stack record pipelines. */
+std::string
+rowString(const DataTable &t, uint64_t row)
+{
+    std::string s;
+    for (const auto &c : t.columns) {
+        if (!s.empty())
+            s += '|';
+        switch (c.type) {
+          case ColumnType::Int64:
+            s += std::to_string(c.ints[row]);
+            break;
+          case ColumnType::Float64:
+            s += std::to_string(static_cast<int64_t>(c.doubles[row]));
+            break;
+          case ColumnType::Text:
+            s += c.texts[row];
+            break;
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+QueryWorkload::QueryWorkload(QueryKind query, StackKind stack,
+                             double scale, uint64_t seed)
+    : query(query), stackKind(stack), scale(scale), seed(seed)
+{
+    if (stack != StackKind::Hive && stack != StackKind::Shark &&
+        stack != StackKind::Impala) {
+        wcrt_fatal("query workloads support Hive/Shark/Impala stacks");
+    }
+}
+
+std::string
+QueryWorkload::name() const
+{
+    std::string prefix = stackKind == StackKind::Hive ? "H-"
+                         : stackKind == StackKind::Shark ? "S-"
+                                                         : "I-";
+    switch (query) {
+      case QueryKind::SelectQuery:
+        return prefix + "SelectQuery";
+      case QueryKind::Project:
+        return prefix + "Project";
+      case QueryKind::OrderBy:
+        return prefix + "OrderBy";
+      case QueryKind::Difference:
+        return prefix + "Difference";
+      case QueryKind::Aggregation:
+        return prefix + "Aggregation";
+      case QueryKind::Join:
+        return prefix + "Join";
+      case QueryKind::TpcdsQ3:
+        return prefix + "TPC-DS-query3";
+      case QueryKind::TpcdsQ8:
+        return prefix + "TPC-DS-query8";
+      case QueryKind::TpcdsQ10:
+        return prefix + "TPC-DS-query10";
+    }
+    return prefix + "?";
+}
+
+AppCategory
+QueryWorkload::category() const
+{
+    return AppCategory::InteractiveAnalysis;
+}
+
+void
+QueryWorkload::setup(RunEnv &env)
+{
+    DatasetCatalog catalog(env.heap, scale, seed);
+    kernels = std::make_unique<AppKernels>(env.layout);
+
+    switch (query) {
+      case QueryKind::SelectQuery:
+      case QueryKind::Project:
+        items = catalog.ecommerceItems();
+        break;
+      case QueryKind::OrderBy:
+        orders = catalog.ecommerceOrders();
+        break;
+      case QueryKind::Difference:
+      case QueryKind::Join:
+        orders = catalog.ecommerceOrders();
+        items = catalog.ecommerceItems();
+        break;
+      case QueryKind::Aggregation:
+        orders = catalog.ecommerceOrders();
+        break;
+      case QueryKind::TpcdsQ3:
+      case QueryKind::TpcdsQ8:
+      case QueryKind::TpcdsQ10:
+        sales = catalog.tpcdsWebSales();
+        dateDim = catalog.tpcdsDateDim();
+        itemDim = catalog.tpcdsItemDim();
+        break;
+    }
+
+    switch (stackKind) {
+      case StackKind::Impala:
+        impala = std::make_unique<VectorizedEngine>(env.layout);
+        break;
+      case StackKind::Hive:
+        hive = std::make_unique<MapReduceEngine>(env.layout);
+        break;
+      default:
+        shark = std::make_unique<RddEngine>(env.layout);
+        break;
+    }
+}
+
+RecordVec
+QueryWorkload::tableRecords(const DataTable &table,
+                            const std::string &key_col) const
+{
+    size_t kc = table.columnIndex(key_col);
+    const auto &col = table.columns[kc];
+    RecordVec out;
+    out.reserve(table.rows);
+    for (uint64_t r = 0; r < table.rows; ++r) {
+        Record rec;
+        rec.key = padKey(col.type == ColumnType::Float64
+                             ? static_cast<int64_t>(col.doubles[r])
+                             : col.ints[r]);
+        rec.value = rowString(table, r);
+        rec.keyAddr = table.cellAddr(kc, r);
+        rec.valueAddr = table.cellAddr(0, r);
+        out.push_back(std::move(rec));
+    }
+    return out;
+}
+
+void
+QueryWorkload::execute(RunEnv &env, Tracer &t)
+{
+    switch (stackKind) {
+      case StackKind::Impala:
+        runImpala(env, t);
+        break;
+      case StackKind::Hive:
+        runHive(env, t);
+        break;
+      default:
+        runShark(env, t);
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Impala backend: native vectorized plans.
+// ---------------------------------------------------------------------
+
+void
+QueryWorkload::runImpala(RunEnv &env, Tracer &t)
+{
+    switch (query) {
+      case QueryKind::SelectQuery: {
+        Selection all = impala->scan(env, t, *items);
+        Selection cheap = impala->filterFloat64(
+            env, t, *items, "goods_price", all,
+            [](double p) { return p < 20.0; });
+        impala->project(env, t, *items, {"item_id", "goods_id"}, cheap);
+        break;
+      }
+      case QueryKind::Project: {
+        Selection all = impala->scan(env, t, *items);
+        impala->project(env, t, *items, {"order_id", "goods_price"},
+                        all);
+        break;
+      }
+      case QueryKind::OrderBy: {
+        Selection all = impala->scan(env, t, *orders);
+        Selection sorted =
+            impala->orderByInt64(env, t, *orders, "create_date", all);
+        impala->project(env, t, *orders,
+                        {"order_id", "buyer_id", "create_date"}, sorted);
+        break;
+      }
+      case QueryKind::Difference: {
+        Selection all_orders = impala->scan(env, t, *orders);
+        Selection all_items = impala->scan(env, t, *items);
+        Selection only = impala->differenceInt64(
+            env, t, *orders, "order_id", all_orders, *items, "order_id",
+            all_items);
+        impala->project(env, t, *orders, {"order_id", "amount"}, only);
+        break;
+      }
+      case QueryKind::Aggregation: {
+        Selection all = impala->scan(env, t, *orders);
+        impala->aggregateSum(env, t, *orders, "buyer_id", "amount",
+                             all);
+        break;
+      }
+      case QueryKind::Join: {
+        Selection all_orders = impala->scan(env, t, *orders);
+        Selection all_items = impala->scan(env, t, *items);
+        auto joined = impala->hashJoinInt64(
+            env, t, *orders, "order_id", all_orders, *items, "order_id",
+            all_items);
+        env.io.diskWriteBytes += joined.size() * 24;
+        env.data.outputBytes += joined.size() * 24;
+        break;
+      }
+      case QueryKind::TpcdsQ3: {
+        Selection all_sales = impala->scan(env, t, *sales);
+        Selection all_dates = impala->scan(env, t, *dateDim);
+        Selection nov = impala->filterInt64(
+            env, t, *dateDim, "d_moy", all_dates,
+            [](int64_t m) { return m == 11; });
+        auto joined = impala->hashJoinInt64(
+            env, t, *sales, "ws_sold_date_sk", all_sales, *dateDim,
+            "d_date_sk", nov);
+        Selection sold;
+        sold.reserve(joined.size());
+        for (auto &[srow, drow] : joined)
+            sold.push_back(srow);
+        impala->aggregateSum(env, t, *sales, "ws_item_sk",
+                             "ws_sales_price", sold);
+        break;
+      }
+      case QueryKind::TpcdsQ8: {
+        Selection all_sales = impala->scan(env, t, *sales);
+        Selection pricey = impala->filterFloat64(
+            env, t, *sales, "ws_sales_price", all_sales,
+            [](double p) { return p > 250.0; });
+        impala->aggregateSum(env, t, *sales, "ws_bill_customer_sk",
+                             "ws_net_profit", pricey);
+        break;
+      }
+      case QueryKind::TpcdsQ10: {
+        Selection all_sales = impala->scan(env, t, *sales);
+        Selection bulk = impala->filterInt64(
+            env, t, *sales, "ws_quantity", all_sales,
+            [](int64_t q) { return q > 90; });
+        auto agg = impala->aggregateSum(env, t, *sales, "ws_item_sk",
+                                        "ws_sales_price", bulk);
+        (void)agg;
+        break;
+      }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hive backend: SQL compiled onto the MapReduce engine.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Map with a per-row predicate/transform; reduce passes through. */
+class RowMapper : public Mapper
+{
+  public:
+    using Fn = std::function<void(Tracer &, const Record &, RecordVec &)>;
+
+    explicit RowMapper(Fn fn) : fn(std::move(fn)) {}
+    void registerCode(CodeLayout &) override {}
+    void
+    map(Tracer &t, const Record &in, RecordVec &out) override
+    {
+        fn(t, in, out);
+    }
+
+  private:
+    Fn fn;
+};
+
+class PassThroughReducer : public Reducer
+{
+  public:
+    void registerCode(CodeLayout &) override {}
+    void
+    reduce(Tracer &t, const std::string &, const RecordVec &values,
+           RecordVec &out) override
+    {
+        for (const auto &v : values) {
+            t.intAlu(IntPurpose::IntAddress, 1);
+            out.push_back(v);
+        }
+    }
+};
+
+/** Reduce that sums a numeric value per key (aggregations). */
+class SumReducer : public Reducer
+{
+  public:
+    explicit SumReducer(AppKernels &kernels) : kernels(kernels) {}
+    void registerCode(CodeLayout &) override {}
+    void
+    reduce(Tracer &t, const std::string &key, const RecordVec &values,
+           RecordVec &out) override
+    {
+        int64_t total = 0;
+        for (const auto &v : values)
+            total += kernels.parseInt(t, v.value, v.valueAddr);
+        Record r;
+        r.key = key;
+        r.value = kernels.formatValue(t, total);
+        r.keyAddr = values.front().keyAddr;
+        r.valueAddr = values.front().valueAddr;
+        out.push_back(std::move(r));
+    }
+
+  private:
+    AppKernels &kernels;
+};
+
+/** Reduce for EXCEPT: keep groups whose members are all "A"-tagged. */
+class DifferenceReducer : public Reducer
+{
+  public:
+    void registerCode(CodeLayout &) override {}
+    void
+    reduce(Tracer &t, const std::string &key, const RecordVec &values,
+           RecordVec &out) override
+    {
+        bool only_a = true;
+        for (const auto &v : values) {
+            t.load(v.valueAddr, 1);
+            t.intAlu(IntPurpose::Compute, 1);
+            bool is_b = !v.value.empty() && v.value[0] == 'B';
+            t.branchForward(is_b, 16);
+            if (is_b)
+                only_a = false;
+        }
+        if (only_a && !values.empty()) {
+            Record r = values.front();
+            r.key = key;
+            out.push_back(std::move(r));
+        }
+    }
+};
+
+} // namespace
+
+void
+QueryWorkload::runHive(RunEnv &env, Tracer &t)
+{
+    PassThroughReducer pass;
+    switch (query) {
+      case QueryKind::SelectQuery: {
+        RecordVec input = tableRecords(*items, "item_id");
+        size_t price_col = items->columnIndex("goods_price");
+        const auto &prices = items->columns[price_col].doubles;
+        RowMapper m([&](Tracer &tt, const Record &in, RecordVec &out) {
+            // item_id is 1-based; the row index is item_id - 1.
+            auto row = static_cast<uint64_t>(std::stoll(in.key)) - 1;
+            tt.load(items->cellAddr(price_col, row), 8);
+            tt.fpAlu(1);
+            bool keep = prices[row] < 20.0;
+            tt.branchForward(keep, 16);
+            if (keep)
+                out.push_back(in);
+        });
+        hive->run(env, t, input, m, pass);
+        break;
+      }
+      case QueryKind::Project: {
+        RecordVec input = tableRecords(*items, "item_id");
+        RowMapper m([&](Tracer &tt, const Record &in, RecordVec &out) {
+            Record r = in;
+            // Keep only two fields of the row string.
+            auto fields = split(in.value, '|');
+            tt.intAlu(IntPurpose::IntAddress,
+                      static_cast<uint32_t>(fields.size()));
+            r.value = fields.size() > 4 ? fields[1] + "|" + fields[4]
+                                        : in.value;
+            out.push_back(std::move(r));
+        });
+        hive->run(env, t, input, m, pass);
+        break;
+      }
+      case QueryKind::OrderBy: {
+        // Keys are the sort column; the framework's sort/merge is the
+        // actual order-by.
+        RecordVec input = tableRecords(*orders, "create_date");
+        RowMapper m([](Tracer &tt, const Record &in, RecordVec &out) {
+            tt.intAlu(IntPurpose::IntAddress, 2);
+            out.push_back(in);
+        });
+        hive->run(env, t, input, m, pass);
+        break;
+      }
+      case QueryKind::Difference: {
+        RecordVec input = tableRecords(*orders, "order_id");
+        for (auto &r : input)
+            r.value = "A" + r.value;
+        RecordVec items_recs = tableRecords(*items, "order_id");
+        for (auto &r : items_recs) {
+            r.value = "B" + r.value;
+            input.push_back(std::move(r));
+        }
+        RowMapper m([](Tracer &tt, const Record &in, RecordVec &out) {
+            tt.intAlu(IntPurpose::IntAddress, 2);
+            out.push_back(in);
+        });
+        DifferenceReducer diff;
+        hive->run(env, t, input, m, diff);
+        break;
+      }
+      case QueryKind::Aggregation: {
+        // GROUP BY buyer_id SUM(amount): keys carry the group column,
+        // values the (integer) amount; the sum happens reduce-side.
+        RecordVec input = tableRecords(*orders, "buyer_id");
+        size_t amount_col = orders->columnIndex("amount");
+        const auto &amounts = orders->columns[amount_col].doubles;
+        uint64_t row_counter = 0;
+        RowMapper m([&](Tracer &tt, const Record &in, RecordVec &out) {
+            uint64_t row = row_counter++;
+            tt.load(orders->cellAddr(amount_col, row), 8);
+            tt.intAlu(IntPurpose::IntAddress, 1);
+            Record r = in;
+            r.value = std::to_string(
+                static_cast<int64_t>(amounts[row]));
+            out.push_back(std::move(r));
+        });
+        SumReducer sum(*kernels);
+        hive->run(env, t, input, m, sum);
+        break;
+      }
+      case QueryKind::Join: {
+        // Reduce-side join: both tables tagged and keyed on order_id;
+        // the reducer pairs A-rows with B-rows per key group.
+        RecordVec input = tableRecords(*orders, "order_id");
+        for (auto &r : input)
+            r.value = "A" + r.value;
+        RecordVec items_recs = tableRecords(*items, "order_id");
+        for (auto &r : items_recs) {
+            r.value = "B" + r.value;
+            input.push_back(std::move(r));
+        }
+        RowMapper m([](Tracer &tt, const Record &in, RecordVec &out) {
+            tt.intAlu(IntPurpose::IntAddress, 2);
+            out.push_back(in);
+        });
+        class JoinReducer : public Reducer
+        {
+          public:
+            void registerCode(CodeLayout &) override {}
+            void
+            reduce(Tracer &tt, const std::string &key,
+                   const RecordVec &values, RecordVec &out) override
+            {
+                RecordVec left, right;
+                for (const auto &v : values) {
+                    tt.load(v.valueAddr, 1);
+                    tt.intAlu(IntPurpose::Compute, 1);
+                    (v.value.size() && v.value[0] == 'A' ? left
+                                                         : right)
+                        .push_back(v);
+                }
+                for (const auto &a : left) {
+                    for (const auto &b : right) {
+                        tt.intAlu(IntPurpose::IntAddress, 2);
+                        tt.load(a.valueAddr, 8);
+                        tt.load(b.valueAddr, 8);
+                        Record r;
+                        r.key = key;
+                        r.value = "J";
+                        r.keyAddr = a.keyAddr;
+                        r.valueAddr = b.keyAddr;
+                        out.push_back(std::move(r));
+                    }
+                }
+            }
+        };
+        JoinReducer join;
+        hive->run(env, t, input, m, join);
+        break;
+      }
+      case QueryKind::TpcdsQ3:
+      case QueryKind::TpcdsQ8:
+      case QueryKind::TpcdsQ10: {
+        // Map-side broadcast join against the dimension tables, then a
+        // reduce-side aggregation — Hive's common plan for Q3-like
+        // star queries.
+        std::unordered_set<int64_t> nov_dates;
+        const auto &moy = dateDim->column("d_moy").ints;
+        const auto &dsk = dateDim->column("d_date_sk").ints;
+        for (size_t i = 0; i < moy.size(); ++i)
+            if (moy[i] == 11)
+                nov_dates.insert(dsk[i]);
+
+        RecordVec input = tableRecords(*sales, "ws_item_sk");
+        size_t date_col = sales->columnIndex("ws_sold_date_sk");
+        size_t qty_col = sales->columnIndex("ws_quantity");
+        size_t price_col = sales->columnIndex("ws_sales_price");
+        const auto &dates = sales->columns[date_col].ints;
+        const auto &qty = sales->columns[qty_col].ints;
+        const auto &price = sales->columns[price_col].doubles;
+        QueryKind q = query;
+        uint64_t row_counter = 0;
+        RowMapper m([&, q](Tracer &tt, const Record &in,
+                           RecordVec &out) {
+            uint64_t row = row_counter++;
+            tt.load(sales->cellAddr(date_col, row), 8);
+            tt.intMul(1);  // hash the dim key
+            bool keep = false;
+            switch (q) {
+              case QueryKind::TpcdsQ3:
+                keep = nov_dates.count(dates[row]) > 0;
+                break;
+              case QueryKind::TpcdsQ8:
+                tt.load(sales->cellAddr(price_col, row), 8);
+                tt.fpAlu(1);
+                keep = price[row] > 250.0;
+                break;
+              default:
+                tt.load(sales->cellAddr(qty_col, row), 8);
+                tt.intAlu(IntPurpose::Compute, 1);
+                keep = qty[row] > 90;
+                break;
+            }
+            tt.branchForward(keep, 24);
+            if (keep) {
+                Record r = in;
+                r.value = std::to_string(
+                    static_cast<int64_t>(price[row]));
+                out.push_back(std::move(r));
+            }
+        });
+        SumReducer sum(*kernels);
+        hive->run(env, t, input, m, sum);
+        break;
+      }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shark backend: SQL compiled onto the RDD engine.
+// ---------------------------------------------------------------------
+
+void
+QueryWorkload::runShark(RunEnv &env, Tracer &t)
+{
+    switch (query) {
+      case QueryKind::SelectQuery: {
+        RecordVec input = tableRecords(*items, "item_id");
+        size_t price_col = items->columnIndex("goods_price");
+        const auto &prices = items->columns[price_col].doubles;
+        shark->parallelize(input)
+            .filter(
+                [&](Tracer &tt, const Record &rec) {
+                    // item_id is 1-based; row index is item_id - 1.
+                    auto row =
+                        static_cast<uint64_t>(std::stoll(rec.key)) - 1;
+                    tt.load(items->cellAddr(price_col, row), 8);
+                    tt.fpAlu(1);
+                    return prices[row] < 20.0;
+                },
+                "filter:price")
+            .collect(env, t);
+        break;
+      }
+      case QueryKind::Project: {
+        RecordVec input = tableRecords(*items, "item_id");
+        shark->parallelize(input)
+            .map(
+                [](Tracer &tt, const Record &rec, RecordVec &out) {
+                    Record r = rec;
+                    auto fields = split(rec.value, '|');
+                    tt.intAlu(IntPurpose::IntAddress,
+                              static_cast<uint32_t>(fields.size()));
+                    r.value = fields.size() > 4
+                                  ? fields[1] + "|" + fields[4]
+                                  : rec.value;
+                    out.push_back(std::move(r));
+                },
+                "map:project")
+            .collect(env, t);
+        break;
+      }
+      case QueryKind::OrderBy: {
+        RecordVec input = tableRecords(*orders, "create_date");
+        shark->parallelize(input).sortByKey().collect(env, t);
+        break;
+      }
+      case QueryKind::Difference: {
+        RecordVec input = tableRecords(*orders, "order_id");
+        for (auto &r : input)
+            r.value = "A" + r.value;
+        RecordVec items_recs = tableRecords(*items, "order_id");
+        for (auto &r : items_recs) {
+            r.value = "B" + r.value;
+            input.push_back(std::move(r));
+        }
+        shark->parallelize(input)
+            .reduceByKey([](Tracer &tt, const Record &a,
+                            const Record &b) {
+                tt.load(b.valueAddr, 1);
+                tt.intAlu(IntPurpose::Compute, 1);
+                bool b_side = !b.value.empty() && b.value[0] == 'B';
+                tt.branchForward(b_side, 16);
+                Record r = a;
+                if (b_side)
+                    r.value = "B" + r.value;
+                return r;
+            })
+            .filter(
+                [](Tracer &tt, const Record &rec) {
+                    tt.load(rec.valueAddr, 1);
+                    tt.intAlu(IntPurpose::Compute, 1);
+                    return !rec.value.empty() && rec.value[0] == 'A';
+                },
+                "filter:onlyA")
+            .collect(env, t);
+        break;
+      }
+      case QueryKind::Aggregation: {
+        RecordVec input = tableRecords(*orders, "buyer_id");
+        size_t amount_col = orders->columnIndex("amount");
+        const auto &amounts = orders->columns[amount_col].doubles;
+        auto row_counter = std::make_shared<uint64_t>(0);
+        shark->parallelize(input)
+            .map(
+                [&, row_counter](Tracer &tt, const Record &rec,
+                                 RecordVec &out) {
+                    uint64_t row = (*row_counter)++;
+                    tt.load(orders->cellAddr(amount_col, row), 8);
+                    Record r = rec;
+                    r.value = std::to_string(
+                        static_cast<int64_t>(amounts[row]));
+                    out.push_back(std::move(r));
+                },
+                "map:amount")
+            .reduceByKey([this](Tracer &tt, const Record &a,
+                                const Record &b) {
+                int64_t sum =
+                    kernels->parseInt(tt, a.value, a.valueAddr) +
+                    kernels->parseInt(tt, b.value, b.valueAddr);
+                Record r = a;
+                r.value = kernels->formatValue(tt, sum);
+                return r;
+            })
+            .collect(env, t);
+        break;
+      }
+      case QueryKind::Join: {
+        // Shuffle join: tag both sides, group on the key, and pair
+        // within each group (the combine concatenates tags, which
+        // models the per-key join work).
+        RecordVec input = tableRecords(*orders, "order_id");
+        for (auto &r : input)
+            r.value = "A";
+        RecordVec items_recs = tableRecords(*items, "order_id");
+        for (auto &r : items_recs) {
+            r.value = "B";
+            input.push_back(std::move(r));
+        }
+        shark->parallelize(input)
+            .reduceByKey([](Tracer &tt, const Record &a,
+                            const Record &b) {
+                tt.load(a.valueAddr, 1);
+                tt.load(b.valueAddr, 1);
+                tt.intAlu(IntPurpose::Compute, 2);
+                Record r = a;
+                if (r.value.size() < 64)
+                    r.value += b.value;
+                return r;
+            })
+            .filter(
+                [](Tracer &tt, const Record &rec) {
+                    tt.intAlu(IntPurpose::Compute, 1);
+                    // Keep keys that matched rows from both sides.
+                    return rec.value.find('A') != std::string::npos &&
+                           rec.value.find('B') != std::string::npos;
+                },
+                "filter:matched")
+            .collect(env, t);
+        break;
+      }
+      case QueryKind::TpcdsQ3:
+      case QueryKind::TpcdsQ8:
+      case QueryKind::TpcdsQ10: {
+        std::unordered_set<int64_t> nov_dates;
+        const auto &moy = dateDim->column("d_moy").ints;
+        const auto &dsk = dateDim->column("d_date_sk").ints;
+        for (size_t i = 0; i < moy.size(); ++i)
+            if (moy[i] == 11)
+                nov_dates.insert(dsk[i]);
+
+        RecordVec input = tableRecords(*sales, "ws_item_sk");
+        size_t date_col = sales->columnIndex("ws_sold_date_sk");
+        size_t qty_col = sales->columnIndex("ws_quantity");
+        size_t price_col = sales->columnIndex("ws_sales_price");
+        const auto &dates = sales->columns[date_col].ints;
+        const auto &qty = sales->columns[qty_col].ints;
+        const auto &price = sales->columns[price_col].doubles;
+        QueryKind q = query;
+        auto row_counter = std::make_shared<uint64_t>(0);
+        shark->parallelize(input)
+            .map(
+                [&, q, row_counter](Tracer &tt, const Record &rec,
+                                    RecordVec &out) {
+                    uint64_t row = (*row_counter)++;
+                    tt.load(sales->cellAddr(date_col, row), 8);
+                    tt.intMul(1);
+                    bool keep = false;
+                    switch (q) {
+                      case QueryKind::TpcdsQ3:
+                        keep = nov_dates.count(dates[row]) > 0;
+                        break;
+                      case QueryKind::TpcdsQ8:
+                        tt.load(sales->cellAddr(price_col, row), 8);
+                        tt.fpAlu(1);
+                        keep = price[row] > 250.0;
+                        break;
+                      default:
+                        tt.load(sales->cellAddr(qty_col, row), 8);
+                        tt.intAlu(IntPurpose::Compute, 1);
+                        keep = qty[row] > 90;
+                        break;
+                    }
+                    tt.branchForward(keep, 24);
+                    if (keep) {
+                        Record r = rec;
+                        r.value = std::to_string(
+                            static_cast<int64_t>(price[row]));
+                        out.push_back(std::move(r));
+                    }
+                },
+                "map:starFilter")
+            .reduceByKey([this](Tracer &tt, const Record &a,
+                                const Record &b) {
+                int64_t sum =
+                    kernels->parseInt(tt, a.value, a.valueAddr) +
+                    kernels->parseInt(tt, b.value, b.valueAddr);
+                Record r = a;
+                r.value = kernels->formatValue(tt, sum);
+                return r;
+            })
+            .collect(env, t);
+        break;
+      }
+    }
+}
+
+} // namespace wcrt

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The interactive-analysis (SQL) workloads of Table 2: select/filter,
+ * project, order-by, set difference and the TPC-DS queries Q3/Q8/Q10,
+ * each implementable on Hive (SQL→MapReduce), Shark (SQL→RDD) and
+ * Impala (native vectorized).
+ *
+ * Table-2 mapping: H-Difference (#2), I-SelectQuery (#3),
+ * H-TPC-DS-query3 (#4), I-OrderBy (#6), S-TPC-DS-query10 (#8),
+ * S-Project (#9), S-OrderBy (#10), S-TPC-DS-query8 (#12).
+ */
+
+#ifndef WCRT_WORKLOADS_QUERY_WORKLOADS_HH
+#define WCRT_WORKLOADS_QUERY_WORKLOADS_HH
+
+#include <memory>
+#include <optional>
+
+#include "datagen/datasets.hh"
+#include "stack/mapreduce/engine.hh"
+#include "stack/rdd/engine.hh"
+#include "stack/sql/vectorized.hh"
+#include "workloads/kernels.hh"
+#include "workloads/workload.hh"
+
+namespace wcrt {
+
+/** Which relational operation a QueryWorkload runs. */
+enum class QueryKind : uint8_t {
+    SelectQuery,
+    Project,
+    OrderBy,
+    Difference,
+    Aggregation,
+    Join,
+    TpcdsQ3,
+    TpcdsQ8,
+    TpcdsQ10,
+};
+
+/**
+ * One SQL workload bound to a backend stack.
+ */
+class QueryWorkload : public Workload
+{
+  public:
+    QueryWorkload(QueryKind query, StackKind stack, double scale = 1.0,
+                  uint64_t seed = 7);
+
+    std::string name() const override;
+    AppCategory category() const override;
+    StackKind stack() const override { return stackKind; }
+    void setup(RunEnv &env) override;
+    void execute(RunEnv &env, Tracer &t) override;
+
+  private:
+    void runImpala(RunEnv &env, Tracer &t);
+    void runHive(RunEnv &env, Tracer &t);
+    void runShark(RunEnv &env, Tracer &t);
+
+    /** Row records keyed by a column (zero-padded for ordering). */
+    RecordVec tableRecords(const DataTable &table,
+                           const std::string &key_col) const;
+
+    QueryKind query;
+    StackKind stackKind;
+    double scale;
+    uint64_t seed;
+
+    std::optional<DataTable> orders;
+    std::optional<DataTable> items;
+    std::optional<DataTable> sales;
+    std::optional<DataTable> dateDim;
+    std::optional<DataTable> itemDim;
+
+    std::unique_ptr<AppKernels> kernels;
+    std::unique_ptr<VectorizedEngine> impala;
+    std::unique_ptr<MapReduceEngine> hive;
+    std::unique_ptr<RddEngine> shark;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_WORKLOADS_QUERY_WORKLOADS_HH

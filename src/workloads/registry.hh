@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The workload catalog: Table 2's seventeen representative workloads,
+ * the six MPI contrast implementations of Section 5.5, and the full
+ * 77-entry BigDataBench-style roster the reduction study starts from.
+ *
+ * Roster composition (77 = 36 + 21 + 15 + 3 + 2):
+ *  - 36 text workloads: {WordCount, Grep, Sort} x {Hadoop, Spark, MPI}
+ *    x {Wikipedia, Amazon} x {full, half input};
+ *  - 21 queries: {Select, Project, OrderBy, Difference, Q3, Q8, Q10}
+ *    x {Hive, Shark, Impala};
+ *  - 15 ML/graph: {KMeans, PageRank, Bayes} x {Hadoop, Spark, MPI}
+ *    plus half-input KMeans and PageRank variants on all three stacks;
+ *  - 3 large-input Bayes variants;
+ *  - 2 H-Read service variants (full / half store).
+ */
+
+#ifndef WCRT_WORKLOADS_REGISTRY_HH
+#define WCRT_WORKLOADS_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace wcrt {
+
+/** A named workload constructor. */
+struct WorkloadEntry
+{
+    std::string name;             //!< unique roster name
+    int table2Id = 0;             //!< 1..17 when representative, else 0
+    int represents = 0;           //!< Table-2 cluster size (paper's "(n)")
+    std::function<WorkloadPtr(double scale)> make;
+};
+
+/** The seventeen representative workloads in Table-2 order. */
+const std::vector<WorkloadEntry> &representativeWorkloads();
+
+/** The six MPI implementations added in Section 5.5. */
+const std::vector<WorkloadEntry> &mpiWorkloads();
+
+/** The full 77-workload roster for the reduction study. */
+const std::vector<WorkloadEntry> &fullRoster();
+
+/** Find an entry by name in any of the above; panics when missing. */
+const WorkloadEntry &findWorkload(const std::string &name);
+
+} // namespace wcrt
+
+#endif // WCRT_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,26 @@
+#include "workloads/service_workloads.hh"
+
+namespace wcrt {
+
+HBaseReadWorkload::HBaseReadWorkload(double scale, uint64_t seed)
+    : scale(scale), seed(seed)
+{
+}
+
+void
+HBaseReadWorkload::setup(RunEnv &env)
+{
+    DatasetCatalog catalog(env.heap, scale, seed);
+    data = catalog.profSearch();
+    store = std::make_unique<KvStore>(env.layout, *data);
+}
+
+void
+HBaseReadWorkload::execute(RunEnv &env, Tracer &t)
+{
+    Rng rng(seed ^ 0x5e);
+    // One request per stored row on average: Output=Input (Table 2).
+    store->serve(t, env, data->keys.size(), rng);
+}
+
+} // namespace wcrt

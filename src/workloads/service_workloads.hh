@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The service workload of Table 2: H-Read (#1), the basic HBase read
+ * operation serving a Zipfian GET stream over the ProfSearch dataset.
+ */
+
+#ifndef WCRT_WORKLOADS_SERVICE_WORKLOADS_HH
+#define WCRT_WORKLOADS_SERVICE_WORKLOADS_HH
+
+#include <memory>
+#include <optional>
+
+#include "datagen/datasets.hh"
+#include "stack/kvstore/store.hh"
+#include "workloads/workload.hh"
+
+namespace wcrt {
+
+/**
+ * HBase-Read: the region-server read path under a stochastic client.
+ */
+class HBaseReadWorkload : public Workload
+{
+  public:
+    explicit HBaseReadWorkload(double scale = 1.0, uint64_t seed = 7);
+
+    std::string name() const override { return "H-Read"; }
+    AppCategory category() const override { return AppCategory::Service; }
+    StackKind stack() const override { return StackKind::HBase; }
+    void setup(RunEnv &env) override;
+    void execute(RunEnv &env, Tracer &t) override;
+
+  private:
+    double scale;
+    uint64_t seed;
+    std::optional<KvDataset> data;
+    std::unique_ptr<KvStore> store;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_WORKLOADS_SERVICE_WORKLOADS_HH

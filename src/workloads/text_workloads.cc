@@ -1,0 +1,639 @@
+#include "workloads/text_workloads.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "trace/idioms.hh"
+
+namespace wcrt {
+
+namespace {
+
+/** Build the WordCount/Grep/Sort input: one record per document. */
+RecordVec
+makeCorpusRecords(const TextCorpus &corpus, TextAlgorithm algo)
+{
+    RecordVec records;
+    if (algo == TextAlgorithm::Sort) {
+        // TeraSort-style input: many ~128-byte records, keyed on their
+        // leading bytes. Each document is chunked into lines.
+        constexpr size_t chunk = 128;
+        for (size_t d = 0; d < corpus.docs.size(); ++d) {
+            const std::string &doc = corpus.docs[d];
+            for (size_t off = 0; off < doc.size(); off += chunk) {
+                Record r;
+                size_t len = std::min(chunk, doc.size() - off);
+                r.key = doc.substr(off, std::min<size_t>(len, 10));
+                r.value = doc.substr(off, len);
+                r.keyAddr = corpus.docAddr(d, off);
+                r.valueAddr = corpus.docAddr(d, off);
+                records.push_back(std::move(r));
+            }
+        }
+        return records;
+    }
+    records.reserve(corpus.docs.size());
+    for (size_t d = 0; d < corpus.docs.size(); ++d) {
+        Record r;
+        r.key = std::to_string(d);
+        r.value = corpus.docs[d];
+        r.keyAddr = corpus.docAddr(d);
+        r.valueAddr = corpus.docAddr(d);
+        records.push_back(std::move(r));
+    }
+    return records;
+}
+
+/** Hadoop WordCount map: tokenize and emit (word, 1). */
+class WordCountMapper : public Mapper
+{
+  public:
+    WordCountMapper(AppKernels &kernels) : kernels(kernels) {}
+
+    void registerCode(CodeLayout &) override {}
+
+    void
+    map(Tracer &t, const Record &in, RecordVec &out) override
+    {
+        auto tokens = kernels.tokenize(t, in.value, in.valueAddr);
+        const char *base = in.value.data();
+        for (auto tok : tokens) {
+            Record r;
+            r.key = std::string(tok);
+            r.value = "1";
+            r.keyAddr =
+                in.valueAddr + static_cast<uint64_t>(tok.data() - base);
+            r.valueAddr = r.keyAddr;
+            out.push_back(std::move(r));
+        }
+    }
+
+  private:
+    AppKernels &kernels;
+};
+
+/** Hadoop WordCount reduce: sum the 1s. */
+class WordCountReducer : public Reducer
+{
+  public:
+    WordCountReducer(AppKernels &kernels) : kernels(kernels) {}
+
+    void registerCode(CodeLayout &) override {}
+
+    void
+    reduce(Tracer &t, const std::string &key, const RecordVec &values,
+           RecordVec &out) override
+    {
+        int64_t total = 0;
+        for (const auto &v : values) {
+            total += kernels.parseInt(t, v.value, v.valueAddr);
+            kernels.addCount(t, v.valueAddr);
+        }
+        Record r;
+        r.key = key;
+        r.value = kernels.formatValue(t, total);
+        r.keyAddr = values.front().keyAddr;
+        r.valueAddr = values.front().valueAddr;
+        out.push_back(std::move(r));
+    }
+
+  private:
+    AppKernels &kernels;
+};
+
+/** Hadoop Grep map: pattern search, emit per-document match counts. */
+class GrepMapper : public Mapper
+{
+  public:
+    GrepMapper(AppKernels &kernels, std::string pattern)
+        : kernels(kernels), pattern(std::move(pattern))
+    {
+    }
+
+    void registerCode(CodeLayout &) override {}
+
+    void
+    map(Tracer &t, const Record &in, RecordVec &out) override
+    {
+        uint64_t hits =
+            kernels.grepMatch(t, in.value, in.valueAddr, pattern);
+        if (hits > 0) {
+            Record r;
+            r.key = pattern;
+            r.value = kernels.formatValue(
+                t, static_cast<int64_t>(hits));
+            r.keyAddr = in.keyAddr;
+            r.valueAddr = in.valueAddr;
+            out.push_back(std::move(r));
+        }
+    }
+
+  private:
+    AppKernels &kernels;
+    std::string pattern;
+};
+
+/** Grep reduce: total the match counts (tiny output). */
+class GrepReducer : public Reducer
+{
+  public:
+    GrepReducer(AppKernels &kernels) : kernels(kernels) {}
+
+    void registerCode(CodeLayout &) override {}
+
+    void
+    reduce(Tracer &t, const std::string &key, const RecordVec &values,
+           RecordVec &out) override
+    {
+        int64_t total = 0;
+        for (const auto &v : values)
+            total += kernels.parseInt(t, v.value, v.valueAddr);
+        Record r;
+        r.key = key;
+        r.value = kernels.formatValue(t, total);
+        r.keyAddr = values.front().keyAddr;
+        r.valueAddr = values.front().valueAddr;
+        out.push_back(std::move(r));
+    }
+
+  private:
+    AppKernels &kernels;
+};
+
+/** Inverted-index map: emit one (term, doc-id) posting per distinct
+ *  term in the document. */
+class IndexMapper : public Mapper
+{
+  public:
+    IndexMapper(AppKernels &kernels) : kernels(kernels) {}
+
+    void registerCode(CodeLayout &) override {}
+
+    void
+    map(Tracer &t, const Record &in, RecordVec &out) override
+    {
+        auto tokens = kernels.tokenize(t, in.value, in.valueAddr);
+        const char *base = in.value.data();
+        std::set<std::string_view> seen;
+        for (auto tok : tokens) {
+            t.intAlu(IntPurpose::IntAddress, 2);
+            t.intMul(1);  // dedupe-set probe
+            if (!seen.insert(tok).second)
+                continue;
+            Record r;
+            r.key = std::string(tok);
+            r.value = in.key;  // document id
+            r.keyAddr =
+                in.valueAddr + static_cast<uint64_t>(tok.data() - base);
+            r.valueAddr = in.keyAddr;
+            out.push_back(std::move(r));
+        }
+    }
+
+  private:
+    AppKernels &kernels;
+};
+
+/** Inverted-index reduce: merge a term's postings into a sorted list. */
+class IndexReducer : public Reducer
+{
+  public:
+    IndexReducer(AppKernels &kernels) : kernels(kernels) {}
+
+    void registerCode(CodeLayout &) override {}
+
+    void
+    reduce(Tracer &t, const std::string &key, const RecordVec &values,
+           RecordVec &out) override
+    {
+        std::vector<int64_t> postings;
+        postings.reserve(values.size());
+        for (const auto &v : values)
+            postings.push_back(
+                kernels.parseInt(t, v.value, v.valueAddr));
+        std::sort(postings.begin(), postings.end());
+        t.loop(postings.size(), [&](uint64_t) {
+            t.intAlu(IntPurpose::Compute, 2);
+        });
+        std::string list;
+        for (int64_t p : postings) {
+            if (!list.empty())
+                list += ',';
+            list += std::to_string(p);
+        }
+        Record r;
+        r.key = key;
+        r.value = std::move(list);
+        r.keyAddr = values.front().keyAddr;
+        r.valueAddr = values.front().valueAddr;
+        out.push_back(std::move(r));
+    }
+
+  private:
+    AppKernels &kernels;
+};
+
+/** Sort map/reduce: identity — the framework's sort does the work. */
+class IdentityMapper : public Mapper
+{
+  public:
+    void registerCode(CodeLayout &) override {}
+
+    void
+    map(Tracer &t, const Record &in, RecordVec &out) override
+    {
+        t.intAlu(IntPurpose::IntAddress, 2);
+        out.push_back(in);
+    }
+};
+
+class IdentityReducer : public Reducer
+{
+  public:
+    void registerCode(CodeLayout &) override {}
+
+    void
+    reduce(Tracer &t, const std::string &, const RecordVec &values,
+           RecordVec &out) override
+    {
+        for (const auto &v : values) {
+            t.intAlu(IntPurpose::IntAddress, 1);
+            out.push_back(v);
+        }
+    }
+};
+
+/** MPI kernels: the same algorithms on the thin stack. */
+class MpiTextKernel : public NativeKernel
+{
+  public:
+    MpiTextKernel(AppKernels &kernels, TextAlgorithm algo,
+                  std::string pattern, uint32_t ranks)
+        : kernels(kernels), algo(algo), pattern(std::move(pattern)),
+          ranks(ranks)
+    {
+    }
+
+    void registerCode(CodeLayout &) override {}
+
+    void
+    processPartition(Tracer &t, const RecordVec &in,
+                     std::vector<RecordVec> &to_ranks) override
+    {
+        switch (algo) {
+          case TextAlgorithm::WordCount: {
+            // Local pre-aggregation in a real hash table.
+            std::unordered_map<std::string_view, int64_t> counts;
+            for (const auto &rec : in) {
+                auto tokens =
+                    kernels.tokenize(t, rec.value, rec.valueAddr);
+                for (auto tok : tokens) {
+                    t.intAlu(IntPurpose::IntAddress, 2);
+                    t.intMul(1);  // hash probe
+                    ++counts[tok];
+                }
+            }
+            for (const auto &[word, count] : counts) {
+                Record r;
+                r.key = std::string(word);
+                r.value = kernels.formatValue(t, count);
+                r.keyAddr = in.front().valueAddr;
+                r.valueAddr = in.front().valueAddr;
+                to_ranks[fnv1a(r.key) % ranks].push_back(std::move(r));
+            }
+            break;
+          }
+          case TextAlgorithm::Grep: {
+            for (const auto &rec : in) {
+                uint64_t hits = kernels.grepMatch(t, rec.value,
+                                                  rec.valueAddr,
+                                                  pattern);
+                if (hits > 0) {
+                    Record r;
+                    r.key = pattern;
+                    r.value = kernels.formatValue(
+                        t, static_cast<int64_t>(hits));
+                    r.keyAddr = rec.keyAddr;
+                    r.valueAddr = rec.valueAddr;
+                    to_ranks[0].push_back(std::move(r));
+                }
+            }
+            break;
+          }
+          case TextAlgorithm::InvertedIndex: {
+            std::map<std::string, std::vector<int64_t>> index;
+            for (const auto &rec : in) {
+                auto tokens =
+                    kernels.tokenize(t, rec.value, rec.valueAddr);
+                int64_t doc = 0;
+                for (char c : rec.key)
+                    if (c >= '0' && c <= '9')
+                        doc = doc * 10 + (c - '0');
+                for (auto tok : tokens) {
+                    t.intAlu(IntPurpose::IntAddress, 2);
+                    t.intMul(1);
+                    index[std::string(tok)].push_back(doc);
+                }
+            }
+            for (auto &[term, postings] : index) {
+                Record r;
+                r.key = term;
+                r.value = std::to_string(postings.size());
+                r.keyAddr = in.front().valueAddr;
+                r.valueAddr = in.front().valueAddr;
+                to_ranks[fnv1a(term) % ranks].push_back(std::move(r));
+            }
+            break;
+          }
+          case TextAlgorithm::Sort: {
+            // Range partition on the first key byte, sort locally.
+            RecordVec local = in;
+            std::sort(local.begin(), local.end(),
+                      [&](const Record &a, const Record &b) {
+                          idioms::compareBytes(
+                              t, a.keyAddr, b.keyAddr,
+                              std::min<uint64_t>(
+                                  std::min(a.key.size(), b.key.size()),
+                                  8) + 1);
+                          return a.key < b.key;
+                      });
+            for (auto &rec : local) {
+                unsigned char first =
+                    rec.key.empty()
+                        ? 0
+                        : static_cast<unsigned char>(rec.key[0]);
+                t.intAlu(IntPurpose::Compute, 2);
+                to_ranks[first % ranks].push_back(std::move(rec));
+            }
+            break;
+          }
+        }
+    }
+
+    void
+    finalize(Tracer &t, const RecordVec &received, RecordVec &out)
+        override
+    {
+        switch (algo) {
+          case TextAlgorithm::WordCount: {
+            std::unordered_map<std::string, int64_t> counts;
+            for (const auto &rec : received) {
+                t.intMul(1);
+                t.intAlu(IntPurpose::IntAddress, 2);
+                counts[rec.key] +=
+                    kernels.parseInt(t, rec.value, rec.valueAddr);
+            }
+            for (const auto &[word, count] : counts) {
+                Record r;
+                r.key = word;
+                r.value = kernels.formatValue(t, count);
+                out.push_back(std::move(r));
+            }
+            break;
+          }
+          case TextAlgorithm::Grep: {
+            int64_t total = 0;
+            for (const auto &rec : received)
+                total += kernels.parseInt(t, rec.value, rec.valueAddr);
+            if (!received.empty()) {
+                Record r;
+                r.key = pattern;
+                r.value = kernels.formatValue(t, total);
+                out.push_back(std::move(r));
+            }
+            break;
+          }
+          case TextAlgorithm::InvertedIndex: {
+            std::map<std::string, int64_t> merged;
+            for (const auto &rec : received) {
+                t.intMul(1);
+                t.intAlu(IntPurpose::Compute, 1);
+                merged[rec.key] +=
+                    kernels.parseInt(t, rec.value, rec.valueAddr);
+            }
+            for (const auto &[term, count] : merged) {
+                Record r;
+                r.key = term;
+                r.value = std::to_string(count);
+                out.push_back(std::move(r));
+            }
+            break;
+          }
+          case TextAlgorithm::Sort: {
+            RecordVec sorted = received;
+            std::sort(sorted.begin(), sorted.end(),
+                      [&](const Record &a, const Record &b) {
+                          idioms::compareBytes(
+                              t, a.keyAddr, b.keyAddr,
+                              std::min<uint64_t>(
+                                  std::min(a.key.size(), b.key.size()),
+                                  8) + 1);
+                          return a.key < b.key;
+                      });
+            out = std::move(sorted);
+            break;
+          }
+        }
+    }
+
+  private:
+    AppKernels &kernels;
+    TextAlgorithm algo;
+    std::string pattern;
+    uint32_t ranks;
+};
+
+} // namespace
+
+TextWorkload::TextWorkload(TextAlgorithm algorithm, StackKind stack,
+                           double scale, uint64_t seed,
+                           CorpusChoice corpus_choice)
+    : algo(algorithm), stackKind(stack), scale(scale), seed(seed),
+      corpusChoice(corpus_choice)
+{
+    if (stack != StackKind::Hadoop && stack != StackKind::Spark &&
+        stack != StackKind::Mpi) {
+        wcrt_fatal("text workloads support Hadoop/Spark/MPI stacks");
+    }
+}
+
+std::string
+TextWorkload::name() const
+{
+    std::string prefix = stackKind == StackKind::Hadoop ? "H-"
+                         : stackKind == StackKind::Spark ? "S-"
+                                                         : "M-";
+    switch (algo) {
+      case TextAlgorithm::WordCount:
+        return prefix + "WordCount";
+      case TextAlgorithm::Grep:
+        return prefix + "Grep";
+      case TextAlgorithm::Sort:
+        return prefix + "Sort";
+      case TextAlgorithm::InvertedIndex:
+        return prefix + "Index";
+    }
+    return prefix + "?";
+}
+
+AppCategory
+TextWorkload::category() const
+{
+    return AppCategory::DataAnalysis;
+}
+
+void
+TextWorkload::setup(RunEnv &env)
+{
+    DatasetCatalog catalog(env.heap, scale, seed);
+    corpus = corpusChoice == CorpusChoice::Wikipedia
+                 ? catalog.wikipedia()
+                 : catalog.amazonReviews();
+    kernels = std::make_unique<AppKernels>(env.layout);
+    switch (stackKind) {
+      case StackKind::Hadoop: {
+        MapReduceConfig cfg;
+        // Real Hadoop WordCount/Grep jobs run a combiner, which is
+        // what makes their intermediate data << input (Table 2).
+        cfg.useCombiner = algo == TextAlgorithm::WordCount ||
+                          algo == TextAlgorithm::Grep;
+        if (hadoopOverride)
+            cfg = *hadoopOverride;
+        hadoop = std::make_unique<MapReduceEngine>(env.layout, cfg);
+        break;
+      }
+      case StackKind::Spark:
+        spark = std::make_unique<RddEngine>(env.layout);
+        break;
+      default:
+        mpi = std::make_unique<NativeEngine>(env.layout);
+        break;
+    }
+}
+
+RecordVec
+TextWorkload::corpusRecords() const
+{
+    return makeCorpusRecords(*corpus, algo);
+}
+
+void
+TextWorkload::execute(RunEnv &env, Tracer &t)
+{
+    switch (stackKind) {
+      case StackKind::Hadoop:
+        runHadoop(env, t);
+        break;
+      case StackKind::Spark:
+        runSpark(env, t);
+        break;
+      default:
+        runMpi(env, t);
+        break;
+    }
+}
+
+void
+TextWorkload::runHadoop(RunEnv &env, Tracer &t)
+{
+    RecordVec input = corpusRecords();
+    switch (algo) {
+      case TextAlgorithm::WordCount: {
+        WordCountMapper m(*kernels);
+        WordCountReducer r(*kernels);
+        hadoop->run(env, t, input, m, r);
+        break;
+      }
+      case TextAlgorithm::Grep: {
+        GrepMapper m(*kernels, std::string(grepPattern));
+        GrepReducer r(*kernels);
+        hadoop->run(env, t, input, m, r);
+        break;
+      }
+      case TextAlgorithm::Sort: {
+        IdentityMapper m;
+        IdentityReducer r;
+        hadoop->run(env, t, input, m, r);
+        break;
+      }
+      case TextAlgorithm::InvertedIndex: {
+        IndexMapper m(*kernels);
+        IndexReducer r(*kernels);
+        hadoop->run(env, t, input, m, r);
+        break;
+      }
+    }
+}
+
+void
+TextWorkload::runSpark(RunEnv &env, Tracer &t)
+{
+    RecordVec input = corpusRecords();
+    Rdd source = spark->parallelize(input);
+    switch (algo) {
+      case TextAlgorithm::WordCount: {
+        Rdd counts =
+            source
+                .map(
+                    [this](Tracer &tt, const Record &rec,
+                           RecordVec &out) {
+                        WordCountMapper m(*kernels);
+                        m.map(tt, rec, out);
+                    },
+                    "flatMap:tokenize")
+                .reduceByKey([this](Tracer &tt, const Record &a,
+                                    const Record &b) {
+                    int64_t sum =
+                        kernels->parseInt(tt, a.value, a.valueAddr) +
+                        kernels->parseInt(tt, b.value, b.valueAddr);
+                    Record r = a;
+                    r.value = kernels->formatValue(tt, sum);
+                    return r;
+                });
+        counts.collect(env, t);
+        break;
+      }
+      case TextAlgorithm::Grep: {
+        std::string pattern(grepPattern);
+        Rdd matches = source.filter(
+            [this, pattern](Tracer &tt, const Record &rec) {
+                return kernels->grepMatch(tt, rec.value, rec.valueAddr,
+                                          pattern) > 0;
+            },
+            "filter:grep");
+        matches.collect(env, t);
+        break;
+      }
+      case TextAlgorithm::Sort: {
+        source.sortByKey().collect(env, t);
+        break;
+      }
+      case TextAlgorithm::InvertedIndex: {
+        source
+            .map(
+                [this](Tracer &tt, const Record &rec, RecordVec &out) {
+                    IndexMapper m(*kernels);
+                    m.map(tt, rec, out);
+                },
+                "flatMap:postings")
+            .groupByKey()
+            .collect(env, t);
+        break;
+      }
+    }
+}
+
+void
+TextWorkload::runMpi(RunEnv &env, Tracer &t)
+{
+    RecordVec input = corpusRecords();
+    MpiTextKernel kernel(*kernels, algo, std::string(grepPattern),
+                         mpi->config().ranks);
+    mpi->run(env, t, input, kernel);
+}
+
+} // namespace wcrt

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The text-analytics workloads: WordCount, Grep, Sort and
+ * InvertedIndex, each
+ * implementable on the Hadoop, Spark and MPI stacks (the six MPI
+ * versions of the paper's Section 5.5 include all three).
+ *
+ * Table-2 mapping: S-WordCount (#5), H-Grep (#7), H-WordCount (#15),
+ * S-Grep (#14), S-Sort (#17), plus the M-WordCount / M-Grep / M-Sort
+ * contrast implementations.
+ */
+
+#ifndef WCRT_WORKLOADS_TEXT_WORKLOADS_HH
+#define WCRT_WORKLOADS_TEXT_WORKLOADS_HH
+
+#include <memory>
+#include <optional>
+
+#include "datagen/datasets.hh"
+#include "stack/mapreduce/engine.hh"
+#include "stack/native/engine.hh"
+#include "stack/rdd/engine.hh"
+#include "workloads/kernels.hh"
+#include "workloads/workload.hh"
+
+namespace wcrt {
+
+/** Which text algorithm a TextWorkload instance runs. */
+enum class TextAlgorithm : uint8_t {
+    WordCount,
+    Grep,
+    Sort,
+    InvertedIndex,
+};
+
+/** Which Table-1 corpus feeds the workload. */
+enum class CorpusChoice : uint8_t { Wikipedia, AmazonReviews };
+
+/**
+ * One text workload: an algorithm bound to a stack and a corpus.
+ */
+class TextWorkload : public Workload
+{
+  public:
+    /**
+     * @param algorithm WordCount, Grep or Sort.
+     * @param stack Hadoop, Spark or Mpi.
+     * @param scale Dataset scale factor.
+     * @param seed Dataset seed.
+     * @param corpus_choice Which corpus to process.
+     */
+    TextWorkload(TextAlgorithm algorithm, StackKind stack,
+                 double scale = 1.0, uint64_t seed = 7,
+                 CorpusChoice corpus_choice = CorpusChoice::Wikipedia);
+
+    std::string name() const override;
+    AppCategory category() const override;
+    StackKind stack() const override { return stackKind; }
+    void setup(RunEnv &env) override;
+    void execute(RunEnv &env, Tracer &t) override;
+
+    /** Override the MapReduce engine config (ablation studies). */
+    void
+    setHadoopConfig(const MapReduceConfig &config)
+    {
+        hadoopOverride = config;
+    }
+
+  private:
+    void runHadoop(RunEnv &env, Tracer &t);
+    void runSpark(RunEnv &env, Tracer &t);
+    void runMpi(RunEnv &env, Tracer &t);
+
+    RecordVec corpusRecords() const;
+
+    TextAlgorithm algo;
+    StackKind stackKind;
+    double scale;
+    uint64_t seed;
+    CorpusChoice corpusChoice;
+
+    std::optional<TextCorpus> corpus;
+    std::optional<MapReduceConfig> hadoopOverride;
+    std::unique_ptr<AppKernels> kernels;
+    std::unique_ptr<MapReduceEngine> hadoop;
+    std::unique_ptr<RddEngine> spark;
+    std::unique_ptr<NativeEngine> mpi;
+
+    static constexpr const char *grepPattern = "the";
+};
+
+} // namespace wcrt
+
+#endif // WCRT_WORKLOADS_TEXT_WORKLOADS_HH

@@ -1,0 +1,41 @@
+#include "workloads/workload.hh"
+
+namespace wcrt {
+
+const char *
+toString(AppCategory c)
+{
+    switch (c) {
+      case AppCategory::Service:
+        return "service";
+      case AppCategory::DataAnalysis:
+        return "data analysis";
+      case AppCategory::InteractiveAnalysis:
+        return "interactive analysis";
+    }
+    return "?";
+}
+
+const char *
+toString(StackKind s)
+{
+    switch (s) {
+      case StackKind::Hadoop:
+        return "Hadoop";
+      case StackKind::Spark:
+        return "Spark";
+      case StackKind::Mpi:
+        return "MPI";
+      case StackKind::Hive:
+        return "Hive";
+      case StackKind::Shark:
+        return "Shark";
+      case StackKind::Impala:
+        return "Impala";
+      case StackKind::HBase:
+        return "HBase";
+    }
+    return "?";
+}
+
+} // namespace wcrt

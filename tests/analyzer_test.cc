@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the WCRT analyzer: the normalize-PCA-cluster pipeline on
+ * controlled metric vectors, representative selection and the
+ * end-to-end reduction of a small real roster.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "base/rng.hh"
+#include "core/analyzer.hh"
+#include "core/profiler.hh"
+#include "workloads/registry.hh"
+
+namespace wcrt {
+namespace {
+
+/** Build a metric vector around one of k prototype signatures. */
+MetricVector
+fromPrototype(int proto, Rng &rng)
+{
+    MetricVector v{};
+    for (size_t i = 0; i < numMetrics; ++i) {
+        double base = std::sin(0.7 * static_cast<double>(i + 1) *
+                               (proto + 1));
+        v[i] = 5.0 * base + 0.05 * rng.nextGaussian();
+    }
+    return v;
+}
+
+TEST(Analyzer, SeparatesSyntheticClasses)
+{
+    Rng rng(31);
+    std::vector<std::string> names;
+    std::vector<MetricVector> metrics;
+    for (int proto = 0; proto < 4; ++proto) {
+        for (int i = 0; i < 6; ++i) {
+            names.push_back("w" + std::to_string(proto) + "_" +
+                            std::to_string(i));
+            metrics.push_back(fromPrototype(proto, rng));
+        }
+    }
+    AnalyzerOptions opts;
+    opts.clusters = 4;
+    SubsetReport report = reduceWorkloads(names, metrics, opts);
+
+    ASSERT_EQ(report.clusters.size(), 4u);
+    // Every cluster must contain exactly one prototype family.
+    for (const auto &c : report.clusters) {
+        ASSERT_FALSE(c.members.empty());
+        char family = c.members.front()[1];
+        for (const auto &m : c.members)
+            EXPECT_EQ(m[1], family) << "mixed cluster";
+        EXPECT_EQ(c.members.size(), 6u);
+        // The representative comes from the cluster.
+        EXPECT_EQ(c.representative[1], family);
+    }
+    EXPECT_GT(report.silhouetteScore, 0.8);
+}
+
+TEST(Analyzer, PcaDropsRedundantDimensions)
+{
+    // All 45 metrics derived from 2 latent factors: PCA should retain
+    // very few components.
+    Rng rng(37);
+    std::vector<std::string> names;
+    std::vector<MetricVector> metrics;
+    for (int i = 0; i < 40; ++i) {
+        double f1 = rng.nextGaussian();
+        double f2 = rng.nextGaussian();
+        MetricVector v{};
+        for (size_t m = 0; m < numMetrics; ++m)
+            v[m] = (m % 2 ? f1 : f2) * (1.0 + 0.01 * m);
+        names.push_back("w" + std::to_string(i));
+        metrics.push_back(v);
+    }
+    AnalyzerOptions opts;
+    opts.clusters = 4;
+    SubsetReport report = reduceWorkloads(names, metrics, opts);
+    EXPECT_LE(report.retainedComponents, 3u);
+    EXPECT_GE(report.explainedVariance, 0.9);
+}
+
+TEST(Analyzer, AutoKFindsPlantedClusterCount)
+{
+    Rng rng(41);
+    std::vector<std::string> names;
+    std::vector<MetricVector> metrics;
+    for (int proto = 0; proto < 5; ++proto) {
+        for (int i = 0; i < 8; ++i) {
+            names.push_back("p" + std::to_string(proto) + "_" +
+                            std::to_string(i));
+            metrics.push_back(fromPrototype(proto, rng));
+        }
+    }
+    AnalyzerOptions opts;
+    opts.clusters = 0;  // choose by silhouette
+    opts.minClusters = 2;
+    opts.maxClusters = 10;
+    SubsetReport report = reduceWorkloads(names, metrics, opts);
+    EXPECT_EQ(report.clusters.size(), 5u);
+}
+
+TEST(Analyzer, EveryWorkloadAssignedExactlyOnce)
+{
+    Rng rng(43);
+    std::vector<std::string> names;
+    std::vector<MetricVector> metrics;
+    for (int i = 0; i < 30; ++i) {
+        names.push_back("w" + std::to_string(i));
+        metrics.push_back(fromPrototype(i % 3, rng));
+    }
+    AnalyzerOptions opts;
+    opts.clusters = 3;
+    SubsetReport report = reduceWorkloads(names, metrics, opts);
+    std::set<std::string> seen;
+    size_t total = 0;
+    for (const auto &c : report.clusters) {
+        total += c.members.size();
+        for (const auto &m : c.members)
+            EXPECT_TRUE(seen.insert(m).second) << m << " twice";
+    }
+    EXPECT_EQ(total, names.size());
+    EXPECT_EQ(report.inputWorkloads, names.size());
+}
+
+TEST(Analyzer, EndToEndOnSmallRealRoster)
+{
+    // A miniature version of the Section-3 study: profile ten real
+    // workloads at tiny scale and verify that stacks separate.
+    std::vector<std::string> names;
+    std::vector<MetricVector> metrics;
+    for (const char *name :
+         {"M-WordCount@wiki", "M-Sort@wiki", "M-Grep@wiki",
+          "H-WordCount@wiki", "H-Sort@wiki", "H-Grep@wiki",
+          "S-WordCount@wiki", "S-Sort@wiki", "S-Grep@wiki", "H-Read"}) {
+        WorkloadPtr w = findWorkload(name).make(0.15);
+        WorkloadRun run = profileWorkload(*w, xeonE5645());
+        names.push_back(name);
+        metrics.push_back(run.metrics);
+    }
+    AnalyzerOptions opts;
+    opts.clusters = 4;
+    SubsetReport report = reduceWorkloads(names, metrics, opts);
+
+    ASSERT_EQ(report.clusters.size(), 4u);
+    // H-Read (service, extreme front-end) must not share a cluster
+    // with the MPI workloads (thin stack).
+    std::string hread_cluster, mpi_cluster;
+    for (const auto &c : report.clusters) {
+        for (const auto &m : c.members) {
+            if (m == "H-Read")
+                hread_cluster = std::to_string(c.id);
+            if (m == "M-WordCount@wiki")
+                mpi_cluster = std::to_string(c.id);
+        }
+    }
+    EXPECT_NE(hread_cluster, mpi_cluster);
+}
+
+TEST(Analyzer, RepresentativesReturnedInClusterOrder)
+{
+    Rng rng(47);
+    std::vector<std::string> names;
+    std::vector<MetricVector> metrics;
+    for (int i = 0; i < 12; ++i) {
+        names.push_back("w" + std::to_string(i));
+        metrics.push_back(fromPrototype(i % 4, rng));
+    }
+    AnalyzerOptions opts;
+    opts.clusters = 4;
+    SubsetReport report = reduceWorkloads(names, metrics, opts);
+    auto reps = report.representatives();
+    ASSERT_EQ(reps.size(), 4u);
+    for (size_t i = 0; i < reps.size(); ++i)
+        EXPECT_EQ(reps[i], report.clusters[i].representative);
+}
+
+} // namespace
+} // namespace wcrt

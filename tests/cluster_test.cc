@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the shared-nothing cluster model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hh"
+#include "workloads/text_workloads.hh"
+
+namespace wcrt {
+namespace {
+
+std::function<WorkloadPtr(double, uint64_t)>
+wordcountFactory()
+{
+    return [](double shard, uint64_t seed) -> WorkloadPtr {
+        return std::make_unique<TextWorkload>(TextAlgorithm::WordCount,
+                                              StackKind::Hadoop, shard,
+                                              seed);
+    };
+}
+
+TEST(Cluster, SingleNodeSpeedupIsUnity)
+{
+    ClusterConfig cfg;
+    cfg.nodes = 1;
+    ClusterRun run =
+        profileOnCluster(wordcountFactory(), xeonE5645(), 0.3, cfg);
+    EXPECT_NEAR(run.speedup, 1.0, 1e-9);
+    EXPECT_EQ(run.networkSeconds, 0.0);
+    EXPECT_EQ(run.perNode.size(), 1u);
+}
+
+TEST(Cluster, ScaleOutSpeedsUpSublinearly)
+{
+    ClusterConfig cfg;
+    cfg.nodes = 4;
+    ClusterRun run =
+        profileOnCluster(wordcountFactory(), xeonE5645(), 0.4, cfg);
+    EXPECT_EQ(run.perNode.size(), 4u);
+    EXPECT_GT(run.speedup, 1.5);
+    EXPECT_LT(run.speedup, 4.5);
+    EXPECT_GT(run.networkSeconds, 0.0);
+}
+
+TEST(Cluster, PerNodeMicroArchIsShardInvariant)
+{
+    ClusterConfig one;
+    one.nodes = 1;
+    ClusterConfig four;
+    four.nodes = 4;
+    ClusterRun a =
+        profileOnCluster(wordcountFactory(), xeonE5645(), 0.4, one);
+    ClusterRun b =
+        profileOnCluster(wordcountFactory(), xeonE5645(), 0.4, four);
+    // The paper measures per-node counters; sharding must not change
+    // the class of the numbers.
+    EXPECT_NEAR(a.averageIpc(), b.averageIpc(), 0.3);
+    EXPECT_NEAR(a.averageL1iMpki(), b.averageL1iMpki(),
+                0.5 * a.averageL1iMpki() + 2.0);
+}
+
+TEST(Cluster, NodesDifferButAgree)
+{
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    ClusterRun run =
+        profileOnCluster(wordcountFactory(), xeonE5645(), 0.45, cfg);
+    // Different seeds => different shards => slightly different
+    // instruction counts, but the same behaviour class.
+    EXPECT_NE(run.perNode[0].report.instructions,
+              run.perNode[1].report.instructions);
+    for (const auto &r : run.perNode) {
+        EXPECT_GT(r.report.ipc, 0.5);
+        EXPECT_LT(r.report.ipc, 2.0);
+    }
+}
+
+} // namespace
+} // namespace wcrt

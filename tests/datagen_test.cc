@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the BDGS-style data generators: determinism, scale
+ * behaviour, statistical character (Zipf skew, heavy-tailed degrees)
+ * and trace-address consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "base/strings.hh"
+#include "datagen/datasets.hh"
+#include "datagen/graph.hh"
+#include "datagen/table.hh"
+#include "datagen/text.hh"
+
+namespace wcrt {
+namespace {
+
+TEST(TextGenerator, DeterministicForSeed)
+{
+    TextGenOptions o;
+    o.seed = 42;
+    VirtualHeap h1, h2;
+    TextCorpus a = TextGenerator(o).generate(h1, "a", 20);
+    TextCorpus b = TextGenerator(o).generate(h2, "b", 20);
+    ASSERT_EQ(a.docs.size(), b.docs.size());
+    for (size_t i = 0; i < a.docs.size(); ++i)
+        EXPECT_EQ(a.docs[i], b.docs[i]);
+}
+
+TEST(TextGenerator, WordFrequencyIsZipfian)
+{
+    TextGenOptions o;
+    o.vocabulary = 2000;
+    o.zipfSkew = 1.1;
+    o.wordsPerDoc = 500;
+    VirtualHeap heap;
+    TextCorpus corpus = TextGenerator(o).generate(heap, "z", 100);
+
+    std::map<std::string, uint64_t> freq;
+    for (const auto &doc : corpus.docs)
+        for (const auto &w : splitWhitespace(doc))
+            ++freq[w];
+    // Top word should dominate: much more frequent than the median.
+    std::vector<uint64_t> counts;
+    for (const auto &[w, c] : freq)
+        counts.push_back(c);
+    std::sort(counts.rbegin(), counts.rend());
+    ASSERT_GT(counts.size(), 100u);
+    EXPECT_GT(counts[0], 8 * counts[counts.size() / 2]);
+}
+
+TEST(TextGenerator, DocAddressesAreDisjointAndOrdered)
+{
+    TextGenOptions o;
+    VirtualHeap heap;
+    TextCorpus corpus = TextGenerator(o).generate(heap, "d", 10);
+    for (size_t i = 1; i < corpus.docs.size(); ++i) {
+        EXPECT_GE(corpus.docAddr(i),
+                  corpus.docAddr(i - 1) + corpus.docs[i - 1].size());
+    }
+    EXPECT_GE(corpus.totalBytes, corpus.docs[0].size());
+}
+
+TEST(GraphGenerator, DegreeDistributionIsHeavyTailed)
+{
+    GraphGenOptions o;
+    o.edgesPerNode = 6;
+    VirtualHeap heap;
+    Graph g = GraphGenerator(o).generate(heap, "g", 4000);
+
+    uint64_t max_deg = 0;
+    uint64_t sum_deg = 0;
+    // In-degree tail: count how many edges the most-linked node gets.
+    std::vector<uint64_t> indeg(g.numNodes, 0);
+    for (auto t : g.targets)
+        ++indeg[t];
+    for (auto d : indeg) {
+        max_deg = std::max(max_deg, d);
+        sum_deg += d;
+    }
+    double avg = static_cast<double>(sum_deg) / g.numNodes;
+    // Preferential attachment: the hub collects far more than average.
+    EXPECT_GT(static_cast<double>(max_deg), 10.0 * avg);
+}
+
+TEST(GraphGenerator, CsrIsConsistent)
+{
+    GraphGenOptions o;
+    VirtualHeap heap;
+    Graph g = GraphGenerator(o).generate(heap, "g", 500);
+    ASSERT_EQ(g.offsets.size(), g.numNodes + 1u);
+    EXPECT_EQ(g.offsets.front(), 0u);
+    EXPECT_EQ(g.offsets.back(), g.numEdges());
+    for (uint32_t v = 0; v < g.numNodes; ++v) {
+        EXPECT_LE(g.offsets[v], g.offsets[v + 1]);
+        for (uint64_t e = 0; e < g.outDegree(v); ++e)
+            EXPECT_LT(g.targets[g.offsets[v] + e], g.numNodes);
+    }
+}
+
+TEST(GraphGenerator, NodeAndEdgeAddressesValid)
+{
+    GraphGenOptions o;
+    VirtualHeap heap;
+    Graph g = GraphGenerator(o).generate(heap, "g", 100);
+    EXPECT_EQ(g.nodeAddr(0), g.nodeRegion.base);
+    EXPECT_EQ(g.nodeAddr(5), g.nodeRegion.base + 40);
+    for (uint32_t v = 0; v < g.numNodes; ++v) {
+        if (g.outDegree(v) > 0) {
+            EXPECT_GE(g.edgeAddr(v, 0), g.edgeRegion.base);
+        }
+    }
+}
+
+TEST(TableGenerator, EcommerceSchemasMatchTable1)
+{
+    VirtualHeap heap;
+    TableGenerator gen(7);
+    DataTable orders = gen.ecommerceOrders(heap, 100);
+    DataTable items = gen.ecommerceItems(heap, 300, 100);
+    EXPECT_EQ(orders.columns.size(), 4u);  // Table 1: 4 columns
+    EXPECT_EQ(items.columns.size(), 6u);   // Table 2: 6 columns
+    EXPECT_EQ(orders.rows, 100u);
+    EXPECT_EQ(items.rows, 300u);
+}
+
+TEST(TableGenerator, ForeignKeysStayInRange)
+{
+    VirtualHeap heap;
+    TableGenerator gen(7);
+    DataTable items = gen.ecommerceItems(heap, 500, 100);
+    for (int64_t oid : items.column("order_id").ints) {
+        EXPECT_GE(oid, 1);
+        EXPECT_LE(oid, 100);
+    }
+}
+
+TEST(TableGenerator, ProfSearchRecordsSortedAndSized)
+{
+    VirtualHeap heap;
+    KvDataset kv = TableGenerator(7).profSearchResumes(heap, 200);
+    ASSERT_EQ(kv.keys.size(), 200u);
+    EXPECT_EQ(kv.valueBytes, 1128u);  // the paper's record size
+    for (size_t i = 1; i < kv.keys.size(); ++i)
+        EXPECT_LT(kv.keys[i - 1], kv.keys[i]);
+    for (const auto &v : kv.values)
+        EXPECT_EQ(v.size(), 1128u);
+}
+
+TEST(TableGenerator, TpcdsStarSchemaJoins)
+{
+    VirtualHeap heap;
+    TableGenerator gen(7);
+    DataTable sales = gen.tpcdsWebSales(heap, 1000);
+    DataTable dates = gen.tpcdsDateDim(heap, 1461);
+    DataTable items = gen.tpcdsItemDim(heap, 18000);
+    // Every fact-table key must resolve against its dimension.
+    for (int64_t d : sales.column("ws_sold_date_sk").ints)
+        EXPECT_LT(d, static_cast<int64_t>(dates.rows));
+    for (int64_t i : sales.column("ws_item_sk").ints)
+        EXPECT_LT(i, static_cast<int64_t>(items.rows));
+}
+
+TEST(DataTable, CellAddressesRespectColumnRegions)
+{
+    VirtualHeap heap;
+    DataTable orders = TableGenerator(7).ecommerceOrders(heap, 64);
+    size_t c = orders.columnIndex("buyer_id");
+    uint64_t a0 = orders.cellAddr(c, 0);
+    uint64_t a1 = orders.cellAddr(c, 1);
+    EXPECT_EQ(a1 - a0, 8u);
+    EXPECT_EQ(a0, orders.columnRegions[c].base);
+}
+
+TEST(DatasetCatalog, ScaleChangesRecordCounts)
+{
+    VirtualHeap h1, h2;
+    DatasetCatalog small(h1, 0.25), big(h2, 1.0);
+    EXPECT_LT(small.wikipedia().docs.size(),
+              big.wikipedia().docs.size());
+    EXPECT_LT(small.profSearch().keys.size(),
+              big.profSearch().keys.size());
+}
+
+TEST(DatasetCatalog, SevenInfosMatchPaper)
+{
+    const auto &infos = datasetInfos();
+    ASSERT_EQ(infos.size(), 7u);
+    EXPECT_STREQ(infos[0].name, "Wikipedia Entries");
+    EXPECT_STREQ(infos[6].generator, "TPC DSGen");
+}
+
+TEST(DatasetCatalog, FacebookDenserThanGoogle)
+{
+    VirtualHeap heap;
+    DatasetCatalog catalog(heap, 0.5);
+    Graph google = catalog.googleWebGraph();
+    Graph facebook = catalog.facebookGraph();
+    double g_avg = static_cast<double>(google.numEdges()) /
+                   google.numNodes;
+    double f_avg = static_cast<double>(facebook.numEdges()) /
+                   facebook.numNodes;
+    // The paper's Facebook graph is ~4x denser than the web graph.
+    EXPECT_GT(f_avg, 2.0 * g_avg);
+}
+
+} // namespace
+} // namespace wcrt

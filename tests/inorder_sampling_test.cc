@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the cycle-level in-order core and the segment-sampling
+ * sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "sim/inorder_core.hh"
+#include "trace/code_layout.hh"
+#include "trace/sampling.hh"
+#include "trace/tracer.hh"
+
+namespace wcrt {
+namespace {
+
+class InOrderTest : public ::testing::Test
+{
+  protected:
+    InOrderTest() : core(atomD510())
+    {
+        fn = layout.addFunction("k", CodeLayer::Application, 2048);
+    }
+
+    CodeLayout layout;
+    FunctionId fn;
+    InOrderCore core;
+};
+
+TEST_F(InOrderTest, IpcBoundedByIssueWidth)
+{
+    Tracer t(layout, core);
+    t.call(fn);
+    t.loop(20000, [&](uint64_t) { t.intAlu(IntPurpose::Compute, 4); });
+    t.ret();
+    InOrderReport r = core.report();
+    EXPECT_GT(r.ipc, 0.5);
+    EXPECT_LE(r.ipc, 2.0 + 1e-9);  // 2-wide in-order
+}
+
+TEST_F(InOrderTest, LoadUseStallsAppearForDependentChains)
+{
+    Tracer t(layout, core);
+    t.call(fn);
+    // Pointer-chase shape: load immediately consumed, spread over a
+    // range larger than the L1D so loads go to L2 and beyond.
+    t.loop(20000, [&](uint64_t i) {
+        t.load(0x1000000 + (i * 8191 % 262144) * 64, 8);
+        t.intAlu(IntPurpose::Compute, 1);  // dependent op
+    });
+    t.ret();
+    InOrderReport r = core.report();
+    EXPECT_GT(r.loadUseStallCycles, 0.0);
+    EXPECT_LT(r.ipc, 1.0);
+}
+
+TEST_F(InOrderTest, DividesAreExpensive)
+{
+    auto run = [&](bool divs) {
+        InOrderCore c(atomD510());
+        CodeLayout l;
+        auto f = l.addFunction("k", CodeLayer::Application, 1024);
+        Tracer t(l, c);
+        t.call(f);
+        t.loop(5000, [&](uint64_t) {
+            if (divs)
+                t.fpDiv(1);
+            else
+                t.fpAlu(1);
+        });
+        t.ret();
+        return c.report().ipc;
+    };
+    EXPECT_LT(run(true), run(false) / 3.0);
+}
+
+TEST_F(InOrderTest, MispredictsFlushThePipeline)
+{
+    auto run = [&](double taken_prob) {
+        InOrderCore c(atomD510());
+        CodeLayout l;
+        auto f = l.addFunction("k", CodeLayer::Application, 1024);
+        Rng rng(5);
+        Tracer t(l, c);
+        t.call(f);
+        t.loop(20000, [&](uint64_t) {
+            t.intAlu(IntPurpose::Compute, 2);
+            t.branchForward(rng.nextBool(taken_prob), 16);
+        });
+        t.ret();
+        return c.report().ipc;
+    };
+    // Random branches must cost clearly more than biased ones.
+    EXPECT_LT(run(0.5), run(0.02) * 0.8);
+}
+
+TEST(Sampling, ForwardsConfiguredFraction)
+{
+    CountingSink downstream;
+    SamplingSink sampler(downstream, 100000);
+    MicroOp op;
+    for (int i = 0; i < 100000; ++i)
+        sampler.consume(op);
+    EXPECT_EQ(sampler.totalOps(), 100000u);
+    EXPECT_NEAR(sampler.sampledFraction(), 0.05, 0.002);
+    EXPECT_EQ(downstream.ops(), sampler.sampledOps());
+}
+
+TEST(Sampling, WindowsLandAtConfiguredPositions)
+{
+    class PositionSink : public TraceSink
+    {
+      public:
+        void
+        consume(const MicroOp &op) override
+        {
+            positions.push_back(op.memAddr);
+        }
+        std::vector<uint64_t> positions;
+    };
+    PositionSink downstream;
+    SamplingSink sampler(downstream, 1000,
+                         {{0.1, 0.2}, {0.8, 0.9}});
+    for (uint64_t i = 0; i < 1000; ++i) {
+        MicroOp op;
+        op.memAddr = i;
+        sampler.consume(op);
+    }
+    ASSERT_EQ(downstream.positions.size(), 200u);
+    EXPECT_EQ(downstream.positions.front(), 100u);
+    EXPECT_EQ(downstream.positions.back(), 899u);
+}
+
+TEST(Sampling, HandlesTraceLongerThanExpected)
+{
+    CountingSink downstream;
+    SamplingSink sampler(downstream, 1000, {{0.5, 0.6}});
+    MicroOp op;
+    for (int i = 0; i < 5000; ++i)  // 5x the expected length
+        sampler.consume(op);
+    EXPECT_EQ(downstream.ops(), 100u);  // window didn't grow
+}
+
+TEST(Sampling, PaperWindowsAreFivePercentTotal)
+{
+    auto windows = paperSampleWindows();
+    ASSERT_EQ(windows.size(), 5u);
+    double total = 0.0;
+    for (const auto &w : windows)
+        total += w.end - w.begin;
+    EXPECT_NEAR(total, 0.05, 1e-9);
+}
+
+TEST(Sampling, RejectsOverlappingWindows)
+{
+    CountingSink downstream;
+    EXPECT_DEATH(
+        {
+            SamplingSink s(downstream, 100, {{0.1, 0.5}, {0.4, 0.6}});
+        },
+        "sorted");
+}
+
+} // namespace
+} // namespace wcrt

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Functional-equivalence tests: the workload kernels do real work, so
+ * their results can be checked against independent references, and
+ * the same algorithm must produce the same logical answer on every
+ * software stack (only the trace differs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string_view>
+
+#include "base/strings.hh"
+#include "datagen/text.hh"
+#include "stack/mapreduce/engine.hh"
+#include "stack/native/engine.hh"
+#include "stack/rdd/engine.hh"
+#include "workloads/kernels.hh"
+
+namespace wcrt {
+namespace {
+
+class DiscardSink : public TraceSink
+{
+  public:
+    void consume(const MicroOp &) override {}
+};
+
+class KernelTest : public ::testing::Test
+{
+  protected:
+    KernelTest() : kernels(layout), tracer(layout, sink)
+    {
+        root = layout.addFunction("root", CodeLayer::Application, 256);
+    }
+    void SetUp() override { tracer.call(root); }
+    void TearDown() override { tracer.ret(); }
+
+    CodeLayout layout;
+    DiscardSink sink;
+    AppKernels kernels;
+    Tracer tracer;
+    FunctionId root;
+};
+
+TEST_F(KernelTest, TokenizeMatchesSplit)
+{
+    std::string doc = "the quick brown fox jumps over the lazy dog";
+    auto tokens = kernels.tokenize(tracer, doc, 0x1000);
+    auto reference = splitWhitespace(doc);
+    ASSERT_EQ(tokens.size(), reference.size());
+    for (size_t i = 0; i < tokens.size(); ++i)
+        EXPECT_EQ(std::string(tokens[i]), reference[i]);
+}
+
+TEST_F(KernelTest, GrepMatchCountsOccurrences)
+{
+    std::string text = "abc the abc the abc thethe xyz";
+    EXPECT_EQ(kernels.grepMatch(tracer, text, 0x1000, "the"), 4u);
+    EXPECT_EQ(kernels.grepMatch(tracer, text, 0x1000, "abc"), 3u);
+    EXPECT_EQ(kernels.grepMatch(tracer, text, 0x1000, "zzz"), 0u);
+    EXPECT_EQ(kernels.grepMatch(tracer, text, 0x1000, ""), 0u);
+}
+
+TEST_F(KernelTest, ParseIntRoundTrips)
+{
+    EXPECT_EQ(kernels.parseInt(tracer, "0", 0x1000), 0);
+    EXPECT_EQ(kernels.parseInt(tracer, "12345", 0x1000), 12345);
+    EXPECT_EQ(kernels.parseInt(tracer, "42abc", 0x1000), 42);
+}
+
+TEST_F(KernelTest, FormatValueRoundTrips)
+{
+    for (int64_t v : {0ll, 7ll, 123456789ll}) {
+        std::string s = kernels.formatValue(tracer, v);
+        EXPECT_EQ(s, std::to_string(v));
+    }
+}
+
+TEST_F(KernelTest, DistanceIsEuclideanSquared)
+{
+    double a[3] = {1.0, 2.0, 3.0};
+    double b[3] = {4.0, 6.0, 3.0};
+    double d = kernels.distance(tracer, a, 0x1000, b, 0x2000, 3);
+    EXPECT_DOUBLE_EQ(d, 9.0 + 16.0 + 0.0);
+}
+
+TEST_F(KernelTest, ClosestCenterFindsArgmin)
+{
+    double point[2] = {5.0, 5.0};
+    std::vector<std::vector<double>> centers = {
+        {0.0, 0.0}, {5.5, 5.5}, {10.0, 10.0}};
+    uint32_t c = kernels.closestCenter(tracer, point, 0x1000, centers,
+                                       0x2000, 2);
+    EXPECT_EQ(c, 1u);
+}
+
+/** WordCount on every stack must produce the same logical counts. */
+class CrossStackWordCount : public ::testing::Test
+{
+  protected:
+    /** Reference word counts computed directly. */
+    static std::map<std::string, int64_t>
+    reference(const TextCorpus &corpus)
+    {
+        std::map<std::string, int64_t> counts;
+        for (const auto &doc : corpus.docs)
+            for (const auto &w : splitWhitespace(doc))
+                ++counts[w];
+        return counts;
+    }
+};
+
+TEST_F(CrossStackWordCount, MapReduceEngineMatchesReference)
+{
+    RunEnv env;
+    TextGenOptions o;
+    o.vocabulary = 200;
+    o.wordsPerDoc = 40;
+    TextCorpus corpus = TextGenerator(o).generate(env.heap, "c", 20);
+    auto ref = reference(corpus);
+
+    AppKernels kernels(env.layout);
+    MapReduceEngine engine(env.layout);
+    DiscardSink sink;
+    Tracer t(env.layout, sink);
+
+    class WcMapper : public Mapper
+    {
+      public:
+        explicit WcMapper(AppKernels &k) : k(k) {}
+        void registerCode(CodeLayout &) override {}
+        void
+        map(Tracer &tt, const Record &in, RecordVec &out) override
+        {
+            for (auto tok : k.tokenize(tt, in.value, in.valueAddr)) {
+                Record r;
+                r.key = std::string(tok);
+                r.value = "1";
+                r.keyAddr = in.valueAddr;
+                r.valueAddr = in.valueAddr;
+                out.push_back(std::move(r));
+            }
+        }
+        AppKernels &k;
+    };
+    class WcReducer : public Reducer
+    {
+      public:
+        explicit WcReducer(AppKernels &k) : k(k) {}
+        void registerCode(CodeLayout &) override {}
+        void
+        reduce(Tracer &tt, const std::string &key,
+               const RecordVec &values, RecordVec &out) override
+        {
+            int64_t total = 0;
+            for (const auto &v : values)
+                total += k.parseInt(tt, v.value, v.valueAddr);
+            Record r;
+            r.key = key;
+            r.value = std::to_string(total);
+            r.keyAddr = values.front().keyAddr;
+            r.valueAddr = values.front().valueAddr;
+            out.push_back(std::move(r));
+        }
+        AppKernels &k;
+    };
+
+    RecordVec input;
+    for (size_t d = 0; d < corpus.docs.size(); ++d) {
+        Record r;
+        r.key = std::to_string(d);
+        r.value = corpus.docs[d];
+        r.keyAddr = corpus.docAddr(d);
+        r.valueAddr = corpus.docAddr(d);
+        input.push_back(std::move(r));
+    }
+    WcMapper m(kernels);
+    WcReducer red(kernels);
+    RecordVec out = engine.run(env, t, input, m, red);
+
+    std::map<std::string, int64_t> got;
+    for (const auto &r : out)
+        got[r.key] = std::stoll(r.value);
+    EXPECT_EQ(got, ref);
+}
+
+TEST_F(CrossStackWordCount, NativeEngineMatchesReference)
+{
+    RunEnv env;
+    TextGenOptions o;
+    o.vocabulary = 200;
+    o.wordsPerDoc = 40;
+    TextCorpus corpus = TextGenerator(o).generate(env.heap, "c", 20);
+    auto ref = reference(corpus);
+
+    AppKernels kernels(env.layout);
+    NativeEngine engine(env.layout);
+    DiscardSink sink;
+    Tracer t(env.layout, sink);
+    FunctionId root =
+        env.layout.addFunction("root", CodeLayer::Application, 256);
+
+    class WcKernel : public NativeKernel
+    {
+      public:
+        explicit WcKernel(AppKernels &k, uint32_t ranks)
+            : k(k), ranks(ranks)
+        {
+        }
+        void registerCode(CodeLayout &) override {}
+        void
+        processPartition(Tracer &tt, const RecordVec &in,
+                         std::vector<RecordVec> &to_ranks) override
+        {
+            std::map<std::string, int64_t> local;
+            for (const auto &rec : in)
+                for (auto tok :
+                     k.tokenize(tt, rec.value, rec.valueAddr))
+                    ++local[std::string(tok)];
+            for (const auto &[word, count] : local) {
+                Record r;
+                r.key = word;
+                r.value = std::to_string(count);
+                r.keyAddr = in.front().valueAddr;
+                r.valueAddr = in.front().valueAddr;
+                to_ranks[fnv1a(word) % ranks].push_back(std::move(r));
+            }
+        }
+        void
+        finalize(Tracer &tt, const RecordVec &received, RecordVec &out)
+            override
+        {
+            std::map<std::string, int64_t> merged;
+            for (const auto &rec : received)
+                merged[rec.key] +=
+                    k.parseInt(tt, rec.value, rec.valueAddr);
+            for (const auto &[word, count] : merged) {
+                Record r;
+                r.key = word;
+                r.value = std::to_string(count);
+                out.push_back(std::move(r));
+            }
+        }
+        AppKernels &k;
+        uint32_t ranks;
+    };
+
+    RecordVec input;
+    for (size_t d = 0; d < corpus.docs.size(); ++d) {
+        Record r;
+        r.key = std::to_string(d);
+        r.value = corpus.docs[d];
+        r.keyAddr = corpus.docAddr(d);
+        r.valueAddr = corpus.docAddr(d);
+        input.push_back(std::move(r));
+    }
+    t.call(root);
+    WcKernel kernel(kernels, engine.config().ranks);
+    RecordVec out = engine.run(env, t, input, kernel);
+    t.ret();
+
+    std::map<std::string, int64_t> got;
+    for (const auto &r : out)
+        got[r.key] += std::stoll(r.value);
+    EXPECT_EQ(got, ref);
+}
+
+} // namespace
+} // namespace wcrt

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Parameterized property tests: invariants that must hold across whole
+ * parameter families — cache geometries, branch-unit configurations,
+ * Zipf shapes, tracer loop sizes and workload dataset scales.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "base/rng.hh"
+#include "core/profiler.hh"
+#include "sim/branch.hh"
+#include "sim/cache.hh"
+#include "trace/code_layout.hh"
+#include "trace/mix_counter.hh"
+#include "trace/tracer.hh"
+#include "workloads/registry.hh"
+
+namespace wcrt {
+namespace {
+
+// ---------------------------------------------------------------------
+// Cache geometry family: (size KB, associativity).
+// ---------------------------------------------------------------------
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
+{
+};
+
+TEST_P(CacheGeometry, StatsStayConsistentOnRandomTrace)
+{
+    auto [kb, assoc] = GetParam();
+    Cache c({"p", static_cast<uint64_t>(kb) * 1024, assoc, 64});
+    Rng rng(kb * 131 + assoc);
+    uint64_t hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += c.access(rng.nextBelow(1 << 22) & ~63ull);
+    EXPECT_EQ(c.accesses(), static_cast<uint64_t>(n));
+    EXPECT_EQ(c.misses() + hits, static_cast<uint64_t>(n));
+    EXPECT_GE(c.missRatio(), 0.0);
+    EXPECT_LE(c.missRatio(), 1.0);
+}
+
+TEST_P(CacheGeometry, WorkingSetSmallerThanCapacityAlwaysHits)
+{
+    auto [kb, assoc] = GetParam();
+    Cache c({"p", static_cast<uint64_t>(kb) * 1024, assoc, 64});
+    // Touch half the capacity repeatedly: after the cold pass, no
+    // misses regardless of geometry (LRU keeps the working set).
+    uint64_t lines = kb * 1024 / 64 / 2;
+    for (int pass = 0; pass < 3; ++pass)
+        for (uint64_t l = 0; l < lines; ++l)
+            c.access(l * 64);
+    EXPECT_EQ(c.misses(), lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Combine(::testing::Values(16u, 32u, 256u, 1024u),
+                       ::testing::Values(1u, 2u, 8u, 16u)));
+
+// ---------------------------------------------------------------------
+// Branch unit family: every predictor configuration obeys the same
+// accounting invariants on a mixed branch stream.
+// ---------------------------------------------------------------------
+
+class BranchConfigFamily : public ::testing::TestWithParam<int>
+{
+  protected:
+    BranchConfig
+    config() const
+    {
+        switch (GetParam()) {
+          case 0:
+            return atomD510Branch();
+          case 1:
+            return xeonE5645Branch();
+          case 2: {
+            BranchConfig c = xeonE5645Branch();
+            c.hasLoopPredictor = false;
+            return c;
+          }
+          default: {
+            BranchConfig c = xeonE5645Branch();
+            c.hasIndirectPredictor = false;
+            c.rasEntries = 4;
+            return c;
+          }
+        }
+    }
+};
+
+TEST_P(BranchConfigFamily, AccountingInvariants)
+{
+    BranchUnit bu(config());
+    Rng rng(7 + GetParam());
+    for (int i = 0; i < 20000; ++i) {
+        MicroOp op;
+        uint64_t pick = rng.nextBelow(100);
+        op.pc = 0x4000 + rng.nextBelow(64) * 16;
+        if (pick < 70) {
+            op.kind = OpKind::BranchCond;
+            op.taken = rng.nextBool(0.4);
+            op.target = op.taken ? 0x8000 : 0;
+        } else if (pick < 80) {
+            op.kind = OpKind::BranchIndirect;
+            op.taken = true;
+            op.target = 0x9000 + rng.nextBelow(4) * 256;
+        } else if (pick < 90) {
+            op.kind = OpKind::Call;
+            op.target = 0xa000;
+        } else {
+            op.kind = OpKind::Return;
+            op.target = 0x4000;
+        }
+        bu.predict(op);
+    }
+    const BranchStats &st = bu.stats();
+    EXPECT_LE(st.conditionalMispredicts, st.conditional);
+    EXPECT_LE(st.indirectMispredicts, st.indirect);
+    EXPECT_LE(st.returnMispredicts, st.returns);
+    EXPECT_GE(st.mispredictRatio(), 0.0);
+    EXPECT_LE(st.mispredictRatio(), 1.0);
+    EXPECT_EQ(st.conditional + st.indirect + st.returns, st.total());
+}
+
+TEST_P(BranchConfigFamily, BiasedBranchesArePredictable)
+{
+    BranchUnit bu(config());
+    // A 97%-taken branch must be predicted well by every config.
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i)
+        bu.predict([&] {
+            MicroOp op;
+            op.kind = OpKind::BranchCond;
+            op.pc = 0x4000;
+            op.taken = rng.nextBool(0.97);
+            op.target = 0x8000;
+            return op;
+        }());
+    EXPECT_LT(bu.stats().mispredictRatio(), 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, BranchConfigFamily,
+                         ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------
+// Zipf family: distribution invariants across (n, s).
+// ---------------------------------------------------------------------
+
+class ZipfFamily
+    : public ::testing::TestWithParam<std::tuple<size_t, double>>
+{
+};
+
+TEST_P(ZipfFamily, PmfIsNormalizedAndMonotone)
+{
+    auto [n, s] = GetParam();
+    ZipfSampler zipf(n, s);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        sum += zipf.pmf(i);
+        if (i > 0) {
+            EXPECT_LE(zipf.pmf(i), zipf.pmf(i - 1) + 1e-12);
+        }
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(ZipfFamily, SamplesStayInRange)
+{
+    auto [n, s] = GetParam();
+    ZipfSampler zipf(n, s);
+    Rng rng(static_cast<uint64_t>(n * 1000 + s * 10));
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(zipf.sample(rng), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZipfFamily,
+    ::testing::Combine(::testing::Values<size_t>(1, 10, 1000),
+                       ::testing::Values(0.0, 0.8, 1.2)));
+
+// ---------------------------------------------------------------------
+// Tracer loop family: emission counts are exact for any trip count.
+// ---------------------------------------------------------------------
+
+class LoopFamily : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(LoopFamily, LoopEmitsExactOpCount)
+{
+    uint64_t n = GetParam();
+    CodeLayout layout;
+    auto fn = layout.addFunction("f", CodeLayer::Application, 4096);
+    MixCounter mix;
+    Tracer t(layout, mix);
+    t.call(fn);
+    t.loop(n, [&](uint64_t) { t.intAlu(IntPurpose::Compute, 3); });
+    t.ret();
+    // Per iteration: 3 ALU + 1 branch; n == 0 emits one guard branch;
+    // plus the final Return.
+    uint64_t expected =
+        (n == 0 ? 1 : n * 4) + 1;
+    EXPECT_EQ(mix.total(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(TripCounts, LoopFamily,
+                         ::testing::Values(0u, 1u, 2u, 7u, 64u, 1000u));
+
+// ---------------------------------------------------------------------
+// Workload scale family: rate metrics are scale-stable (the property
+// that justifies profiling MB-scale stand-ins for 128 GB inputs).
+// ---------------------------------------------------------------------
+
+class ScaleFamily : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ScaleFamily, MixRatiosStableAcrossScale)
+{
+    const char *name = GetParam();
+    auto run = [&](double scale) {
+        WorkloadPtr w = findWorkload(name).make(scale);
+        return profileWorkload(*w, xeonE5645());
+    };
+    WorkloadRun small = run(0.15);
+    WorkloadRun large = run(0.45);
+    EXPECT_GT(large.report.instructions, small.report.instructions);
+    EXPECT_NEAR(small.report.branchRatio, large.report.branchRatio,
+                0.05);
+    EXPECT_NEAR(small.report.integerRatio, large.report.integerRatio,
+                0.06);
+    EXPECT_NEAR(small.report.loadRatio, large.report.loadRatio, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ScaleFamily,
+                         ::testing::Values("H-WordCount", "S-Sort",
+                                           "M-Grep", "H-Read",
+                                           "I-OrderBy"));
+
+} // namespace
+} // namespace wcrt

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Cross-backend equivalence: the same relational question answered by
+ * the Impala-style vectorized executor, the Hive-style MapReduce plan
+ * and the Shark-style RDD plan must produce identical logical results
+ * on identical tables — only the emitted traces may differ. This is
+ * the SQL-layer analogue of the WordCount cross-stack test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/table.hh"
+#include "stack/mapreduce/engine.hh"
+#include "stack/rdd/engine.hh"
+#include "stack/sql/vectorized.hh"
+
+namespace wcrt {
+namespace {
+
+class DiscardSink : public TraceSink
+{
+  public:
+    void consume(const MicroOp &) override {}
+};
+
+/** GROUP BY buyer_id SUM(floor(amount)) computed three ways. */
+class AggregationEquivalence : public ::testing::Test
+{
+  protected:
+    AggregationEquivalence()
+        : orders(TableGenerator(11).ecommerceOrders(env.heap, 300))
+    {
+    }
+
+    /** Independent reference. */
+    std::map<int64_t, int64_t>
+    reference() const
+    {
+        std::map<int64_t, int64_t> out;
+        const auto &buyers = orders.column("buyer_id").ints;
+        const auto &amounts = orders.column("amount").doubles;
+        for (uint64_t r = 0; r < orders.rows; ++r)
+            out[buyers[r]] += static_cast<int64_t>(amounts[r]);
+        return out;
+    }
+
+    /** Keyed record view of the table (like the JVM backends build). */
+    RecordVec
+    keyedRecords() const
+    {
+        const auto &buyers = orders.column("buyer_id").ints;
+        const auto &amounts = orders.column("amount").doubles;
+        RecordVec recs;
+        for (uint64_t r = 0; r < orders.rows; ++r) {
+            Record rec;
+            rec.key = std::to_string(buyers[r]);
+            rec.value =
+                std::to_string(static_cast<int64_t>(amounts[r]));
+            rec.keyAddr = orders.cellAddr(1, r);
+            rec.valueAddr = orders.cellAddr(3, r);
+            recs.push_back(std::move(rec));
+        }
+        return recs;
+    }
+
+    RunEnv env;
+    DataTable orders;
+};
+
+TEST_F(AggregationEquivalence, ImpalaMatchesReference)
+{
+    VectorizedEngine impala(env.layout);
+    DiscardSink sink;
+    Tracer t(env.layout, sink);
+    FunctionId root =
+        env.layout.addFunction("root", CodeLayer::Application, 256);
+    t.call(root);
+    Selection all = impala.scan(env, t, orders);
+    auto agg =
+        impala.aggregateSum(env, t, orders, "buyer_id", "amount", all);
+    t.ret();
+
+    auto ref = reference();
+    ASSERT_EQ(agg.size(), ref.size());
+    for (auto [group, sum] : agg) {
+        // Impala sums exact doubles; the reference floors per row, so
+        // allow one unit per contributing row.
+        EXPECT_NEAR(sum, static_cast<double>(ref[group]),
+                    static_cast<double>(orders.rows));
+    }
+}
+
+TEST_F(AggregationEquivalence, HiveStyleMapReduceMatchesReference)
+{
+    MapReduceEngine hive(env.layout);
+    DiscardSink sink;
+    Tracer t(env.layout, sink);
+
+    class SumReducer : public Reducer
+    {
+      public:
+        void registerCode(CodeLayout &) override {}
+        void
+        reduce(Tracer &tt, const std::string &key,
+               const RecordVec &values, RecordVec &out) override
+        {
+            int64_t total = 0;
+            for (const auto &v : values) {
+                tt.intAlu(IntPurpose::Compute, 1);
+                total += std::stoll(v.value);
+            }
+            Record r = values.front();
+            r.key = key;
+            r.value = std::to_string(total);
+            out.push_back(std::move(r));
+        }
+    };
+    class PassMapper : public Mapper
+    {
+      public:
+        void registerCode(CodeLayout &) override {}
+        void
+        map(Tracer &tt, const Record &in, RecordVec &out) override
+        {
+            tt.intAlu(IntPurpose::IntAddress, 1);
+            out.push_back(in);
+        }
+    };
+
+    PassMapper m;
+    SumReducer r;
+    RecordVec out = hive.run(env, t, keyedRecords(), m, r);
+
+    auto ref = reference();
+    ASSERT_EQ(out.size(), ref.size());
+    for (const auto &rec : out)
+        EXPECT_EQ(std::stoll(rec.value), ref[std::stoll(rec.key)])
+            << "group " << rec.key;
+}
+
+TEST_F(AggregationEquivalence, SharkStyleRddMatchesReference)
+{
+    RddEngine shark(env.layout);
+    DiscardSink sink;
+    Tracer t(env.layout, sink);
+
+    RecordVec input = keyedRecords();
+    RecordVec out =
+        shark.parallelize(input)
+            .reduceByKey([](Tracer &tt, const Record &a,
+                            const Record &b) {
+                tt.intAlu(IntPurpose::Compute, 1);
+                Record r = a;
+                r.value = std::to_string(std::stoll(a.value) +
+                                         std::stoll(b.value));
+                return r;
+            })
+            .collect(env, t);
+
+    auto ref = reference();
+    ASSERT_EQ(out.size(), ref.size());
+    for (const auto &rec : out)
+        EXPECT_EQ(std::stoll(rec.value), ref[std::stoll(rec.key)])
+            << "group " << rec.key;
+}
+
+/** EXCEPT computed by Impala vs a Hive-style tagged reduce. */
+TEST(DifferenceEquivalence, ImpalaMatchesHiveStyle)
+{
+    RunEnv env;
+    TableGenerator gen(13);
+    DataTable orders = gen.ecommerceOrders(env.heap, 150);
+    DataTable items = gen.ecommerceItems(env.heap, 400, 150);
+    DiscardSink sink;
+
+    // Impala side.
+    VectorizedEngine impala(env.layout);
+    Tracer t1(env.layout, sink);
+    FunctionId root =
+        env.layout.addFunction("root", CodeLayer::Application, 256);
+    t1.call(root);
+    Selection all_orders = impala.scan(env, t1, orders);
+    Selection all_items = impala.scan(env, t1, items);
+    Selection only =
+        impala.differenceInt64(env, t1, orders, "order_id", all_orders,
+                               items, "order_id", all_items);
+    t1.ret();
+    std::set<int64_t> impala_keys;
+    const auto &order_pk = orders.column("order_id").ints;
+    for (auto row : only)
+        impala_keys.insert(order_pk[row]);
+
+    // Hive side: tag + group + keep A-only groups.
+    MapReduceEngine hive(env.layout);
+    Tracer t2(env.layout, sink);
+    class PassMapper : public Mapper
+    {
+      public:
+        void registerCode(CodeLayout &) override {}
+        void
+        map(Tracer &tt, const Record &in, RecordVec &out) override
+        {
+            tt.intAlu(IntPurpose::IntAddress, 1);
+            out.push_back(in);
+        }
+    };
+    class OnlyAReducer : public Reducer
+    {
+      public:
+        void registerCode(CodeLayout &) override {}
+        void
+        reduce(Tracer &tt, const std::string &key,
+               const RecordVec &values, RecordVec &out) override
+        {
+            bool only_a = true;
+            for (const auto &v : values) {
+                tt.intAlu(IntPurpose::Compute, 1);
+                only_a = only_a && v.value == "A";
+            }
+            if (only_a) {
+                Record r = values.front();
+                r.key = key;
+                out.push_back(std::move(r));
+            }
+        }
+    };
+    RecordVec input;
+    for (uint64_t r = 0; r < orders.rows; ++r) {
+        Record rec;
+        rec.key = std::to_string(order_pk[r]);
+        rec.value = "A";
+        rec.keyAddr = orders.cellAddr(0, r);
+        rec.valueAddr = rec.keyAddr;
+        input.push_back(std::move(rec));
+    }
+    const auto &item_fk = items.column("order_id").ints;
+    for (uint64_t r = 0; r < items.rows; ++r) {
+        Record rec;
+        rec.key = std::to_string(item_fk[r]);
+        rec.value = "B";
+        rec.keyAddr = items.cellAddr(1, r);
+        rec.valueAddr = rec.keyAddr;
+        input.push_back(std::move(rec));
+    }
+    PassMapper m;
+    OnlyAReducer red;
+    RecordVec out = hive.run(env, t2, input, m, red);
+    std::set<int64_t> hive_keys;
+    for (const auto &rec : out)
+        hive_keys.insert(std::stoll(rec.key));
+
+    EXPECT_EQ(impala_keys, hive_keys);
+}
+
+} // namespace
+} // namespace wcrt

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Tests for the software-stack engines: MapReduce (sorting, grouping,
+ * combiner, I/O accounting), RDD (lazy semantics, transformations,
+ * shuffle, caching), native/MPI (partitioning and exchange), the KV
+ * store read path and the vectorized SQL executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "base/strings.hh"
+#include "datagen/table.hh"
+#include "stack/kvstore/store.hh"
+#include "stack/mapreduce/engine.hh"
+#include "stack/native/engine.hh"
+#include "stack/rdd/engine.hh"
+#include "stack/sql/vectorized.hh"
+
+namespace wcrt {
+namespace {
+
+/** Sink that discards ops (functional tests). */
+class NullSink : public TraceSink
+{
+  public:
+    void consume(const MicroOp &) override { ++ops; }
+    uint64_t ops = 0;
+};
+
+RecordVec
+makeInput(RunEnv &env, size_t n)
+{
+    HeapRegion region = env.heap.alloc("test.input", n * 64);
+    RecordVec input;
+    for (size_t i = 0; i < n; ++i) {
+        Record r;
+        r.key = "k" + std::to_string(i % 7);
+        r.value = "v" + std::to_string(i);
+        r.keyAddr = region.element(i, 64);
+        r.valueAddr = r.keyAddr + 16;
+        input.push_back(std::move(r));
+    }
+    return input;
+}
+
+/** Map: pass through; Reduce: count the group. */
+class CountReducer : public Reducer
+{
+  public:
+    void registerCode(CodeLayout &) override {}
+    void
+    reduce(Tracer &t, const std::string &key, const RecordVec &values,
+           RecordVec &out) override
+    {
+        t.intAlu(IntPurpose::Compute, 1);
+        Record r = values.front();
+        r.key = key;
+        r.value = std::to_string(values.size());
+        out.push_back(std::move(r));
+    }
+};
+
+class PassMapper : public Mapper
+{
+  public:
+    void registerCode(CodeLayout &) override {}
+    void
+    map(Tracer &t, const Record &in, RecordVec &out) override
+    {
+        t.intAlu(IntPurpose::IntAddress, 1);
+        out.push_back(in);
+    }
+};
+
+TEST(MapReduceEngine, GroupsAndCountsAllKeys)
+{
+    RunEnv env;
+    MapReduceEngine engine(env.layout);
+    RecordVec input = makeInput(env, 70);
+    NullSink sink;
+    Tracer t(env.layout, sink);
+    PassMapper m;
+    CountReducer r;
+    RecordVec out = engine.run(env, t, input, m, r);
+
+    // 7 distinct keys, each seen 10 times.
+    ASSERT_EQ(out.size(), 7u);
+    std::map<std::string, std::string> result;
+    for (const auto &rec : out)
+        result[rec.key] = rec.value;
+    for (int k = 0; k < 7; ++k)
+        EXPECT_EQ(result["k" + std::to_string(k)], "10");
+}
+
+TEST(MapReduceEngine, AccountsIoAndDataBehaviour)
+{
+    RunEnv env;
+    MapReduceEngine engine(env.layout);
+    RecordVec input = makeInput(env, 50);
+    NullSink sink;
+    Tracer t(env.layout, sink);
+    PassMapper m;
+    CountReducer r;
+    engine.run(env, t, input, m, r);
+
+    EXPECT_EQ(env.data.inputBytes, totalBytes(input));
+    EXPECT_GT(env.data.intermediateBytes, 0u);
+    EXPECT_GT(env.data.outputBytes, 0u);
+    EXPECT_GE(env.io.diskReadBytes, totalBytes(input));
+    EXPECT_GT(env.io.diskWriteBytes, 0u);
+    EXPECT_GT(env.io.networkBytes, 0u);  // shuffle crosses the network
+}
+
+TEST(MapReduceEngine, CombinerShrinksIntermediateData)
+{
+    auto run = [](bool combine) {
+        RunEnv env;
+        MapReduceConfig cfg;
+        cfg.useCombiner = combine;
+        MapReduceEngine engine(env.layout, cfg);
+        RecordVec input = makeInput(env, 200);
+        NullSink sink;
+        Tracer t(env.layout, sink);
+        PassMapper m;
+        CountReducer r;
+        engine.run(env, t, input, m, r);
+        return env.data.intermediateBytes;
+    };
+    EXPECT_LT(run(true), run(false) / 4);
+}
+
+TEST(MapReduceEngine, EmitsFrameworkTrace)
+{
+    RunEnv env;
+    MapReduceEngine engine(env.layout);
+    RecordVec input = makeInput(env, 30);
+    NullSink sink;
+    Tracer t(env.layout, sink);
+    PassMapper m;
+    CountReducer r;
+    engine.run(env, t, input, m, r);
+    // Per-record framework overhead: far more ops than records.
+    EXPECT_GT(sink.ops, 30u * 100);
+}
+
+TEST(RddEngine, MapFilterPipeline)
+{
+    RunEnv env;
+    RddEngine engine(env.layout);
+    RecordVec input = makeInput(env, 40);
+    NullSink sink;
+    Tracer t(env.layout, sink);
+
+    Rdd result =
+        engine.parallelize(input)
+            .filter([](Tracer &, const Record &r) {
+                return r.key == "k1" || r.key == "k2";
+            })
+            .map([](Tracer &, const Record &r, RecordVec &out) {
+                Record copy = r;
+                copy.value = "mapped-" + r.value;
+                out.push_back(std::move(copy));
+            });
+    RecordVec out = result.collect(env, t);
+
+    // 40 records over 7 keys: k1 and k2 appear 6 times each.
+    ASSERT_EQ(out.size(), 12u);
+    for (const auto &r : out) {
+        EXPECT_TRUE(r.key == "k1" || r.key == "k2");
+        EXPECT_EQ(r.value.substr(0, 7), "mapped-");
+    }
+}
+
+TEST(RddEngine, ReduceByKeyCombinesValues)
+{
+    RunEnv env;
+    RddEngine engine(env.layout);
+    RecordVec input = makeInput(env, 70);
+    for (auto &r : input)
+        r.value = "1";
+    NullSink sink;
+    Tracer t(env.layout, sink);
+
+    RecordVec out =
+        engine.parallelize(input)
+            .reduceByKey([](Tracer &, const Record &a, const Record &b) {
+                Record r = a;
+                r.value = std::to_string(std::stoll(a.value) +
+                                         std::stoll(b.value));
+                return r;
+            })
+            .collect(env, t);
+    ASSERT_EQ(out.size(), 7u);
+    for (const auto &r : out)
+        EXPECT_EQ(r.value, "10");
+}
+
+TEST(RddEngine, SortByKeyOrdersWithinPartitions)
+{
+    RunEnv env;
+    RddConfig cfg;
+    cfg.numPartitions = 1;  // single partition => total order
+    RddEngine engine(env.layout, cfg);
+    RecordVec input = makeInput(env, 50);
+    NullSink sink;
+    Tracer t(env.layout, sink);
+
+    RecordVec out = engine.parallelize(input).sortByKey().collect(env, t);
+    ASSERT_EQ(out.size(), 50u);
+    for (size_t i = 1; i < out.size(); ++i)
+        EXPECT_LE(out[i - 1].key, out[i].key);
+}
+
+TEST(RddEngine, CacheAvoidsRecomputation)
+{
+    RunEnv env;
+    RddEngine engine(env.layout);
+    RecordVec input = makeInput(env, 30);
+    NullSink sink;
+    Tracer t(env.layout, sink);
+
+    int evaluations = 0;
+    Rdd cached = engine.parallelize(input)
+                     .map([&](Tracer &, const Record &r, RecordVec &out) {
+                         ++evaluations;
+                         out.push_back(r);
+                     })
+                     .cache();
+    cached.collect(env, t);
+    int after_first = evaluations;
+    cached.collect(env, t);
+    EXPECT_EQ(evaluations, after_first);  // second pass hits the cache
+    EXPECT_EQ(after_first, 30);
+}
+
+TEST(RddEngine, LazinessUntilAction)
+{
+    RunEnv env;
+    RddEngine engine(env.layout);
+    RecordVec input = makeInput(env, 10);
+    NullSink sink;
+    Tracer t(env.layout, sink);
+
+    int evaluations = 0;
+    Rdd rdd = engine.parallelize(input).map(
+        [&](Tracer &, const Record &r, RecordVec &out) {
+            ++evaluations;
+            out.push_back(r);
+        });
+    EXPECT_EQ(evaluations, 0);  // nothing ran yet
+    rdd.count(env, t);
+    EXPECT_EQ(evaluations, 10);
+}
+
+/** Native kernel that routes by key hash and echoes on finalize. */
+class EchoKernel : public NativeKernel
+{
+  public:
+    void registerCode(CodeLayout &) override {}
+    void
+    processPartition(Tracer &, const RecordVec &in,
+                     std::vector<RecordVec> &to_ranks) override
+    {
+        for (const auto &r : in)
+            to_ranks[fnv1a(r.key) % to_ranks.size()].push_back(r);
+    }
+    void
+    finalize(Tracer &, const RecordVec &received, RecordVec &out)
+        override
+    {
+        out = received;
+    }
+};
+
+TEST(NativeEngine, PreservesRecordsThroughExchange)
+{
+    RunEnv env;
+    NativeEngine engine(env.layout);
+    RecordVec input = makeInput(env, 60);
+    NullSink sink;
+    Tracer t(env.layout, sink);
+    EchoKernel kernel;
+    RecordVec out = engine.run(env, t, input, kernel);
+
+    ASSERT_EQ(out.size(), input.size());
+    std::multiset<std::string> in_vals, out_vals;
+    for (const auto &r : input)
+        in_vals.insert(r.value);
+    for (const auto &r : out)
+        out_vals.insert(r.value);
+    EXPECT_EQ(in_vals, out_vals);
+}
+
+TEST(NativeEngine, RoutesKeysToConsistentRanks)
+{
+    RunEnv env;
+    NativeEngine engine(env.layout);
+    RecordVec input = makeInput(env, 60);
+    NullSink sink;
+    Tracer t(env.layout, sink);
+    EchoKernel kernel;
+    engine.run(env, t, input, kernel);
+    // Thin stack: some network traffic, but intermediate == payload.
+    EXPECT_GT(env.io.networkBytes, 0u);
+    EXPECT_EQ(env.data.intermediateBytes, totalBytes(input));
+}
+
+TEST(NativeEngine, ThinnerTraceThanMapReduce)
+{
+    RunEnv env1, env2;
+    NativeEngine native(env1.layout);
+    MapReduceEngine hadoop(env2.layout);
+    RecordVec in1 = makeInput(env1, 100);
+    RecordVec in2 = makeInput(env2, 100);
+
+    NullSink s1, s2;
+    Tracer t1(env1.layout, s1), t2(env2.layout, s2);
+    EchoKernel kernel;
+    native.run(env1, t1, in1, kernel);
+    PassMapper m;
+    CountReducer r;
+    hadoop.run(env2, t2, in2, m, r);
+    // The deep stack executes several times more instructions for the
+    // same logical work (the Section 5.5 premise).
+    EXPECT_GT(s2.ops, 3 * s1.ops);
+}
+
+TEST(KvStore, GetReturnsStoredValueSizes)
+{
+    RunEnv env;
+    KvDataset data =
+        TableGenerator(5).profSearchResumes(env.heap, 64);
+    KvStore store(env.layout, data);
+    NullSink sink;
+    Tracer t(env.layout, sink);
+    t.call(env.layout.addFunction("root", CodeLayer::Application, 256));
+    EXPECT_EQ(store.get(t, env, 5), data.values[5].size());
+    EXPECT_EQ(store.get(t, env, 63), data.values[63].size());
+    EXPECT_EQ(store.get(t, env, 64), 0u);  // out of range
+    t.ret();
+}
+
+TEST(KvStore, ServeAccountsIoPerRequest)
+{
+    RunEnv env;
+    KvDataset data =
+        TableGenerator(5).profSearchResumes(env.heap, 128);
+    KvStore store(env.layout, data);
+    NullSink sink;
+    Tracer t(env.layout, sink);
+    t.call(env.layout.addFunction("root", CodeLayer::Application, 256));
+    Rng rng(9);
+    store.serve(t, env, 100, rng);
+    t.ret();
+    EXPECT_GT(env.io.diskReadBytes, 100u * 1000);   // block reads
+    EXPECT_GT(env.io.networkBytes, 100u * 1000);    // responses
+    EXPECT_GT(env.data.outputBytes, 100u * 1000);
+}
+
+class VectorizedTest : public ::testing::Test
+{
+  protected:
+    VectorizedTest()
+        : engine(env.layout),
+          orders(TableGenerator(5).ecommerceOrders(env.heap, 200)),
+          items(TableGenerator(5).ecommerceItems(env.heap, 600, 200)),
+          tracer(env.layout, sink)
+    {
+        root = env.layout.addFunction("root", CodeLayer::Application,
+                                      256);
+    }
+
+    void SetUp() override { tracer.call(root); }
+    void TearDown() override { tracer.ret(); }
+
+    RunEnv env;
+    VectorizedEngine engine;
+    DataTable orders;
+    DataTable items;
+    NullSink sink;
+    Tracer tracer;
+    FunctionId root;
+};
+
+TEST_F(VectorizedTest, FilterMatchesReference)
+{
+    Selection all = engine.scan(env, tracer, items);
+    ASSERT_EQ(all.size(), items.rows);
+    Selection cheap = engine.filterFloat64(
+        env, tracer, items, "goods_price", all,
+        [](double p) { return p < 20.0; });
+    const auto &prices = items.column("goods_price").doubles;
+    uint64_t expected = 0;
+    for (double p : prices)
+        expected += p < 20.0;
+    EXPECT_EQ(cheap.size(), expected);
+    for (auto row : cheap)
+        EXPECT_LT(prices[row], 20.0);
+}
+
+TEST_F(VectorizedTest, OrderByProducesSortedSelection)
+{
+    Selection all = engine.scan(env, tracer, orders);
+    Selection sorted =
+        engine.orderByInt64(env, tracer, orders, "create_date", all);
+    const auto &dates = orders.column("create_date").ints;
+    ASSERT_EQ(sorted.size(), orders.rows);
+    for (size_t i = 1; i < sorted.size(); ++i)
+        EXPECT_LE(dates[sorted[i - 1]], dates[sorted[i]]);
+}
+
+TEST_F(VectorizedTest, HashJoinMatchesNestedLoopReference)
+{
+    Selection all_orders = engine.scan(env, tracer, orders);
+    Selection all_items = engine.scan(env, tracer, items);
+    auto joined = engine.hashJoinInt64(env, tracer, orders, "order_id",
+                                       all_orders, items, "order_id",
+                                       all_items);
+    // Reference count: sum over items of matching orders (order_id is
+    // unique in orders).
+    const auto &item_fk = items.column("order_id").ints;
+    uint64_t expected = 0;
+    for (int64_t fk : item_fk)
+        expected += fk >= 1 && fk <= static_cast<int64_t>(orders.rows);
+    EXPECT_EQ(joined.size(), expected);
+    const auto &order_pk = orders.column("order_id").ints;
+    for (auto [lrow, rrow] : joined)
+        EXPECT_EQ(order_pk[lrow], item_fk[rrow]);
+}
+
+TEST_F(VectorizedTest, AggregateSumMatchesReference)
+{
+    Selection all = engine.scan(env, tracer, items);
+    auto agg = engine.aggregateSum(env, tracer, items, "category",
+                                   "goods_price", all);
+    const auto &cats = items.column("category").ints;
+    const auto &prices = items.column("goods_price").doubles;
+    std::map<int64_t, double> expected;
+    for (uint64_t r = 0; r < items.rows; ++r)
+        expected[cats[r]] += prices[r];
+    ASSERT_EQ(agg.size(), expected.size());
+    for (auto [group, sum] : agg)
+        EXPECT_NEAR(sum, expected[group], 1e-6);
+}
+
+TEST_F(VectorizedTest, DifferenceExcludesMatchingKeys)
+{
+    Selection all_orders = engine.scan(env, tracer, orders);
+    Selection all_items = engine.scan(env, tracer, items);
+    Selection only = engine.differenceInt64(env, tracer, orders,
+                                            "order_id", all_orders,
+                                            items, "order_id",
+                                            all_items);
+    std::set<int64_t> item_keys(items.column("order_id").ints.begin(),
+                                items.column("order_id").ints.end());
+    const auto &order_pk = orders.column("order_id").ints;
+    uint64_t expected = 0;
+    for (int64_t pk : order_pk)
+        expected += item_keys.count(pk) == 0;
+    EXPECT_EQ(only.size(), expected);
+    for (auto row : only)
+        EXPECT_EQ(item_keys.count(order_pk[row]), 0u);
+}
+
+} // namespace
+} // namespace wcrt

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the linear-algebra / clustering module: matrix ops,
+ * z-scoring, Jacobi eigendecomposition, PCA and k-means.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.hh"
+#include "stats/kmeans.hh"
+#include "stats/matrix.hh"
+#include "stats/pca.hh"
+
+namespace wcrt {
+namespace {
+
+TEST(Matrix, MultiplyIdentity)
+{
+    Matrix m = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix r = m.multiply(Matrix::identity(2));
+    EXPECT_DOUBLE_EQ(r.at(0, 0), 1);
+    EXPECT_DOUBLE_EQ(r.at(1, 1), 4);
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    Matrix b = Matrix::fromRows({{7, 8}, {9, 10}, {11, 12}});
+    Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 58);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 64);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 139);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 154);
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    Matrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t.at(2, 1), 6);
+    EXPECT_NEAR(t.transposed().distance(a), 0.0, 1e-15);
+}
+
+TEST(Matrix, RowAndColExtraction)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    EXPECT_EQ(a.row(1), (std::vector<double>{3, 4}));
+    EXPECT_EQ(a.col(0), (std::vector<double>{1, 3}));
+}
+
+TEST(Zscore, NormalizesColumns)
+{
+    Matrix m = Matrix::fromRows({{1, 100}, {2, 200}, {3, 300}});
+    Normalized n = zscore(m);
+    for (size_t c = 0; c < 2; ++c) {
+        double mean = 0, var = 0;
+        for (size_t r = 0; r < 3; ++r)
+            mean += n.data.at(r, c);
+        mean /= 3;
+        for (size_t r = 0; r < 3; ++r)
+            var += std::pow(n.data.at(r, c) - mean, 2);
+        var /= 3;
+        EXPECT_NEAR(mean, 0.0, 1e-12);
+        EXPECT_NEAR(var, 1.0, 1e-12);
+    }
+}
+
+TEST(Zscore, ConstantColumnBecomesZeros)
+{
+    Matrix m = Matrix::fromRows({{5, 1}, {5, 2}, {5, 3}});
+    Normalized n = zscore(m);
+    for (size_t r = 0; r < 3; ++r)
+        EXPECT_DOUBLE_EQ(n.data.at(r, 0), 0.0);
+}
+
+TEST(Jacobi, DiagonalizesKnownMatrix)
+{
+    // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+    Matrix m = Matrix::fromRows({{2, 1}, {1, 2}});
+    EigenResult e = jacobiEigen(m);
+    ASSERT_EQ(e.values.size(), 2u);
+    EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+}
+
+TEST(Jacobi, EigenvectorsSatisfyDefinition)
+{
+    Matrix m = Matrix::fromRows({{4, 1, 0}, {1, 3, 1}, {0, 1, 2}});
+    EigenResult e = jacobiEigen(m);
+    for (size_t k = 0; k < 3; ++k) {
+        // Check ||A v - lambda v|| ~ 0.
+        for (size_t r = 0; r < 3; ++r) {
+            double av = 0;
+            for (size_t c = 0; c < 3; ++c)
+                av += m.at(r, c) * e.vectors.at(c, k);
+            EXPECT_NEAR(av, e.values[k] * e.vectors.at(r, k), 1e-8);
+        }
+    }
+}
+
+TEST(Pca, ExplainsVarianceOnCorrelatedData)
+{
+    // Two strongly correlated columns plus one noise column: the first
+    // PC should dominate.
+    Rng rng(5);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 200; ++i) {
+        double t = rng.nextGaussian();
+        rows.push_back({t, t + 0.01 * rng.nextGaussian(),
+                        0.1 * rng.nextGaussian()});
+    }
+    Normalized n = zscore(Matrix::fromRows(rows));
+    PcaModel pca = fitPca(n.data, 0.9);
+    EXPECT_GE(pca.explained[0], 0.6);
+    EXPECT_LE(pca.retained, 2u);
+}
+
+TEST(Pca, ProjectionHasRequestedDimensions)
+{
+    Rng rng(6);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 50; ++i)
+        rows.push_back({rng.nextDouble(), rng.nextDouble(),
+                        rng.nextDouble(), rng.nextDouble()});
+    Normalized n = zscore(Matrix::fromRows(rows));
+    PcaModel pca = fitPca(n.data, 1.0);
+    Matrix proj = pca.project(n.data);
+    EXPECT_EQ(proj.rows(), 50u);
+    EXPECT_EQ(proj.cols(), pca.retained);
+}
+
+TEST(Pca, EigenvaluesDescending)
+{
+    Rng rng(7);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 100; ++i)
+        rows.push_back({rng.nextGaussian(), rng.nextGaussian(),
+                        rng.nextGaussian()});
+    Normalized n = zscore(Matrix::fromRows(rows));
+    PcaModel pca = fitPca(n.data, 1.0);
+    for (size_t i = 1; i < pca.eigenvalues.size(); ++i)
+        EXPECT_GE(pca.eigenvalues[i - 1], pca.eigenvalues[i] - 1e-12);
+}
+
+Matrix
+threeBlobs(int per_cluster, Rng &rng)
+{
+    std::vector<std::vector<double>> rows;
+    const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    for (int c = 0; c < 3; ++c)
+        for (int i = 0; i < per_cluster; ++i)
+            rows.push_back({centers[c][0] + 0.5 * rng.nextGaussian(),
+                            centers[c][1] + 0.5 * rng.nextGaussian()});
+    return Matrix::fromRows(rows);
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters)
+{
+    Rng rng(11);
+    Matrix data = threeBlobs(30, rng);
+    KMeansResult r = kMeans(data, 3);
+    EXPECT_TRUE(r.converged);
+    // All members of an original blob must share a label.
+    for (int c = 0; c < 3; ++c) {
+        size_t label = r.assignment[static_cast<size_t>(c) * 30];
+        for (int i = 0; i < 30; ++i)
+            EXPECT_EQ(r.assignment[static_cast<size_t>(c) * 30 + i],
+                      label);
+    }
+    // And the three labels are distinct.
+    EXPECT_NE(r.assignment[0], r.assignment[30]);
+    EXPECT_NE(r.assignment[30], r.assignment[60]);
+}
+
+TEST(KMeans, RepresentativesAreClusterMembers)
+{
+    Rng rng(13);
+    Matrix data = threeBlobs(20, rng);
+    KMeansResult r = kMeans(data, 3);
+    auto reps = r.representatives(data);
+    ASSERT_EQ(reps.size(), 3u);
+    for (size_t ci = 0; ci < 3; ++ci)
+        EXPECT_EQ(r.assignment[reps[ci]], ci);
+}
+
+TEST(KMeans, KEqualsNGivesSingletons)
+{
+    Matrix data = Matrix::fromRows({{0, 0}, {5, 5}, {9, 1}});
+    KMeansResult r = kMeans(data, 3);
+    EXPECT_NEAR(r.wcss, 0.0, 1e-18);
+    for (auto s : r.sizes)
+        EXPECT_EQ(s, 1u);
+}
+
+TEST(KMeans, WcssDecreasesWithK)
+{
+    Rng rng(17);
+    Matrix data = threeBlobs(25, rng);
+    double w1 = kMeans(data, 1).wcss;
+    double w3 = kMeans(data, 3).wcss;
+    double w6 = kMeans(data, 6).wcss;
+    EXPECT_GT(w1, w3);
+    EXPECT_GE(w3, w6);
+}
+
+TEST(KMeans, DeterministicForSeed)
+{
+    Rng rng(19);
+    Matrix data = threeBlobs(15, rng);
+    KMeansResult a = kMeans(data, 3);
+    KMeansResult b = kMeans(data, 3);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.wcss, b.wcss);
+}
+
+TEST(Silhouette, HighForSeparatedLowForMerged)
+{
+    Rng rng(23);
+    Matrix data = threeBlobs(20, rng);
+    KMeansResult good = kMeans(data, 3);
+    double s_good = silhouette(data, good.assignment, 3);
+    EXPECT_GT(s_good, 0.7);
+
+    KMeansResult coarse = kMeans(data, 2);
+    double s_coarse = silhouette(data, coarse.assignment, 2);
+    EXPECT_GT(s_good, s_coarse);
+}
+
+} // namespace
+} // namespace wcrt

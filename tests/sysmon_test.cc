@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the system-behaviour model: profile computation,
+ * the paper's classification rule and the data-volume thresholds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sysmon/sysmon.hh"
+
+namespace wcrt {
+namespace {
+
+NodeModel
+testNode()
+{
+    NodeModel n;
+    n.cpuGips = 1.0;
+    n.diskMBps = 100.0;
+    n.networkMBps = 100.0;
+    n.diskQueueDepth = 8.0;
+    return n;
+}
+
+TEST(SysProfile, PureCpuRunIsCpuIntensive)
+{
+    IoCounters io;  // no I/O at all
+    SystemProfile p = computeProfile(1'000'000'000, io, testNode());
+    EXPECT_GT(p.cpuUtilization, 0.85);
+    EXPECT_EQ(classifySystemBehavior(p), SystemBehavior::CpuIntensive);
+}
+
+TEST(SysProfile, PureIoRunIsIoIntensive)
+{
+    IoCounters io;
+    io.diskReadBytes = 10ull * 1000 * 1000 * 1000;  // 100 s of disk
+    SystemProfile p = computeProfile(1'000'000, io, testNode());
+    EXPECT_LT(p.cpuUtilization, 0.60);
+    EXPECT_GT(p.ioWaitRatio, 0.20);
+    EXPECT_EQ(classifySystemBehavior(p), SystemBehavior::IoIntensive);
+}
+
+TEST(SysProfile, BalancedRunIsHybrid)
+{
+    IoCounters io;
+    // 1 s of disk vs 0.7 s of CPU: I/O wait is substantial but CPU
+    // utilization stays above the IO rule's 60% ceiling.
+    io.diskReadBytes = 100ull * 1000 * 1000;
+    SystemProfile p = computeProfile(700'000'000, io, testNode());
+    EXPECT_EQ(classifySystemBehavior(p), SystemBehavior::Hybrid)
+        << "cpu=" << p.cpuUtilization << " iowait=" << p.ioWaitRatio
+        << " weighted=" << p.weightedDiskIoTimeRatio;
+}
+
+TEST(SysProfile, WeightedDiskTimeReflectsQueueDepth)
+{
+    NodeModel node = testNode();
+    node.diskQueueDepth = 32.0;
+    IoCounters io;
+    io.diskReadBytes = 60ull * 1000 * 1000;  // 0.6 s disk
+    SystemProfile p = computeProfile(300'000'000, io, node);
+    // Weighted ratio = disk time x queue depth / wall time.
+    EXPECT_GT(p.weightedDiskIoTimeRatio, 10.0);
+    EXPECT_EQ(classifySystemBehavior(p), SystemBehavior::IoIntensive);
+    // A shallow queue lowers the weighted ratio proportionally.
+    node.diskQueueDepth = 2.0;
+    SystemProfile q = computeProfile(300'000'000, io, node);
+    EXPECT_LT(q.weightedDiskIoTimeRatio,
+              p.weightedDiskIoTimeRatio / 10.0);
+}
+
+TEST(SysProfile, WallTimeModelsOverlap)
+{
+    IoCounters io;
+    io.diskReadBytes = 100ull * 1000 * 1000;  // 1 s disk
+    SystemProfile p = computeProfile(1'000'000'000, io, testNode());
+    // 1 s CPU + 1 s disk pipelined: wall in (1.0, 2.0).
+    EXPECT_GT(p.wallSeconds, 1.0);
+    EXPECT_LT(p.wallSeconds, 2.0);
+}
+
+TEST(SysProfile, BandwidthNumbersAreDerived)
+{
+    IoCounters io;
+    io.diskReadBytes = 50ull * 1000 * 1000;
+    io.diskWriteBytes = 25ull * 1000 * 1000;
+    io.networkBytes = 10ull * 1000 * 1000;
+    SystemProfile p = computeProfile(100'000'000, io, testNode());
+    EXPECT_GT(p.diskReadMBps, 0.0);
+    EXPECT_GT(p.diskWriteMBps, 0.0);
+    EXPECT_GT(p.networkMBps, 0.0);
+    EXPECT_GT(p.diskReadMBps, p.diskWriteMBps);
+}
+
+TEST(DataVolume, PaperThresholds)
+{
+    // Ratios from Section 3.2.2: <0.01 much-less, [0.01,0.9) less,
+    // [0.9,1.1) equal, >=1.1 greater.
+    EXPECT_EQ(classifyDataVolume(5, 1000), DataVolume::MuchLess);
+    EXPECT_EQ(classifyDataVolume(10, 1000), DataVolume::Less);
+    EXPECT_EQ(classifyDataVolume(899, 1000), DataVolume::Less);
+    EXPECT_EQ(classifyDataVolume(900, 1000), DataVolume::Equal);
+    EXPECT_EQ(classifyDataVolume(1099, 1000), DataVolume::Equal);
+    EXPECT_EQ(classifyDataVolume(1100, 1000), DataVolume::Greater);
+}
+
+TEST(DataVolume, ZeroInputIsMuchLess)
+{
+    EXPECT_EQ(classifyDataVolume(100, 0), DataVolume::MuchLess);
+}
+
+TEST(DataBehavior, DescribeMatchesTable2Format)
+{
+    DataBehavior d;
+    d.inputBytes = 1000;
+    d.outputBytes = 5;
+    d.intermediateBytes = 0;
+    EXPECT_EQ(d.describe(), "Output<<Input, no Intermediate");
+
+    d.intermediateBytes = 950;
+    EXPECT_EQ(d.describe(), "Output<<Input, Intermediate=Input");
+
+    d.outputBytes = 1500;
+    EXPECT_EQ(d.describe(), "Output>Input, Intermediate=Input");
+}
+
+TEST(IoCounters, MergeAccumulates)
+{
+    IoCounters a, b;
+    a.diskReadBytes = 10;
+    b.diskReadBytes = 5;
+    b.networkBytes = 7;
+    a.merge(b);
+    EXPECT_EQ(a.diskReadBytes, 15u);
+    EXPECT_EQ(a.networkBytes, 7u);
+}
+
+TEST(SysProfile, ClassificationRuleBoundaries)
+{
+    // Exactly at the CPU threshold: utilization must exceed 0.85.
+    SystemProfile p;
+    p.cpuUtilization = 0.851;
+    EXPECT_EQ(classifySystemBehavior(p), SystemBehavior::CpuIntensive);
+    p.cpuUtilization = 0.849;
+    p.ioWaitRatio = 0.0;
+    p.weightedDiskIoTimeRatio = 0.0;
+    EXPECT_EQ(classifySystemBehavior(p), SystemBehavior::Hybrid);
+    // IO rule requires CPU below 60% as well.
+    p.ioWaitRatio = 0.5;
+    p.cpuUtilization = 0.65;
+    EXPECT_EQ(classifySystemBehavior(p), SystemBehavior::Hybrid);
+    p.cpuUtilization = 0.55;
+    EXPECT_EQ(classifySystemBehavior(p), SystemBehavior::IoIntensive);
+}
+
+} // namespace
+} // namespace wcrt

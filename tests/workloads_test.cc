@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Integration tests over the workloads and the profiler: registry
+ * integrity, end-to-end runs, the paper's headline orderings (L1I by
+ * stack depth, service worst front-end) and data behaviours.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/baselines.hh"
+#include "core/profiler.hh"
+#include "workloads/ml_workloads.hh"
+#include "workloads/registry.hh"
+#include "workloads/text_workloads.hh"
+
+namespace wcrt {
+namespace {
+
+constexpr double testScale = 0.15;
+
+WorkloadRun
+runByName(const std::string &name, double scale = testScale)
+{
+    WorkloadPtr w = findWorkload(name).make(scale);
+    return profileWorkload(*w, xeonE5645());
+}
+
+TEST(Registry, SeventeenRepresentativesInTable2Order)
+{
+    const auto &reps = representativeWorkloads();
+    ASSERT_EQ(reps.size(), 17u);
+    EXPECT_EQ(reps[0].name, "H-Read");
+    EXPECT_EQ(reps[4].name, "S-WordCount");
+    EXPECT_EQ(reps[16].name, "S-Sort");
+    for (size_t i = 0; i < reps.size(); ++i)
+        EXPECT_EQ(reps[i].table2Id, static_cast<int>(i + 1));
+    // The "(n)" cluster sizes sum to 77.
+    int total = 0;
+    for (const auto &e : reps)
+        total += e.represents;
+    EXPECT_EQ(total, 77);
+}
+
+TEST(Registry, SixMpiWorkloads)
+{
+    const auto &mpi = mpiWorkloads();
+    ASSERT_EQ(mpi.size(), 6u);
+    std::set<std::string> names;
+    for (const auto &e : mpi) {
+        EXPECT_EQ(e.name.substr(0, 2), "M-");
+        names.insert(e.name);
+    }
+    EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(Registry, RosterHas77UniqueEntries)
+{
+    const auto &roster = fullRoster();
+    ASSERT_EQ(roster.size(), 77u);
+    std::set<std::string> names;
+    for (const auto &e : roster)
+        names.insert(e.name);
+    EXPECT_EQ(names.size(), 77u);
+}
+
+TEST(Registry, FindWorkloadLocatesAllLists)
+{
+    EXPECT_EQ(findWorkload("H-Read").name, "H-Read");
+    EXPECT_EQ(findWorkload("M-Kmeans").name, "M-Kmeans");
+    EXPECT_EQ(findWorkload("S-WordCount@amazon").name,
+              "S-WordCount@amazon");
+}
+
+TEST(Workloads, EveryRepresentativeRunsAndMeasures)
+{
+    for (const auto &entry : representativeWorkloads()) {
+        WorkloadPtr w = entry.make(testScale);
+        WorkloadRun run = profileWorkload(*w, xeonE5645());
+        EXPECT_GT(run.report.instructions, 1000u) << entry.name;
+        EXPECT_GT(run.report.ipc, 0.05) << entry.name;
+        EXPECT_LT(run.report.ipc, 4.0) << entry.name;
+        EXPECT_GT(run.data.inputBytes, 0u) << entry.name;
+    }
+}
+
+TEST(Workloads, StackDepthOrdersL1iMisses)
+{
+    // The paper's Section 5.5 headline as an invariant: for the same
+    // algorithm, L1I MPKI follows MPI < Hadoop and MPI < Spark.
+    for (const char *mpi_name : {"M-WordCount", "M-Sort"}) {
+        std::string algo = std::string(mpi_name).substr(2);
+        WorkloadRun m = runByName(mpi_name, 0.3);
+        WorkloadRun h = runByName("H-" + algo + "@wiki", 0.3);
+        WorkloadRun s = runByName("S-" + algo + "@wiki", 0.3);
+        EXPECT_LT(m.report.l1iMpki, h.report.l1iMpki) << algo;
+        EXPECT_LT(m.report.l1iMpki, s.report.l1iMpki) << algo;
+    }
+}
+
+TEST(Workloads, ServiceHasWorstFrontEnd)
+{
+    WorkloadRun service = runByName("H-Read", 0.3);
+    WorkloadRun analysis = runByName("H-WordCount", 0.3);
+    EXPECT_GT(service.report.l1iMpki, analysis.report.l1iMpki);
+    EXPECT_LT(service.report.ipc, 1.1);
+}
+
+TEST(Workloads, WordCountProducesRealCounts)
+{
+    // The MPI word count runs the real algorithm: its output equals a
+    // reference count done directly on the corpus.
+    TextWorkload w(TextAlgorithm::WordCount, StackKind::Mpi, 0.2);
+    RunEnv env;
+    w.setup(env);
+    // No public accessor for results, but the data accounting exposes
+    // the reduction: output records exist and are far fewer bytes than
+    // the input.
+    MixCounter mix;
+    Tracer t(env.layout, mix);
+    FunctionId root =
+        env.layout.addFunction("root", CodeLayer::Application, 256);
+    t.call(root);
+    w.execute(env, t);
+    t.ret();
+    EXPECT_GT(env.data.outputBytes, 0u);
+    EXPECT_LT(env.data.outputBytes, env.data.inputBytes);
+}
+
+TEST(Workloads, GrepOutputMuchSmallerThanInput)
+{
+    WorkloadRun run = runByName("H-Grep", 0.3);
+    EXPECT_EQ(run.data.outputVsInput(), DataVolume::MuchLess);
+}
+
+TEST(Workloads, SortPreservesDataVolume)
+{
+    WorkloadRun run = runByName("S-Sort", 0.3);
+    EXPECT_EQ(run.data.outputVsInput(), DataVolume::Equal);
+    EXPECT_EQ(run.data.intermediateVsInput(), DataVolume::Equal);
+}
+
+TEST(Workloads, HReadOutputMatchesInput)
+{
+    WorkloadRun run = runByName("H-Read", 0.3);
+    EXPECT_EQ(run.data.outputVsInput(), DataVolume::Equal);
+    EXPECT_EQ(run.data.intermediateBytes, 0u);
+    EXPECT_EQ(run.sysBehavior, SystemBehavior::IoIntensive);
+}
+
+TEST(Workloads, BigDataIsDataMovementDominated)
+{
+    // Section 5.1's 92% claim, loosely: every big data workload's
+    // data-movement-plus-branch share exceeds two thirds.
+    for (const char *name :
+         {"H-WordCount", "S-WordCount", "H-Read", "S-Sort"}) {
+        WorkloadRun run = runByName(name, 0.2);
+        EXPECT_GT(run.report.dataMovementWithBranchRatio, 0.66) << name;
+    }
+}
+
+TEST(Workloads, FpNegligibleExceptMl)
+{
+    EXPECT_LT(runByName("H-WordCount").report.fpRatio, 0.02);
+    EXPECT_LT(runByName("S-Sort").report.fpRatio, 0.02);
+    EXPECT_GT(runByName("S-Kmeans").report.fpRatio, 0.10);
+}
+
+TEST(Baselines, SixSuitesRegistered)
+{
+    const auto &all = baselineWorkloads();
+    ASSERT_EQ(all.size(), 6u);
+    std::set<BaselineSuite> suites;
+    for (const auto &e : all)
+        suites.insert(e.suite);
+    EXPECT_EQ(suites.size(), 6u);
+}
+
+TEST(Baselines, SuiteSignaturesHold)
+{
+    auto run = [](BaselineSuite s) {
+        auto entries = baselineSuite(s);
+        WorkloadPtr w = entries.front().make(0.3);
+        return profileWorkload(*w, xeonE5645());
+    };
+    WorkloadRun specfp = run(BaselineSuite::SpecFp);
+    WorkloadRun specint = run(BaselineSuite::SpecInt);
+    WorkloadRun cloud = run(BaselineSuite::CloudSuite);
+    WorkloadRun hpcc = run(BaselineSuite::Hpcc);
+
+    // FP suites are FP-heavy; integer suites are not.
+    EXPECT_GT(specfp.report.fpRatio, 0.2);
+    EXPECT_LT(specint.report.fpRatio, 0.01);
+    // CloudSuite's scale-out services have by far the worst L1I.
+    EXPECT_GT(cloud.report.l1iMpki, 5.0 * specint.report.l1iMpki + 5.0);
+    // HPCC has the best ILP of the set.
+    EXPECT_GT(hpcc.report.ipc, specint.report.ipc);
+}
+
+TEST(Profiler, MetricVectorMatchesReport)
+{
+    WorkloadRun run = runByName("H-WordCount");
+    EXPECT_DOUBLE_EQ(run.metrics[metricIndex("pipe.ipc")],
+                     run.report.ipc);
+    EXPECT_DOUBLE_EQ(run.metrics[metricIndex("cache.l1i_mpki")],
+                     run.report.l1iMpki);
+}
+
+TEST(Profiler, DeterministicAcrossRuns)
+{
+    WorkloadRun a = runByName("H-WordCount");
+    WorkloadRun b = runByName("H-WordCount");
+    EXPECT_EQ(a.report.instructions, b.report.instructions);
+    EXPECT_DOUBLE_EQ(a.report.ipc, b.report.ipc);
+    EXPECT_DOUBLE_EQ(a.report.l1iMpki, b.report.l1iMpki);
+}
+
+TEST(Profiler, MachineConfigChangesResults)
+{
+    WorkloadPtr w1 = findWorkload("H-WordCount").make(testScale);
+    WorkloadPtr w2 = findWorkload("H-WordCount").make(testScale);
+    WorkloadRun xeon = profileWorkload(*w1, xeonE5645());
+    WorkloadRun atom = profileWorkload(*w2, atomD510());
+    EXPECT_EQ(xeon.report.instructions, atom.report.instructions);
+    EXPECT_GT(xeon.report.ipc, atom.report.ipc);  // OoO beats in-order
+    EXPECT_GE(atom.report.branchMispredictRatio,
+              xeon.report.branchMispredictRatio);
+}
+
+} // namespace
+} // namespace wcrt
