@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_core_models.dir/ablation_core_models.cc.o"
+  "CMakeFiles/ablation_core_models.dir/ablation_core_models.cc.o.d"
+  "ablation_core_models"
+  "ablation_core_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_core_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

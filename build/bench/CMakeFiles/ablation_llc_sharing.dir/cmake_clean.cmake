@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_llc_sharing.dir/ablation_llc_sharing.cc.o"
+  "CMakeFiles/ablation_llc_sharing.dir/ablation_llc_sharing.cc.o.d"
+  "ablation_llc_sharing"
+  "ablation_llc_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_llc_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ipc.dir/fig3_ipc.cc.o"
+  "CMakeFiles/fig3_ipc.dir/fig3_ipc.cc.o.d"
+  "fig3_ipc"
+  "fig3_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tlb_mpki.dir/fig5_tlb_mpki.cc.o"
+  "CMakeFiles/fig5_tlb_mpki.dir/fig5_tlb_mpki.cc.o.d"
+  "fig5_tlb_mpki"
+  "fig5_tlb_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tlb_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_icache_footprint.dir/fig6_icache_footprint.cc.o"
+  "CMakeFiles/fig6_icache_footprint.dir/fig6_icache_footprint.cc.o.d"
+  "fig6_icache_footprint"
+  "fig6_icache_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_icache_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

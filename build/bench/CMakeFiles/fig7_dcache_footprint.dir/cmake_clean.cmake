@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dcache_footprint.dir/fig7_dcache_footprint.cc.o"
+  "CMakeFiles/fig7_dcache_footprint.dir/fig7_dcache_footprint.cc.o.d"
+  "fig7_dcache_footprint"
+  "fig7_dcache_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dcache_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_unified_footprint.dir/fig8_unified_footprint.cc.o"
+  "CMakeFiles/fig8_unified_footprint.dir/fig8_unified_footprint.cc.o.d"
+  "fig8_unified_footprint"
+  "fig8_unified_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_unified_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

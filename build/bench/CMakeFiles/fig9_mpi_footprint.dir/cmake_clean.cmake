@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_mpi_footprint.dir/fig9_mpi_footprint.cc.o"
+  "CMakeFiles/fig9_mpi_footprint.dir/fig9_mpi_footprint.cc.o.d"
+  "fig9_mpi_footprint"
+  "fig9_mpi_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mpi_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

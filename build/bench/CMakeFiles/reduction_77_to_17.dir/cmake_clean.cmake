@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_77_to_17.dir/reduction_77_to_17.cc.o"
+  "CMakeFiles/reduction_77_to_17.dir/reduction_77_to_17.cc.o.d"
+  "reduction_77_to_17"
+  "reduction_77_to_17.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_77_to_17.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

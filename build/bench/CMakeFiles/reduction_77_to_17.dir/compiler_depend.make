@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for reduction_77_to_17.
+# This may be replaced when dependencies are built.

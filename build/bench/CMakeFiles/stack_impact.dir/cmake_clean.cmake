@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_impact.dir/stack_impact.cc.o"
+  "CMakeFiles/stack_impact.dir/stack_impact.cc.o.d"
+  "stack_impact"
+  "stack_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

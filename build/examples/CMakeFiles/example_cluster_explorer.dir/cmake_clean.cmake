@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cluster_explorer.dir/cluster_explorer.cpp.o"
+  "CMakeFiles/example_cluster_explorer.dir/cluster_explorer.cpp.o.d"
+  "example_cluster_explorer"
+  "example_cluster_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cluster_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_footprint_study.dir/footprint_study.cpp.o"
+  "CMakeFiles/example_footprint_study.dir/footprint_study.cpp.o.d"
+  "example_footprint_study"
+  "example_footprint_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_footprint_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wcrt_stat.dir/wcrt_stat.cpp.o"
+  "CMakeFiles/example_wcrt_stat.dir/wcrt_stat.cpp.o.d"
+  "example_wcrt_stat"
+  "example_wcrt_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wcrt_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wordcount_stacks.dir/wordcount_stacks.cpp.o"
+  "CMakeFiles/example_wordcount_stacks.dir/wordcount_stacks.cpp.o.d"
+  "example_wordcount_stacks"
+  "example_wordcount_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wordcount_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

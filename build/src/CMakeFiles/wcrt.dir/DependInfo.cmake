@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/wcrt.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/rng.cc" "src/CMakeFiles/wcrt.dir/base/rng.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/base/rng.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/CMakeFiles/wcrt.dir/base/strings.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/base/strings.cc.o.d"
+  "/root/repo/src/base/summary.cc" "src/CMakeFiles/wcrt.dir/base/summary.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/base/summary.cc.o.d"
+  "/root/repo/src/base/table.cc" "src/CMakeFiles/wcrt.dir/base/table.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/base/table.cc.o.d"
+  "/root/repo/src/baselines/baselines.cc" "src/CMakeFiles/wcrt.dir/baselines/baselines.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/baselines/baselines.cc.o.d"
+  "/root/repo/src/core/analyzer.cc" "src/CMakeFiles/wcrt.dir/core/analyzer.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/core/analyzer.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/CMakeFiles/wcrt.dir/core/cluster.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/core/cluster.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/wcrt.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/CMakeFiles/wcrt.dir/core/profiler.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/core/profiler.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/wcrt.dir/core/report.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/core/report.cc.o.d"
+  "/root/repo/src/datagen/datasets.cc" "src/CMakeFiles/wcrt.dir/datagen/datasets.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/datagen/datasets.cc.o.d"
+  "/root/repo/src/datagen/graph.cc" "src/CMakeFiles/wcrt.dir/datagen/graph.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/datagen/graph.cc.o.d"
+  "/root/repo/src/datagen/table.cc" "src/CMakeFiles/wcrt.dir/datagen/table.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/datagen/table.cc.o.d"
+  "/root/repo/src/datagen/text.cc" "src/CMakeFiles/wcrt.dir/datagen/text.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/datagen/text.cc.o.d"
+  "/root/repo/src/sim/branch.cc" "src/CMakeFiles/wcrt.dir/sim/branch.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/sim/branch.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/CMakeFiles/wcrt.dir/sim/cache.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/sim/cache.cc.o.d"
+  "/root/repo/src/sim/corun.cc" "src/CMakeFiles/wcrt.dir/sim/corun.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/sim/corun.cc.o.d"
+  "/root/repo/src/sim/footprint.cc" "src/CMakeFiles/wcrt.dir/sim/footprint.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/sim/footprint.cc.o.d"
+  "/root/repo/src/sim/inorder_core.cc" "src/CMakeFiles/wcrt.dir/sim/inorder_core.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/sim/inorder_core.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/wcrt.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/prefetcher.cc" "src/CMakeFiles/wcrt.dir/sim/prefetcher.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/sim/prefetcher.cc.o.d"
+  "/root/repo/src/sim/sim_cpu.cc" "src/CMakeFiles/wcrt.dir/sim/sim_cpu.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/sim/sim_cpu.cc.o.d"
+  "/root/repo/src/sim/tlb.cc" "src/CMakeFiles/wcrt.dir/sim/tlb.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/sim/tlb.cc.o.d"
+  "/root/repo/src/stack/kvstore/store.cc" "src/CMakeFiles/wcrt.dir/stack/kvstore/store.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/stack/kvstore/store.cc.o.d"
+  "/root/repo/src/stack/mapreduce/engine.cc" "src/CMakeFiles/wcrt.dir/stack/mapreduce/engine.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/stack/mapreduce/engine.cc.o.d"
+  "/root/repo/src/stack/native/engine.cc" "src/CMakeFiles/wcrt.dir/stack/native/engine.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/stack/native/engine.cc.o.d"
+  "/root/repo/src/stack/rdd/engine.cc" "src/CMakeFiles/wcrt.dir/stack/rdd/engine.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/stack/rdd/engine.cc.o.d"
+  "/root/repo/src/stack/record.cc" "src/CMakeFiles/wcrt.dir/stack/record.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/stack/record.cc.o.d"
+  "/root/repo/src/stack/sql/vectorized.cc" "src/CMakeFiles/wcrt.dir/stack/sql/vectorized.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/stack/sql/vectorized.cc.o.d"
+  "/root/repo/src/stats/kmeans.cc" "src/CMakeFiles/wcrt.dir/stats/kmeans.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/stats/kmeans.cc.o.d"
+  "/root/repo/src/stats/matrix.cc" "src/CMakeFiles/wcrt.dir/stats/matrix.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/stats/matrix.cc.o.d"
+  "/root/repo/src/stats/pca.cc" "src/CMakeFiles/wcrt.dir/stats/pca.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/stats/pca.cc.o.d"
+  "/root/repo/src/sysmon/sysmon.cc" "src/CMakeFiles/wcrt.dir/sysmon/sysmon.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/sysmon/sysmon.cc.o.d"
+  "/root/repo/src/trace/code_layout.cc" "src/CMakeFiles/wcrt.dir/trace/code_layout.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/trace/code_layout.cc.o.d"
+  "/root/repo/src/trace/idioms.cc" "src/CMakeFiles/wcrt.dir/trace/idioms.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/trace/idioms.cc.o.d"
+  "/root/repo/src/trace/mix_counter.cc" "src/CMakeFiles/wcrt.dir/trace/mix_counter.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/trace/mix_counter.cc.o.d"
+  "/root/repo/src/trace/sampling.cc" "src/CMakeFiles/wcrt.dir/trace/sampling.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/trace/sampling.cc.o.d"
+  "/root/repo/src/trace/tracer.cc" "src/CMakeFiles/wcrt.dir/trace/tracer.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/trace/tracer.cc.o.d"
+  "/root/repo/src/trace/virtual_heap.cc" "src/CMakeFiles/wcrt.dir/trace/virtual_heap.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/trace/virtual_heap.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "src/CMakeFiles/wcrt.dir/workloads/kernels.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/workloads/kernels.cc.o.d"
+  "/root/repo/src/workloads/ml_workloads.cc" "src/CMakeFiles/wcrt.dir/workloads/ml_workloads.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/workloads/ml_workloads.cc.o.d"
+  "/root/repo/src/workloads/query_workloads.cc" "src/CMakeFiles/wcrt.dir/workloads/query_workloads.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/workloads/query_workloads.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/wcrt.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/service_workloads.cc" "src/CMakeFiles/wcrt.dir/workloads/service_workloads.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/workloads/service_workloads.cc.o.d"
+  "/root/repo/src/workloads/text_workloads.cc" "src/CMakeFiles/wcrt.dir/workloads/text_workloads.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/workloads/text_workloads.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/wcrt.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/wcrt.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

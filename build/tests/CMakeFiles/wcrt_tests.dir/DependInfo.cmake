@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analyzer_test.cc" "tests/CMakeFiles/wcrt_tests.dir/analyzer_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/analyzer_test.cc.o.d"
+  "/root/repo/tests/base_test.cc" "tests/CMakeFiles/wcrt_tests.dir/base_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/base_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/wcrt_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/corun_report_test.cc" "tests/CMakeFiles/wcrt_tests.dir/corun_report_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/corun_report_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/wcrt_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/inorder_sampling_test.cc" "tests/CMakeFiles/wcrt_tests.dir/inorder_sampling_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/inorder_sampling_test.cc.o.d"
+  "/root/repo/tests/kernels_test.cc" "tests/CMakeFiles/wcrt_tests.dir/kernels_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/kernels_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/wcrt_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/query_equivalence_test.cc" "tests/CMakeFiles/wcrt_tests.dir/query_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/query_equivalence_test.cc.o.d"
+  "/root/repo/tests/sim_branch_test.cc" "tests/CMakeFiles/wcrt_tests.dir/sim_branch_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/sim_branch_test.cc.o.d"
+  "/root/repo/tests/sim_cache_test.cc" "tests/CMakeFiles/wcrt_tests.dir/sim_cache_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/sim_cache_test.cc.o.d"
+  "/root/repo/tests/sim_cpu_test.cc" "tests/CMakeFiles/wcrt_tests.dir/sim_cpu_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/sim_cpu_test.cc.o.d"
+  "/root/repo/tests/stack_test.cc" "tests/CMakeFiles/wcrt_tests.dir/stack_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/stack_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/wcrt_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/sysmon_test.cc" "tests/CMakeFiles/wcrt_tests.dir/sysmon_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/sysmon_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/wcrt_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/wcrt_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/wcrt_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wcrt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
