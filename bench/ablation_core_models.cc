@@ -11,20 +11,33 @@
  * Part 2 runs the capacity sweep on full traces vs the paper's five
  * 1% sample windows and reports how close the sampled miss ratios get
  * — the justification for simulating segments instead of whole jobs.
+ *
+ * Both parts are capture-then-replay: each workload executes once
+ * into the trace cache and every model consumes the stored stream, so
+ * adding a model costs one replay, not another execution. The stored
+ * op count also replaces Part 2's counting pre-pass.
  */
 
 #include "bench_common.hh"
 #include "sim/footprint.hh"
 #include "sim/inorder_core.hh"
 #include "trace/sampling.hh"
+#include "tracefile/trace_reader.hh"
 
 using namespace wcrt;
 using namespace wcrt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     double scale = benchScale() * 0.5;
+    TraceCache &cache = benchTraceCache();
+    auto tracePath = [&](const char *name) {
+        const WorkloadEntry &entry = findWorkload(name);
+        return cache.ensure(entry.name, scale,
+                            [&] { return entry.make(scale); });
+    };
 
     std::cout << "=== Part 1: analytic vs cycle-level in-order core "
                  "(Atom config, scale "
@@ -34,14 +47,17 @@ main()
     for (const char *name :
          {"M-WordCount", "H-WordCount", "S-WordCount", "H-Read",
           "S-Kmeans"}) {
-        const WorkloadEntry &entry = findWorkload(name);
+        if (!filterAllows(name))
+            continue;
+        std::string path = tracePath(name);
 
-        WorkloadPtr w1 = entry.make(scale);
-        WorkloadRun analytic = profileWorkload(*w1, atomD510());
+        TraceReader analytic_reader(path);
+        WorkloadRun analytic = profileWorkload(analytic_reader,
+                                               atomD510());
 
-        WorkloadPtr w2 = entry.make(scale);
+        TraceReader detailed_reader(path);
         InOrderCore core(atomD510());
-        runThroughSink(*w2, core);
+        detailed_reader.replayInto(core);
         InOrderReport detailed = core.report();
 
         t.cell(name)
@@ -64,23 +80,21 @@ main()
     Table s({"workload", "full L1I miss% @32KB", "sampled",
              "full @256KB", "sampled", "sample frac"});
     for (const char *name : {"H-WordCount", "H-NaiveBayes"}) {
-        const WorkloadEntry &entry = findWorkload(name);
+        if (!filterAllows(name))
+            continue;
         std::vector<uint32_t> sizes{32, 256};
+        std::string path = tracePath(name);
 
-        WorkloadPtr w_full = entry.make(scale);
+        TraceReader full_reader(path);
         FootprintSweep full(sizes);
-        runThroughSink(*w_full, full);
+        full_reader.replayInto(full);
         auto full_curve = full.missRatios(SweepKind::Instruction);
 
-        // Counting pre-pass, then the sampled sweep.
-        WorkloadPtr w_count = entry.make(scale);
-        CountingSink counter;
-        runThroughSink(*w_count, counter);
-
-        WorkloadPtr w_sampled = entry.make(scale);
+        // The stored op count replaces the counting pre-pass.
+        TraceReader sampled_reader(path);
         FootprintSweep sampled_sweep(sizes);
-        SamplingSink sampler(sampled_sweep, counter.ops());
-        runThroughSink(*w_sampled, sampler);
+        SamplingSink sampler(sampled_sweep, sampled_reader.opCount());
+        sampled_reader.replayInto(sampler);
         auto sampled_curve =
             sampled_sweep.missRatios(SweepKind::Instruction);
 

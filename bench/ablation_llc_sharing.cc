@@ -30,8 +30,9 @@ record(const char *name, double scale)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     double scale = benchScale() * 0.5;
     std::cout << "=== Ablation: shared-L3 co-run interference (scale "
               << scale << ") ===\n\n";

@@ -6,21 +6,36 @@
  * and prints paper-style rows. The dataset scale is read from the
  * WCRT_SCALE environment variable (default 0.5) so a full bench sweep
  * stays laptop-fast while larger runs remain one variable away.
+ *
+ * Workload executions are recorded once into a trace cache (see
+ * core/trace_cache.hh) and replayed from disk afterwards, in parallel
+ * across workloads — so repeated bench runs and multi-figure sweeps
+ * pay one capture per (workload, scale) instead of one execution per
+ * figure. Every binary accepts:
+ *
+ *     --filter=SUBSTR   run only workloads whose name contains SUBSTR
+ *     --list            print the roster and exit
+ *     --trace-dir=DIR   trace cache directory (default: WCRT_TRACE_DIR
+ *                       or <tmp>/wcrt-traces)
+ *     --jobs=N          cap replay worker threads (default: hardware)
  */
 
 #ifndef WCRT_BENCH_BENCH_COMMON_HH
 #define WCRT_BENCH_BENCH_COMMON_HH
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/summary.hh"
 #include "base/table.hh"
 #include "baselines/baselines.hh"
 #include "core/profiler.hh"
+#include "core/trace_cache.hh"
 #include "workloads/registry.hh"
 
 namespace wcrt::bench {
@@ -34,40 +49,170 @@ benchScale()
     return 0.5;
 }
 
+/** Command-line options shared by every bench binary. */
+struct BenchOptions
+{
+    std::string filter;    //!< substring filter on workload names
+    bool list = false;     //!< print the roster and exit
+    std::string traceDir;  //!< trace cache override ("" = default)
+    unsigned jobs = 0;     //!< replay worker cap (0 = hardware)
+};
+
+/** The options initBench() parsed. */
+inline BenchOptions &
+benchOptions()
+{
+    static BenchOptions options;
+    return options;
+}
+
+/** Print every workload name the shared rosters offer. */
+inline void
+printRoster(std::ostream &os)
+{
+    os << "representative workloads:\n";
+    for (const auto &e : representativeWorkloads())
+        os << "  " << e.name << "\n";
+    os << "MPI implementations:\n";
+    for (const auto &e : mpiWorkloads())
+        os << "  " << e.name << "\n";
+    os << "baseline suites:\n";
+    for (const auto &e : baselineWorkloads())
+        os << "  " << e.name << " (" << toString(e.suite) << ")\n";
+    os << "full roster: " << fullRoster().size() << " workloads\n";
+}
+
+/**
+ * Parse the shared bench flags. Call first in every main();
+ * `--list` and `--help` print and exit here.
+ */
+inline void
+initBench(int argc, char **argv)
+{
+    BenchOptions &opt = benchOptions();
+    auto value = [&](const char *arg, const char *name,
+                     int &i) -> const char * {
+        size_t n = std::strlen(name);
+        if (std::strncmp(arg, name, n) != 0)
+            return nullptr;
+        if (arg[n] == '=')
+            return arg + n + 1;
+        if (arg[n] == '\0' && i + 1 < argc)
+            return argv[++i];
+        return nullptr;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--list") == 0) {
+            opt.list = true;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            std::cout << "usage: " << argv[0]
+                      << " [--filter=SUBSTR] [--list]"
+                         " [--trace-dir=DIR] [--jobs=N]\n";
+            std::exit(0);
+        } else if (const char *v = value(arg, "--filter", i)) {
+            opt.filter = v;
+        } else if (const char *v2 = value(arg, "--trace-dir", i)) {
+            opt.traceDir = v2;
+        } else if (const char *v3 = value(arg, "--jobs", i)) {
+            opt.jobs = static_cast<unsigned>(std::atoi(v3));
+        } else {
+            wcrt_fatal("unknown bench argument: ", arg,
+                       " (try --help)");
+        }
+    }
+    if (opt.list) {
+        printRoster(std::cout);
+        std::exit(0);
+    }
+}
+
+/** True when `name` passes the --filter option. */
+inline bool
+filterAllows(const std::string &name)
+{
+    const std::string &f = benchOptions().filter;
+    return f.empty() || name.find(f) != std::string::npos;
+}
+
+/** The subset of `entries` passing --filter. */
+inline std::vector<WorkloadEntry>
+filtered(const std::vector<WorkloadEntry> &entries)
+{
+    std::vector<WorkloadEntry> out;
+    for (const auto &e : entries)
+        if (filterAllows(e.name))
+            out.push_back(e);
+    return out;
+}
+
+/** The bench process's trace cache (honours --trace-dir). */
+inline TraceCache &
+benchTraceCache()
+{
+    static TraceCache cache(benchOptions().traceDir);
+    return cache;
+}
+
+/**
+ * Record-once/replay-many profiling: ensure a cached trace per entry
+ * (capturing serially on miss), then replay them against `machine` in
+ * parallel. Results are indexed like `entries` and identical to live
+ * profileWorkload() runs.
+ */
+inline std::vector<WorkloadRun>
+profileEntriesCached(const std::vector<WorkloadEntry> &entries,
+                     const MachineConfig &machine, double scale)
+{
+    TraceCache &cache = benchTraceCache();
+    std::vector<std::string> paths;
+    paths.reserve(entries.size());
+    for (const auto &e : entries)
+        paths.push_back(cache.ensure(
+            e.name, scale, [&] { return e.make(scale); }));
+    return profileTraces(paths, machine, {}, benchOptions().jobs);
+}
+
 /** Profile every representative workload on a machine. */
 inline std::vector<WorkloadRun>
 runRepresentatives(const MachineConfig &machine, double scale)
 {
-    std::vector<WorkloadRun> runs;
-    for (const auto &entry : representativeWorkloads()) {
-        WorkloadPtr w = entry.make(scale);
-        runs.push_back(profileWorkload(*w, machine));
-    }
-    return runs;
+    return profileEntriesCached(filtered(representativeWorkloads()),
+                                machine, scale);
 }
 
 /** Profile the six MPI implementations. */
 inline std::vector<WorkloadRun>
 runMpiSuite(const MachineConfig &machine, double scale)
 {
-    std::vector<WorkloadRun> runs;
-    for (const auto &entry : mpiWorkloads()) {
-        WorkloadPtr w = entry.make(scale);
-        runs.push_back(profileWorkload(*w, machine));
-    }
-    return runs;
+    return profileEntriesCached(filtered(mpiWorkloads()), machine,
+                                scale);
 }
 
 /** Profile the comparison suites; returns (suite label, run). */
 inline std::vector<std::pair<std::string, WorkloadRun>>
 runBaselines(const MachineConfig &machine, double scale)
 {
+    std::vector<BaselineEntry> entries;
+    for (const auto &e : baselineWorkloads())
+        if (filterAllows(e.name))
+            entries.push_back(e);
+
+    TraceCache &cache = benchTraceCache();
+    std::vector<std::string> paths;
+    paths.reserve(entries.size());
+    for (const auto &e : entries)
+        paths.push_back(cache.ensure(
+            e.name, scale, [&] { return e.make(scale); }));
+    auto profiled = profileTraces(paths, machine, {},
+                                  benchOptions().jobs);
+
     std::vector<std::pair<std::string, WorkloadRun>> runs;
-    for (const auto &entry : baselineWorkloads()) {
-        WorkloadPtr w = entry.make(scale);
-        runs.emplace_back(toString(entry.suite),
-                          profileWorkload(*w, machine));
-    }
+    runs.reserve(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i)
+        runs.emplace_back(toString(entries[i].suite),
+                          std::move(profiled[i]));
     return runs;
 }
 

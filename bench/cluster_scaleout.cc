@@ -20,8 +20,9 @@ using namespace wcrt;
 using namespace wcrt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     double scale = benchScale() * 2.0;  // cluster shards divide this
     std::cout << "=== Extension: shared-nothing scale-out (total scale "
               << scale << ") ===\n\n";

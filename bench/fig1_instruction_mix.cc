@@ -13,8 +13,9 @@ using namespace wcrt;
 using namespace wcrt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     double scale = benchScale();
     MachineConfig machine = xeonE5645();
     std::cout << "=== Figure 1: instruction mix on " << machine.name

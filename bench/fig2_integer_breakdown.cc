@@ -11,8 +11,9 @@ using namespace wcrt;
 using namespace wcrt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     double scale = benchScale();
     MachineConfig machine = xeonE5645();
     std::cout << "=== Figure 2: integer instruction breakdown (scale "

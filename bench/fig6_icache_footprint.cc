@@ -4,16 +4,53 @@
  * the Hadoop workloads and PARSEC on the Atom-like in-order simulator
  * configuration. The paper's finding: the Hadoop instruction footprint
  * is ~1024 KB while PARSEC's is ~128 KB.
+ *
+ * This bench also demonstrates the trace subsystem's record-once/
+ * replay-many contract on one workload: a single captured execution
+ * feeds the whole 10-point capacity ladder, the replayed miss ratios
+ * are checked against a live single-pass sweep for exact equality, and
+ * the wall clock of parallel replay is compared against serially
+ * re-executing the workload once per capacity (the no-trace world).
  */
+
+#include <chrono>
+#include <cmath>
 
 #include "footprint_common.hh"
 
 using namespace wcrt;
 using namespace wcrt::bench;
 
-int
-main()
+namespace {
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
 {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** One live single-capacity execution per rung: the no-trace cost. */
+std::vector<double>
+serialReexecutionSweep(const WorkloadEntry &entry, double scale)
+{
+    std::vector<double> curve;
+    for (uint32_t kb : paperSweepSizesKb()) {
+        WorkloadPtr w = entry.make(scale);
+        FootprintSweep sweep({kb});
+        runThroughSink(*w, sweep);
+        curve.push_back(sweep.missRatios(SweepKind::Instruction)[0]);
+    }
+    return curve;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initBench(argc, argv);
     double scale = benchScale() * 0.5;  // sweeps ladder 10 caches
     auto hadoop = averageSweep(hadoopGroup(), SweepKind::Instruction,
                                scale);
@@ -28,5 +65,65 @@ main()
               << kneeCapacityKb(hadoop) << " KB (paper: ~1024 KB)\n";
     std::cout << "PARSEC instruction footprint ~"
               << kneeCapacityKb(parsec) << " KB (paper: ~128 KB)\n";
-    return 0;
+
+    auto group = hadoopGroup();
+    if (group.empty())
+        return 0;
+    const WorkloadEntry &demo = group.front();
+    auto sizes = paperSweepSizesKb();
+    std::cout << "\n--- record-once/replay-many on " << demo.name
+              << " ---\n";
+
+    // The no-trace world: one live execution per capacity, serially.
+    auto t0 = std::chrono::steady_clock::now();
+    auto serial_curve = serialReexecutionSweep(demo, scale);
+    double serial_s = seconds(t0);
+
+    // The live one-pass ladder (what the old bench did).
+    t0 = std::chrono::steady_clock::now();
+    auto live_curve = liveSweep(demo, SweepKind::Instruction, scale);
+    double live_s = seconds(t0);
+
+    // Record once...
+    TraceCache &cache = benchTraceCache();
+    bool captured = false;
+    t0 = std::chrono::steady_clock::now();
+    std::string path = cache.ensure(
+        demo.name, scale, [&] { return demo.make(scale); }, &captured);
+    double capture_s = seconds(t0);
+
+    // ...replay the whole ladder in parallel: each worker decodes the
+    // trace once and sweeps its share of the capacities.
+    t0 = std::chrono::steady_clock::now();
+    auto replay_curve = replaySweepLadder(
+        path, SweepKind::Instruction, sizes, benchOptions().jobs);
+    double replay_s = seconds(t0);
+
+    size_t mismatches = 0;
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        if (replay_curve[i] != live_curve[i] ||
+            replay_curve[i] != serial_curve[i])
+            ++mismatches;
+    }
+    std::cout << "replayed vs live miss ratios: "
+              << (mismatches == 0 ? "identical at all " : "MISMATCH at ")
+              << (mismatches == 0 ? sizes.size() : mismatches)
+              << " capacities\n";
+    std::cout << "serial re-execution (" << sizes.size()
+              << " live runs):  " << formatFixed(serial_s, 3) << " s\n";
+    std::cout << "live one-pass ladder (1 live run): "
+              << formatFixed(live_s, 3) << " s\n";
+    std::cout << "trace capture ("
+              << (captured ? "cold, 1 live run" : "cache hit")
+              << "):      " << formatFixed(capture_s, 3) << " s\n";
+    std::cout << "parallel replay of the " << sizes.size()
+              << "-rung ladder: " << formatFixed(replay_s, 3) << " s\n";
+    std::cout << "speedup vs serial re-execution: "
+              << formatFixed(serial_s / std::max(replay_s, 1e-9), 1)
+              << "x (replay only), "
+              << formatFixed(serial_s /
+                                 std::max(capture_s + replay_s, 1e-9),
+                             1)
+              << "x (capture + replay)\n";
+    return mismatches == 0 ? 0 : 1;
 }

@@ -13,8 +13,9 @@ using namespace wcrt;
 using namespace wcrt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     double scale = benchScale() * 0.5;
     auto hadoop = averageSweep(hadoopGroup(), SweepKind::Instruction,
                                scale);

@@ -5,6 +5,12 @@
  * Each figure averages miss-ratio-vs-capacity curves over a workload
  * group (the Hadoop representatives, PARSEC, the MPI versions) on the
  * paper's Atom-like in-order simulator configuration.
+ *
+ * The sweeps are record-once/replay-many: each workload is captured
+ * into the trace cache on first use, then every capacity rung replays
+ * the stored trace on its own worker thread (tracefile/replay.hh).
+ * Replayed curves are identical to live single-pass sweeps — fig6
+ * asserts that equivalence and reports the measured speedup.
  */
 
 #ifndef WCRT_BENCH_FOOTPRINT_COMMON_HH
@@ -17,21 +23,25 @@
 #include "base/table.hh"
 #include "bench_common.hh"
 #include "sim/footprint.hh"
+#include "tracefile/replay.hh"
 
 namespace wcrt::bench {
 
-/** Average sweep curves over a set of workload factories. */
+/** Average replayed sweep curves over a set of workload factories. */
 inline std::vector<double>
 averageSweep(const std::vector<WorkloadEntry> &entries, SweepKind kind,
              double scale)
 {
     auto sizes = paperSweepSizesKb();
     std::vector<double> acc(sizes.size(), 0.0);
+    if (entries.empty())
+        return acc;
+    TraceCache &cache = benchTraceCache();
     for (const auto &entry : entries) {
-        WorkloadPtr w = entry.make(scale);
-        FootprintSweep sweep(sizes);
-        runThroughSink(*w, sweep);
-        auto ratios = sweep.missRatios(kind);
+        std::string path = cache.ensure(
+            entry.name, scale, [&] { return entry.make(scale); });
+        auto ratios = replaySweepLadder(path, kind, sizes,
+                                        benchOptions().jobs);
         for (size_t i = 0; i < acc.size(); ++i)
             acc[i] += ratios[i];
     }
@@ -40,12 +50,22 @@ averageSweep(const std::vector<WorkloadEntry> &entries, SweepKind kind,
     return acc;
 }
 
+/** Live (no-trace) sweep of one workload: one execution, full ladder. */
+inline std::vector<double>
+liveSweep(const WorkloadEntry &entry, SweepKind kind, double scale)
+{
+    WorkloadPtr w = entry.make(scale);
+    FootprintSweep sweep(paperSweepSizesKb());
+    runThroughSink(*w, sweep);
+    return sweep.missRatios(kind);
+}
+
 /** The Hadoop-stack representatives (the paper's Section 5.4 choice). */
 inline std::vector<WorkloadEntry>
 hadoopGroup()
 {
     std::vector<WorkloadEntry> out;
-    for (const auto &e : representativeWorkloads()) {
+    for (const auto &e : filtered(representativeWorkloads())) {
         if (e.name.rfind("H-", 0) == 0 && e.name != "H-Read")
             out.push_back(e);
     }
@@ -58,7 +78,7 @@ parsecGroup()
 {
     std::vector<WorkloadEntry> out;
     for (const auto &e : baselineWorkloads()) {
-        if (e.suite == BaselineSuite::Parsec)
+        if (e.suite == BaselineSuite::Parsec && filterAllows(e.name))
             out.push_back({e.name, 0, 0, e.make});
     }
     return out;
@@ -68,7 +88,7 @@ parsecGroup()
 inline std::vector<WorkloadEntry>
 mpiGroup()
 {
-    return mpiWorkloads();
+    return filtered(mpiWorkloads());
 }
 
 /** Print one figure: capacity ladder vs per-group curves. */

@@ -1,12 +1,14 @@
 /**
  * @file
  * google-benchmark micro-benchmarks of the toolkit's own hot paths:
- * cache model, branch unit, prefetcher, full SimCpu consume, PCA and
- * K-means. These bound how much workload the figure benches can chew
- * per second.
+ * cache model, branch unit, prefetcher, full SimCpu consume, trace
+ * file encode/decode, PCA and K-means. These bound how much workload
+ * the figure benches can chew per second.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <filesystem>
 
 #include "base/rng.hh"
 #include "sim/branch.hh"
@@ -15,10 +17,49 @@
 #include "sim/sim_cpu.hh"
 #include "stats/kmeans.hh"
 #include "stats/pca.hh"
+#include "trace/sampling.hh"
+#include "tracefile/trace_reader.hh"
+#include "tracefile/trace_writer.hh"
 
 using namespace wcrt;
 
 namespace {
+
+/** A SimCpu-shaped synthetic op mix (30% load, 10% store, 15% branch). */
+std::vector<MicroOp>
+syntheticOps(size_t count)
+{
+    Rng rng(17);
+    std::vector<MicroOp> ops(count);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        MicroOp &op = ops[i];
+        uint64_t pick = rng.nextBelow(100);
+        op.pc = 0x400000 + (i % 2048) * 4;
+        if (pick < 30) {
+            op.kind = OpKind::Load;
+            op.memAddr = rng.nextBelow(1 << 22);
+            op.memSize = 8;
+        } else if (pick < 40) {
+            op.kind = OpKind::Store;
+            op.memAddr = rng.nextBelow(1 << 22);
+            op.memSize = 8;
+        } else if (pick < 55) {
+            op.kind = OpKind::BranchCond;
+            op.taken = rng.nextBool(0.3);
+            op.target = 0x400000 + rng.nextBelow(8192);
+        } else {
+            op.kind = OpKind::IntAlu;
+            op.purpose = IntPurpose::IntAddress;
+        }
+    }
+    return ops;
+}
+
+std::string
+benchTracePath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
 
 void
 BM_CacheAccess(benchmark::State &state)
@@ -102,6 +143,69 @@ BM_SimCpuConsume(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SimCpuConsume);
+
+void
+BM_TraceWrite(benchmark::State &state)
+{
+    auto ops = syntheticOps(64 * 1024);
+    std::string path = benchTracePath("wcrt-bench-write.wtrace");
+    CodeLayout layout;
+    layout.addFunction("bench", CodeLayer::Application, 8192);
+    TraceMeta meta;
+    meta.workload = "bench";
+    uint64_t payload_bytes = 0;
+    uint64_t ops_written = 0;
+    for (auto _ : state) {
+        TraceWriter writer(path, meta, layout);
+        for (const auto &op : ops)
+            writer.consume(op);
+        writer.finish();
+        payload_bytes += writer.payloadBytes();
+        ops_written += writer.opsWritten();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(ops_written));
+    state.SetBytesProcessed(static_cast<int64_t>(payload_bytes));
+    state.counters["bytes/op"] =
+        ops_written ? static_cast<double>(payload_bytes) /
+                          static_cast<double>(ops_written)
+                    : 0.0;
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_TraceWrite);
+
+void
+BM_TraceRead(benchmark::State &state)
+{
+    auto ops = syntheticOps(64 * 1024);
+    std::string path = benchTracePath("wcrt-bench-read.wtrace");
+    CodeLayout layout;
+    layout.addFunction("bench", CodeLayer::Application, 8192);
+    TraceMeta meta;
+    meta.workload = "bench";
+    {
+        TraceWriter writer(path, meta, layout);
+        for (const auto &op : ops)
+            writer.consume(op);
+        writer.finish();
+    }
+    uint64_t payload_bytes = 0;
+    uint64_t ops_read = 0;
+    for (auto _ : state) {
+        TraceReader reader(path);
+        CountingSink counter;
+        reader.replayInto(counter);
+        payload_bytes += reader.payloadBytes();
+        ops_read += counter.ops();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(ops_read));
+    state.SetBytesProcessed(static_cast<int64_t>(payload_bytes));
+    state.counters["bytes/op"] =
+        ops_read ? static_cast<double>(payload_bytes) /
+                       static_cast<double>(ops_read)
+                 : 0.0;
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_TraceRead);
 
 void
 BM_Pca45Metrics(benchmark::State &state)

@@ -21,8 +21,9 @@ using namespace wcrt;
 using namespace wcrt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     // The roster pass runs 77 workloads; a smaller per-workload scale
     // keeps the full study tractable.
     double scale = benchScale() * 0.5;
@@ -31,15 +32,25 @@ main()
               << scale << ") ===\n\nProfiling the roster";
     std::cout.flush();
 
+    // Record-once/replay-many: each roster workload executes at most
+    // once into the trace cache ("." = captured, "+" = cache hit);
+    // the 77 profiles then replay from disk in parallel.
+    auto entries = filtered(fullRoster());
+    TraceCache &cache = benchTraceCache();
     std::vector<std::string> names;
-    std::vector<MetricVector> metrics;
-    for (const auto &entry : fullRoster()) {
-        WorkloadPtr w = entry.make(scale);
-        WorkloadRun run = profileWorkload(*w, machine);
+    std::vector<std::string> paths;
+    for (const auto &entry : entries) {
+        bool captured = false;
+        paths.push_back(cache.ensure(
+            entry.name, scale, [&] { return entry.make(scale); },
+            &captured));
         names.push_back(entry.name);
-        metrics.push_back(run.metrics);
-        std::cout << "." << std::flush;
+        std::cout << (captured ? "." : "+") << std::flush;
     }
+    std::vector<MetricVector> metrics;
+    for (const auto &run :
+         profileTraces(paths, machine, {}, benchOptions().jobs))
+        metrics.push_back(run.metrics);
     std::cout << " done (" << names.size() << " workloads, "
               << numMetrics << " metrics each)\n\n";
 

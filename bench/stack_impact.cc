@@ -21,8 +21,9 @@ using namespace wcrt;
 using namespace wcrt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     double scale = benchScale();
     MachineConfig machine = xeonE5645();
     std::cout << "=== Section 5.5: software stack impact (scale "

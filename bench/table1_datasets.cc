@@ -15,8 +15,9 @@
 using namespace wcrt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     double scale = bench::benchScale();
     std::cout << "=== Table 1: datasets and generation tools (scale "
               << scale << ") ===\n\n";

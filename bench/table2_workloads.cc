@@ -65,8 +65,9 @@ paperRow(int table2_id)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     double scale = benchScale();
     MachineConfig machine = xeonE5645();
     std::cout << "=== Table 2: the 17 representative workloads (scale "

@@ -30,8 +30,9 @@ averageMispredict(const MachineConfig &machine, double scale)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     double scale = benchScale();
 
     std::cout << "=== Table 4: branch prediction mechanisms ===\n\n";

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Command-line front end for `.wtrace` files:
+ *
+ *     trace_tool record <workload> <out.wtrace> [--scale=S]
+ *     trace_tool stats  <file.wtrace>
+ *     trace_tool dump   <file.wtrace> [--limit=N]
+ *     trace_tool replay <file.wtrace> [--machine=LIST] [--jobs=N]
+ *
+ * `record` executes one roster workload and captures its op stream;
+ * `stats` prints the header/footer accounting, chunk layout,
+ * compression ratio and the MixCounter op-mix table from a replay;
+ * `dump` prints the first N decoded ops; `replay` fans the trace
+ * across machine configs in parallel and prints one report row each.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "core/profiler.hh"
+#include "trace/mix_counter.hh"
+#include "tracefile/capture.hh"
+#include "tracefile/replay.hh"
+#include "tracefile/trace_reader.hh"
+#include "workloads/registry.hh"
+
+using namespace wcrt;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  trace_tool record <workload> <out.wtrace> [--scale=S]\n"
+           "  trace_tool stats  <file.wtrace>\n"
+           "  trace_tool dump   <file.wtrace> [--limit=N]\n"
+           "  trace_tool replay <file.wtrace> [--machine=LIST]"
+           " [--jobs=N]\n"
+           "\n"
+           "  --machine=LIST  comma-separated subset of: xeon, atom,\n"
+           "                  sim<KB> (e.g. sim32); default xeon,atom\n"
+           "  (run any bench binary with --list for workload names)\n";
+    return 2;
+}
+
+/** Value of `--name=V` or `--name V`, or null when `arg` is not it. */
+const char *
+flagValue(const char *arg, const char *name, int argc, char **argv,
+          int &i)
+{
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0)
+        return nullptr;
+    if (arg[n] == '=')
+        return arg + n + 1;
+    if (arg[n] == '\0' && i + 1 < argc)
+        return argv[++i];
+    return nullptr;
+}
+
+const char *
+layerName(CodeLayer layer)
+{
+    switch (layer) {
+      case CodeLayer::Kernel: return "kernel";
+      case CodeLayer::Runtime: return "runtime";
+      case CodeLayer::Framework: return "framework";
+      case CodeLayer::Library: return "library";
+      case CodeLayer::Application: return "application";
+    }
+    return "?";
+}
+
+int
+cmdRecord(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    std::string name = argv[2];
+    std::string out = argv[3];
+    double scale = 1.0;
+    for (int i = 4; i < argc; ++i) {
+        if (const char *v = flagValue(argv[i], "--scale", argc, argv, i))
+            scale = std::atof(v);
+        else
+            return usage();
+    }
+
+    const WorkloadEntry &entry = findWorkload(name);
+    WorkloadPtr w = entry.make(scale);
+    CaptureResult res = captureTrace(*w, out, scale);
+    std::cout << "recorded " << name << " (scale " << scale << "): "
+              << res.ops << " ops, " << res.fileBytes << " bytes -> "
+              << out << "\n";
+    return 0;
+}
+
+int
+cmdStats(const std::string &path)
+{
+    TraceReader reader(path);
+    const TraceMeta &meta = reader.meta();
+
+    std::cout << "=== " << path << " ===\n\n";
+    std::cout << "workload:       " << meta.workload << " ("
+              << toString(meta.stackKind) << ", "
+              << toString(meta.category) << ", scale " << meta.scale
+              << ")\n";
+    std::cout << "ops:            " << reader.opCount() << "\n";
+    std::cout << "file size:      " << reader.fileBytes() << " bytes ("
+              << reader.chunkCount() << " chunks)\n";
+    std::cout << "payload:        " << reader.payloadBytes()
+              << " bytes, " << formatFixed(reader.bytesPerOp(), 3)
+              << " bytes/op\n";
+    std::cout << "compression:    "
+              << formatFixed(static_cast<double>(sizeof(MicroOp)) /
+                                 std::max(reader.bytesPerOp(), 1e-9),
+                             1)
+              << "x vs in-memory MicroOp (" << sizeof(MicroOp)
+              << " bytes)\n";
+
+    std::cout << "\n--- region table ---\n";
+    std::map<CodeLayer, std::pair<uint64_t, uint64_t>> by_layer;
+    for (const auto &fn : reader.regions()) {
+        by_layer[fn.layer].first++;
+        by_layer[fn.layer].second += fn.bytes;
+    }
+    Table rt({"layer", "functions", "code bytes"});
+    for (const auto &[layer, stat] : by_layer) {
+        rt.cell(layerName(layer)).cell(stat.first).cell(stat.second);
+        rt.endRow();
+    }
+    rt.print(std::cout);
+    std::cout << "total static code: " << reader.regionBytes()
+              << " bytes across " << reader.regions().size()
+              << " functions\n";
+
+    MixCounter mix;
+    reader.replayInto(mix);
+    std::cout << "\n--- op mix (replayed through MixCounter) ---\n";
+    Table mt({"class", "share"});
+    auto pct = [](double r) { return formatFixed(r * 100, 2) + "%"; };
+    mt.cell("load").cell(pct(mix.loadRatio())); mt.endRow();
+    mt.cell("store").cell(pct(mix.storeRatio())); mt.endRow();
+    mt.cell("branch").cell(pct(mix.branchRatio())); mt.endRow();
+    mt.cell("integer").cell(pct(mix.integerRatio())); mt.endRow();
+    mt.cell("fp").cell(pct(mix.fpRatio())); mt.endRow();
+    mt.cell("other").cell(pct(mix.otherRatio())); mt.endRow();
+    mt.print(std::cout);
+    std::cout << "data movement: " << pct(mix.dataMovementRatio())
+              << " (with branches: "
+              << pct(mix.dataMovementWithBranchRatio()) << ")\n";
+
+    const IoCounters &io = reader.io();
+    std::cout << "\n--- captured run accounting ---\n"
+              << "disk read/write:    " << io.diskReadBytes << " / "
+              << io.diskWriteBytes << " bytes\n"
+              << "network:            " << io.networkBytes << " bytes\n";
+    return 0;
+}
+
+/** Prints the first `limit` ops, then counts the rest. */
+class DumpSink : public TraceSink
+{
+  public:
+    explicit DumpSink(uint64_t limit) : limit(limit) {}
+
+    void
+    consume(const MicroOp &op) override
+    {
+        if (seen++ >= limit)
+            return;
+        std::cout << seen - 1 << ": " << toString(op.kind)
+                  << " pc=0x" << std::hex << op.pc << std::dec;
+        if (op.memSize > 0 || op.memAddr != 0)
+            std::cout << " mem=0x" << std::hex << op.memAddr << std::dec
+                      << "+" << static_cast<unsigned>(op.memSize);
+        if (op.target != 0)
+            std::cout << " target=0x" << std::hex << op.target
+                      << std::dec << (op.taken ? " taken" : " not-taken");
+        std::cout << "\n";
+    }
+
+    uint64_t seen = 0;
+
+  private:
+    uint64_t limit;
+};
+
+int
+cmdDump(const std::string &path, uint64_t limit)
+{
+    TraceReader reader(path);
+    DumpSink sink(limit);
+    reader.replayInto(sink);
+    if (sink.seen > limit)
+        std::cout << "... (" << sink.seen - limit << " more ops)\n";
+    return 0;
+}
+
+int
+cmdReplay(const std::string &path, const std::string &machine_list,
+          unsigned jobs)
+{
+    std::vector<MachineConfig> configs;
+    std::string list = machine_list.empty() ? "xeon,atom" : machine_list;
+    for (size_t pos = 0; pos < list.size();) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string tok = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok == "xeon")
+            configs.push_back(xeonE5645());
+        else if (tok == "atom")
+            configs.push_back(atomD510());
+        else if (tok.rfind("sim", 0) == 0)
+            configs.push_back(atomInOrderSim(
+                static_cast<uint32_t>(std::atoi(tok.c_str() + 3))));
+        else
+            wcrt_fatal("unknown machine '", tok,
+                       "' (expected xeon, atom or sim<KB>)");
+    }
+
+    TraceReader probe(path);
+    std::cout << "replaying " << probe.meta().workload << " ("
+              << probe.opCount() << " ops) on " << configs.size()
+              << " configs, " << replayWorkers(jobs) << " workers\n\n";
+
+    auto reports = replayOnConfigs(path, configs, jobs);
+    Table t({"machine", "IPC", "CPI", "L1I MPKI", "L1D MPKI", "L2 MPKI",
+             "branch miss%"});
+    for (const auto &r : reports) {
+        t.cell(r.machine)
+            .cell(r.ipc, 2)
+            .cell(r.cpi, 2)
+            .cell(r.l1iMpki, 1)
+            .cell(r.l1dMpki, 1)
+            .cell(r.l2Mpki, 1)
+            .cell(r.branchMispredictRatio * 100, 1);
+        t.endRow();
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string cmd = argv[1];
+    try {
+        if (cmd == "record")
+            return cmdRecord(argc, argv);
+        if (cmd == "stats")
+            return cmdStats(argv[2]);
+        if (cmd == "dump") {
+            uint64_t limit = 32;
+            for (int i = 3; i < argc; ++i) {
+                if (const char *v =
+                        flagValue(argv[i], "--limit", argc, argv, i))
+                    limit = std::strtoull(v, nullptr, 10);
+                else
+                    return usage();
+            }
+            return cmdDump(argv[2], limit);
+        }
+        if (cmd == "replay") {
+            std::string machines;
+            unsigned jobs = 0;
+            for (int i = 3; i < argc; ++i) {
+                if (const char *v =
+                        flagValue(argv[i], "--machine", argc, argv, i))
+                    machines = v;
+                else if (const char *v2 =
+                             flagValue(argv[i], "--jobs", argc, argv, i))
+                    jobs = static_cast<unsigned>(std::atoi(v2));
+                else
+                    return usage();
+            }
+            return cmdReplay(argv[2], machines, jobs);
+        }
+    } catch (const TraceFormatError &err) {
+        std::cerr << "trace_tool: " << err.what() << "\n";
+        return 1;
+    }
+    return usage();
+}

@@ -12,9 +12,11 @@
 #define WCRT_CORE_PROFILER_HH
 
 #include <string>
+#include <vector>
 
 #include "core/metrics.hh"
 #include "sim/machine.hh"
+#include "tracefile/trace_reader.hh"
 #include "workloads/workload.hh"
 
 namespace wcrt {
@@ -51,6 +53,30 @@ WorkloadRun profileWorkload(Workload &workload,
  * counting). Returns the populated run environment accounting.
  */
 RunEnv runThroughSink(Workload &workload, TraceSink &sink);
+
+/**
+ * Replay a stored trace against a machine configuration instead of
+ * re-executing the workload. Produces the same WorkloadRun a live
+ * profileWorkload() of the captured workload would: the op stream,
+ * I/O volumes and data behaviour all come from the trace file.
+ */
+WorkloadRun profileWorkload(TraceReader &trace,
+                            const MachineConfig &machine,
+                            const NodeModel &node = {});
+
+/**
+ * Replay many stored traces against one machine configuration in
+ * parallel (one worker per trace, results in input order).
+ *
+ * @param trace_paths Trace files to replay.
+ * @param machine Machine model to simulate.
+ * @param node Node throughput model for system-behaviour analysis.
+ * @param threads Worker cap (0 → hardware threads).
+ */
+std::vector<WorkloadRun> profileTraces(
+    const std::vector<std::string> &trace_paths,
+    const MachineConfig &machine, const NodeModel &node = {},
+    unsigned threads = 0);
 
 } // namespace wcrt
 

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * On-disk trace cache: record each workload once, replay it from then
+ * on.
+ *
+ * Traces are keyed by roster name and dataset scale under one cache
+ * directory (`--trace-dir` in the bench binaries, `WCRT_TRACE_DIR` in
+ * the environment, a per-user temp directory by default). ensure()
+ * returns a hit instantly and captures on miss — so a full experiment
+ * sweep pays one workload execution per (workload, scale) instead of
+ * one per (workload, scale, machine config, figure).
+ *
+ * The cache is content-checked, not content-addressed: a hit is
+ * re-validated by parsing the file header and footer, and any
+ * corrupt, truncated or version-mismatched file is silently
+ * re-captured. Workload *code* changes are not detected — delete the
+ * directory (or bump the format version) after editing emission code.
+ */
+
+#ifndef WCRT_CORE_TRACE_CACHE_HH
+#define WCRT_CORE_TRACE_CACHE_HH
+
+#include <functional>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace wcrt {
+
+/** One directory of reusable `.wtrace` files. */
+class TraceCache
+{
+  public:
+    /**
+     * @param dir Cache directory, created if missing; empty selects
+     *        defaultDir().
+     */
+    explicit TraceCache(std::string dir = "");
+
+    /** `WCRT_TRACE_DIR`, or `<system temp>/wcrt-traces`. */
+    static std::string defaultDir();
+
+    /** The directory this cache stores traces under. */
+    const std::string &directory() const { return cacheDir; }
+
+    /** Cache file path for a (roster name, scale) key. */
+    std::string path(const std::string &key, double scale) const;
+
+    /** True when a readable, valid trace exists for the key. */
+    bool has(const std::string &key, double scale) const;
+
+    /**
+     * Return the trace path for the key, capturing the workload first
+     * when the cache misses (or holds a corrupt file).
+     *
+     * @param key Roster name (unique across rosters).
+     * @param scale Dataset scale.
+     * @param make Factory producing a fresh workload for capture.
+     * @param captured Optional out-flag: true when a capture ran.
+     */
+    std::string ensure(const std::string &key, double scale,
+                       const std::function<WorkloadPtr()> &make,
+                       bool *captured = nullptr);
+
+  private:
+    std::string cacheDir;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_CORE_TRACE_CACHE_HH

@@ -1,0 +1,43 @@
+#include "tracefile/capture.hh"
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "tracefile/trace_writer.hh"
+
+namespace wcrt {
+
+CaptureResult
+captureTrace(Workload &workload, const std::string &path, double scale)
+{
+    RunEnv env;
+    workload.setup(env);
+    // Mirror profileWorkload()'s driver frame exactly: replay fidelity
+    // depends on the capture stream matching a live profile run.
+    FunctionId driver = env.layout.addFunction(
+        "driver.main", CodeLayer::Application, 512);
+
+    TraceMeta meta;
+    meta.workload = workload.name();
+    meta.category = workload.category();
+    meta.stackKind = workload.stack();
+    meta.scale = scale;
+
+    std::string tmp = path + ".tmp-" + std::to_string(::getpid());
+    CaptureResult result;
+    {
+        TraceWriter writer(tmp, meta, env.layout);
+        Tracer tracer(env.layout, writer);
+        tracer.call(driver);
+        workload.execute(env, tracer);
+        tracer.ret();
+        writer.finish(env.io, env.data);
+        result.ops = writer.opsWritten();
+        result.fileBytes = writer.bytesWritten();
+    }
+    std::filesystem::rename(tmp, path);
+    return result;
+}
+
+} // namespace wcrt

@@ -1,0 +1,122 @@
+#include "tracefile/replay.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace wcrt {
+
+unsigned
+replayWorkers(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 2;
+}
+
+void
+parallelFor(size_t count, const std::function<void(size_t)> &job,
+            unsigned threads)
+{
+    if (count == 0)
+        return;
+    size_t workers = std::min<size_t>(replayWorkers(threads), count);
+    if (workers <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            job(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&]() {
+        while (true) {
+            size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            try {
+                job(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+std::vector<CpuReport>
+replayOnConfigs(const std::string &trace_path,
+                const std::vector<MachineConfig> &configs,
+                unsigned threads)
+{
+    std::vector<CpuReport> reports(configs.size());
+    parallelFor(configs.size(), [&](size_t i) {
+        TraceReader reader(trace_path);
+        SimCpu cpu(configs[i]);
+        reader.replayInto(cpu);
+        reports[i] = cpu.report();
+    }, threads);
+    return reports;
+}
+
+std::vector<double>
+replaySweepLadder(const std::string &trace_path, SweepKind kind,
+                  const std::vector<uint32_t> &sizes_kb, unsigned threads,
+                  uint32_t assoc, uint32_t line_bytes)
+{
+    if (sizes_kb.empty())
+        return {};
+
+    // One decode pass per worker, not per rung: each worker replays
+    // the trace once into a multi-capacity sweep over its contiguous
+    // share of the ladder. The rungs' caches are independent either
+    // way, so the grouping leaves every ratio bit-identical.
+    size_t groups =
+        std::min<size_t>(replayWorkers(threads), sizes_kb.size());
+    size_t per_group = (sizes_kb.size() + groups - 1) / groups;
+
+    std::vector<double> ratios(sizes_kb.size(), 0.0);
+    parallelFor(groups, [&](size_t g) {
+        size_t begin = g * per_group;
+        size_t end = std::min(begin + per_group, sizes_kb.size());
+        if (begin >= end)
+            return;
+        std::vector<uint32_t> share(sizes_kb.begin() + begin,
+                                    sizes_kb.begin() + end);
+        TraceReader reader(trace_path);
+        FootprintSweep sweep(share, assoc, line_bytes);
+        reader.replayInto(sweep);
+        auto share_ratios = sweep.missRatios(kind);
+        for (size_t i = begin; i < end; ++i)
+            ratios[i] = share_ratios[i - begin];
+    }, threads);
+    return ratios;
+}
+
+std::vector<CpuReport>
+replayTracesOn(const std::vector<std::string> &trace_paths,
+               const MachineConfig &config, unsigned threads)
+{
+    std::vector<CpuReport> reports(trace_paths.size());
+    parallelFor(trace_paths.size(), [&](size_t i) {
+        TraceReader reader(trace_paths[i]);
+        SimCpu cpu(config);
+        reader.replayInto(cpu);
+        reports[i] = cpu.report();
+    }, threads);
+    return reports;
+}
+
+} // namespace wcrt

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Parallel multi-config replay runner.
+ *
+ * One captured trace can feed any number of machine configurations,
+ * and N traces can feed one configuration — each replay is an
+ * independent read-only pass over a file, so they parallelize
+ * perfectly. The helpers here fan jobs out over a small thread pool
+ * (each job opens its own TraceReader) and always return results in
+ * input order, so parallel runs are bit-identical to serial ones.
+ */
+
+#ifndef WCRT_TRACEFILE_REPLAY_HH
+#define WCRT_TRACEFILE_REPLAY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/footprint.hh"
+#include "sim/machine.hh"
+#include "sim/sim_cpu.hh"
+#include "tracefile/trace_reader.hh"
+
+namespace wcrt {
+
+/** Worker count actually used for a request (0 → hardware threads). */
+unsigned replayWorkers(unsigned requested = 0);
+
+/**
+ * Run `count` independent jobs on a transient thread pool. job(i) is
+ * invoked exactly once for every i in [0, count); the first exception
+ * any job throws is rethrown on the caller after all workers join.
+ *
+ * @param count Number of jobs.
+ * @param job Callable receiving the job index; must be thread-safe
+ *        with respect to the other indices.
+ * @param threads Worker cap (0 → hardware threads).
+ */
+void parallelFor(size_t count, const std::function<void(size_t)> &job,
+                 unsigned threads = 0);
+
+/**
+ * Replay one trace into a SimCpu per machine configuration, in
+ * parallel. Results are indexed like `configs`.
+ */
+std::vector<CpuReport> replayOnConfigs(
+    const std::string &trace_path,
+    const std::vector<MachineConfig> &configs, unsigned threads = 0);
+
+/**
+ * Replay one trace across a cache-capacity ladder — one
+ * single-capacity FootprintSweep per rung, each on its own worker —
+ * and return the miss ratio per capacity (same values the one-pass
+ * multi-capacity sweep produces, computed config-parallel).
+ *
+ * @param trace_path Captured trace.
+ * @param kind Which reference stream to measure.
+ * @param sizes_kb Capacity ladder in KB.
+ * @param threads Worker cap (0 → hardware threads).
+ * @param assoc Associativity of every rung (paper: 8).
+ * @param line_bytes Line size (paper: 64).
+ */
+std::vector<double> replaySweepLadder(const std::string &trace_path,
+                                      SweepKind kind,
+                                      const std::vector<uint32_t> &sizes_kb,
+                                      unsigned threads = 0,
+                                      uint32_t assoc = 8,
+                                      uint32_t line_bytes = 64);
+
+/**
+ * Replay many traces on one machine configuration, in parallel.
+ * Results are indexed like `trace_paths`.
+ */
+std::vector<CpuReport> replayTracesOn(
+    const std::vector<std::string> &trace_paths,
+    const MachineConfig &config, unsigned threads = 0);
+
+} // namespace wcrt
+
+#endif // WCRT_TRACEFILE_REPLAY_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * TraceReader: replays a `.wtrace` file into any TraceSink.
+ *
+ * Opening a reader parses and validates the file header (magic,
+ * version, CRC) and the region table; replayInto() then streams every
+ * stored op to a sink exactly as the live workload emitted it, so
+ * SimCpu, FootprintSweep, MixCounter and SamplingSink all work
+ * unchanged. A reader can replay its file any number of times; for
+ * parallel replay open one reader per thread (see tracefile/replay.hh).
+ */
+
+#ifndef WCRT_TRACEFILE_TRACE_READER_HH
+#define WCRT_TRACEFILE_TRACE_READER_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sysmon/sysmon.hh"
+#include "trace/code_layout.hh"
+#include "tracefile/format.hh"
+
+namespace wcrt {
+
+/** Decoder and replayer for one trace file. */
+class TraceReader
+{
+  public:
+    /**
+     * Open `path` and validate the header. Throws TraceFormatError on
+     * a missing file, bad magic, unsupported version or header
+     * corruption.
+     */
+    explicit TraceReader(const std::string &path);
+
+    /** Run identity stored in the header. */
+    const TraceMeta &meta() const { return fileMeta; }
+
+    /** The capture run's CodeLayout snapshot. */
+    const std::vector<CodeLayout::Function> &regions() const
+    {
+        return regionTable;
+    }
+
+    /** Total static code bytes in the region table. */
+    uint64_t regionBytes() const;
+
+    /** Ops stored in the file (from the footer, no replay needed). */
+    uint64_t opCount() const { return footerOps; }
+
+    /** I/O accounting of the captured run. */
+    const IoCounters &io() const { return footerIo; }
+
+    /** Data-behaviour accounting of the captured run. */
+    const DataBehavior &data() const { return footerData; }
+
+    /** File size in bytes. */
+    uint64_t fileBytes() const { return fileSize; }
+
+    /** Encoded payload bytes across all op chunks. */
+    uint64_t payloadBytes() const { return payloadTotal; }
+
+    /** Number of op chunks. */
+    uint64_t chunkCount() const { return chunks; }
+
+    /** Encoded bytes per stored op. */
+    double bytesPerOp() const;
+
+    /**
+     * Stream every op to `sink`, first to last. Throws
+     * TraceFormatError on truncation or CRC mismatch. Returns the
+     * number of ops replayed.
+     */
+    uint64_t replayInto(TraceSink &sink);
+
+    /** Path this reader reads from. */
+    const std::string &path() const { return filePath; }
+
+  private:
+    void readHeader();
+    void scanFooter();
+
+    /**
+     * Walk all chunks from the first op chunk. `sink` may be null
+     * (validation/stats scan only). Returns ops visited.
+     */
+    uint64_t walkChunks(TraceSink *sink);
+
+    std::string filePath;
+    std::ifstream in;
+    std::streamoff firstChunk = 0;
+    TraceMeta fileMeta;
+    std::vector<CodeLayout::Function> regionTable;
+    IoCounters footerIo;
+    DataBehavior footerData;
+    uint64_t footerOps = 0;
+    uint64_t fileSize = 0;
+    uint64_t payloadTotal = 0;
+    uint64_t chunks = 0;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_TRACEFILE_TRACE_READER_HH

@@ -1,0 +1,194 @@
+#include "tracefile/trace_writer.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+using namespace tracefile;
+
+namespace {
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void
+putF64(std::vector<uint8_t> &out, double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path_, const TraceMeta &meta,
+                         const CodeLayout &layout, uint32_t chunk_ops)
+    : out(path_, std::ios::binary | std::ios::trunc), path(path_),
+      chunkOps(chunk_ops ? chunk_ops : defaultChunkOps)
+{
+    if (!out)
+        throw TraceFormatError("cannot open trace file for writing: " +
+                               path);
+    writeHeader(meta, layout);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!finished && out.is_open()) {
+        try {
+            finish();
+        } catch (const TraceFormatError &e) {
+            warn("trace writer teardown failed for ", path, ": ",
+                 e.what());
+        }
+    }
+}
+
+void
+TraceWriter::writeHeader(const TraceMeta &meta, const CodeLayout &layout)
+{
+    std::vector<uint8_t> payload;
+    putString(payload, meta.workload);
+    payload.push_back(static_cast<uint8_t>(meta.stackKind));
+    payload.push_back(static_cast<uint8_t>(meta.category));
+    putF64(payload, meta.scale);
+    putVarint(payload, layout.size());
+    for (size_t i = 0; i < layout.size(); ++i) {
+        const auto &fn = layout.function(FunctionId{
+            static_cast<uint32_t>(i)});
+        putString(payload, fn.name);
+        payload.push_back(static_cast<uint8_t>(fn.layer));
+        putVarint(payload, fn.base);
+        putVarint(payload, fn.bytes);
+        putVarint(payload, fn.profile.overheadOps);
+        putVarint(payload, fn.profile.rotationBytes);
+    }
+
+    std::vector<uint8_t> header;
+    putU32(header, magic);
+    putU32(header, version);
+    putU32(header, static_cast<uint32_t>(payload.size()));
+    putU32(header, crc32(payload.data(), payload.size()));
+    out.write(reinterpret_cast<const char *>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+    out.write(reinterpret_cast<const char *>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    fileBytes += header.size() + payload.size();
+}
+
+void
+TraceWriter::encodeOp(const MicroOp &op)
+{
+    uint8_t flags = static_cast<uint8_t>(op.kind) & kindMask;
+    flags |= static_cast<uint8_t>(static_cast<uint8_t>(op.purpose)
+                                  << purposeShift) & purposeMask;
+    if (op.taken)
+        flags |= takenBit;
+
+    bool has_mem;
+    bool has_target;
+    if (needsExtension(op)) {
+        flags |= extBit;
+        buf.push_back(flags);
+        has_mem = op.memSize > 0 || op.memAddr != 0;
+        has_target = isControl(op.kind) || op.target != 0;
+        uint8_t ext = 0;
+        ext |= has_mem ? extHasMem : 0;
+        ext |= op.size != defaultOpSize ? extHasSize : 0;
+        ext |= has_target ? extHasTarget : 0;
+        buf.push_back(ext);
+        if (op.size != defaultOpSize)
+            buf.push_back(op.size);
+    } else {
+        buf.push_back(flags);
+        has_mem = impliedHasMem(op.kind);
+        has_target = isControl(op.kind);
+    }
+
+    putVarintSigned(buf, static_cast<int64_t>(op.pc - prevPc));
+    prevPc = op.pc;
+    if (has_mem) {
+        putVarintSigned(buf, static_cast<int64_t>(op.memAddr - prevMem));
+        prevMem = op.memAddr;
+        buf.push_back(op.memSize);
+    }
+    if (has_target)
+        putVarintSigned(buf, static_cast<int64_t>(op.target - op.pc));
+}
+
+void
+TraceWriter::consume(const MicroOp &op)
+{
+    if (finished)
+        wcrt_panic("TraceWriter::consume after finish");
+    encodeOp(op);
+    ++bufOps;
+    ++totalOps;
+    if (bufOps >= chunkOps)
+        flushChunk();
+}
+
+void
+TraceWriter::flushChunk()
+{
+    if (bufOps == 0)
+        return;
+    std::vector<uint8_t> header;
+    putU32(header, bufOps);
+    putU32(header, static_cast<uint32_t>(buf.size()));
+    putU32(header, crc32(buf.data(), buf.size()));
+    out.write(reinterpret_cast<const char *>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+    out.write(reinterpret_cast<const char *>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+    fileBytes += header.size() + buf.size();
+    payloadTotal += buf.size();
+    buf.clear();
+    bufOps = 0;
+    prevPc = 0;
+    prevMem = 0;
+}
+
+void
+TraceWriter::finish(const IoCounters &io, const DataBehavior &data)
+{
+    if (finished)
+        return;
+    flushChunk();
+
+    std::vector<uint8_t> payload;
+    putVarint(payload, totalOps);
+    putVarint(payload, io.diskReadBytes);
+    putVarint(payload, io.diskWriteBytes);
+    putVarint(payload, io.networkBytes);
+    putVarint(payload, data.inputBytes);
+    putVarint(payload, data.intermediateBytes);
+    putVarint(payload, data.outputBytes);
+
+    std::vector<uint8_t> header;
+    putU32(header, 0);  // opCount 0 marks the footer
+    putU32(header, static_cast<uint32_t>(payload.size()));
+    putU32(header, crc32(payload.data(), payload.size()));
+    out.write(reinterpret_cast<const char *>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+    out.write(reinterpret_cast<const char *>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    fileBytes += header.size() + payload.size();
+    out.flush();
+    if (!out)
+        throw TraceFormatError("short write on trace file: " + path);
+    out.close();
+    finished = true;
+}
+
+} // namespace wcrt

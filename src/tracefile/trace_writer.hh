@@ -1,0 +1,90 @@
+/**
+ * @file
+ * TraceWriter: a TraceSink that records the op stream to a `.wtrace`
+ * file instead of (or while) simulating it.
+ *
+ * Attach it wherever a SimCpu or FootprintSweep would go — directly,
+ * or behind a TeeSink to capture and simulate in one pass. The file
+ * header snapshots the run's CodeLayout region table; the footer adds
+ * the I/O and data-behaviour accounting once execute() finishes, so a
+ * replayed profile reproduces the full WorkloadRun, not just the
+ * micro-architecture counters.
+ */
+
+#ifndef WCRT_TRACEFILE_TRACE_WRITER_HH
+#define WCRT_TRACEFILE_TRACE_WRITER_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sysmon/sysmon.hh"
+#include "trace/code_layout.hh"
+#include "tracefile/format.hh"
+
+namespace wcrt {
+
+/** Streaming encoder for one trace file. */
+class TraceWriter : public TraceSink
+{
+  public:
+    /**
+     * Open `path` and write the file header immediately.
+     *
+     * @param path Output file; an existing file is overwritten.
+     * @param meta Run identity stored in the header.
+     * @param layout Code layout whose region table the header carries.
+     * @param chunk_ops Ops per chunk (tunes seek granularity vs
+     *        header overhead).
+     */
+    TraceWriter(const std::string &path, const TraceMeta &meta,
+                const CodeLayout &layout,
+                uint32_t chunk_ops = tracefile::defaultChunkOps);
+
+    /** Finishes the file (with empty accounting) if still open. */
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void consume(const MicroOp &op) override;
+
+    /**
+     * Flush the last chunk and write the footer. Must be the final
+     * call; consume() afterwards is an error.
+     *
+     * @param io I/O volumes the run accumulated.
+     * @param data Data-behaviour volumes the run accumulated.
+     */
+    void finish(const IoCounters &io = {}, const DataBehavior &data = {});
+
+    /** Ops recorded so far. */
+    uint64_t opsWritten() const { return totalOps; }
+
+    /** File bytes emitted so far (headers + payloads). */
+    uint64_t bytesWritten() const { return fileBytes; }
+
+    /** Encoded payload bytes (excludes file/chunk headers). */
+    uint64_t payloadBytes() const { return payloadTotal; }
+
+  private:
+    void writeHeader(const TraceMeta &meta, const CodeLayout &layout);
+    void flushChunk();
+    void encodeOp(const MicroOp &op);
+
+    std::ofstream out;
+    std::string path;
+    uint32_t chunkOps;
+    std::vector<uint8_t> buf;     //!< current chunk's encoded payload
+    uint32_t bufOps = 0;
+    uint64_t prevPc = 0;
+    uint64_t prevMem = 0;
+    uint64_t totalOps = 0;
+    uint64_t fileBytes = 0;
+    uint64_t payloadTotal = 0;
+    bool finished = false;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_TRACEFILE_TRACE_WRITER_HH

@@ -1,0 +1,522 @@
+/**
+ * @file
+ * Tests for the trace file subsystem: encoding primitives, op-for-op
+ * round trips, live-vs-replay equivalence for the real sinks,
+ * corruption handling, the trace cache and the parallel replay runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "core/profiler.hh"
+#include "core/trace_cache.hh"
+#include "sim/footprint.hh"
+#include "tracefile/capture.hh"
+#include "tracefile/replay.hh"
+#include "tracefile/trace_reader.hh"
+#include "tracefile/trace_writer.hh"
+#include "trace/mix_counter.hh"
+#include "workloads/registry.hh"
+
+namespace wcrt {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Unique temp path per test; removed by the fixture-free helper. */
+std::string
+tempTracePath(const std::string &tag)
+{
+    return (fs::temp_directory_path() / ("wcrt-test-" + tag + ".wtrace"))
+        .string();
+}
+
+/** Sink that records every op for field-level comparison. */
+class RecordingSink : public TraceSink
+{
+  public:
+    void consume(const MicroOp &op) override { ops.push_back(op); }
+    std::vector<MicroOp> ops;
+};
+
+void
+expectOpsEqual(const std::vector<MicroOp> &a, const std::vector<MicroOp> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("op " + std::to_string(i));
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].purpose, b[i].purpose);
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].size, b[i].size);
+        EXPECT_EQ(a[i].memAddr, b[i].memAddr);
+        EXPECT_EQ(a[i].memSize, b[i].memSize);
+        EXPECT_EQ(a[i].target, b[i].target);
+        EXPECT_EQ(a[i].taken, b[i].taken);
+    }
+}
+
+/** Ops exercising every encoder path, including the extension byte. */
+std::vector<MicroOp>
+awkwardOps()
+{
+    std::vector<MicroOp> ops;
+
+    MicroOp alu;
+    alu.kind = OpKind::IntAlu;
+    alu.purpose = IntPurpose::IntAddress;
+    alu.pc = 0x400000;
+    ops.push_back(alu);
+
+    MicroOp load;  // default-shaped load
+    load.kind = OpKind::Load;
+    load.pc = 0x400004;
+    load.memAddr = 0x7fff0000;
+    load.memSize = 8;
+    ops.push_back(load);
+
+    MicroOp store;  // backwards pc delta, mem below previous
+    store.kind = OpKind::Store;
+    store.pc = 0x3ffff0;
+    store.memAddr = 0x1000;
+    store.memSize = 1;
+    ops.push_back(store);
+
+    MicroOp branch;
+    branch.kind = OpKind::BranchCond;
+    branch.pc = 0x400010;
+    branch.target = 0x400800;
+    branch.taken = true;
+    ops.push_back(branch);
+
+    MicroOp weird_size;  // non-default instruction size
+    weird_size.kind = OpKind::IntMul;
+    weird_size.pc = 0x400014;
+    weird_size.size = 12;
+    ops.push_back(weird_size);
+
+    MicroOp alu_mem;  // non-load op with a memory operand
+    alu_mem.kind = OpKind::FpAlu;
+    alu_mem.pc = 0x400020;
+    alu_mem.memAddr = 0x9000;
+    alu_mem.memSize = 16;
+    ops.push_back(alu_mem);
+
+    MicroOp addr_load;  // load carrying an address but no size
+    addr_load.kind = OpKind::Load;
+    addr_load.pc = 0x400024;
+    addr_load.memAddr = 0xdeadbeef;
+    addr_load.memSize = 0;
+    ops.push_back(addr_load);
+
+    MicroOp bare_load;  // load with no memory operand at all
+    bare_load.kind = OpKind::Load;
+    bare_load.pc = 0x400028;
+    ops.push_back(bare_load);
+
+    MicroOp call;
+    call.kind = OpKind::Call;
+    call.pc = 0x40002c;
+    call.target = 0x500000;
+    call.taken = true;
+    ops.push_back(call);
+
+    MicroOp far_pc;  // 64-bit pc, large deltas
+    far_pc.kind = OpKind::Other;
+    far_pc.pc = 0xffff800000000000ull;
+    ops.push_back(far_pc);
+
+    return ops;
+}
+
+CodeLayout
+sampleLayout()
+{
+    CodeLayout layout;
+    layout.addFunction("app.kernel", CodeLayer::Application, 512);
+    layout.addFunction("fw.shuffle", CodeLayer::Framework, 65536);
+    layout.addFunction("libc.memcpy", CodeLayer::Library, 4096);
+    return layout;
+}
+
+TraceMeta
+sampleMeta()
+{
+    TraceMeta meta;
+    meta.workload = "T-Sample";
+    meta.category = AppCategory::Service;
+    meta.stackKind = StackKind::Spark;
+    meta.scale = 0.125;
+    return meta;
+}
+
+void
+writeSample(const std::string &path, const std::vector<MicroOp> &ops,
+            uint32_t chunk_ops = tracefile::defaultChunkOps)
+{
+    TraceWriter writer(path, sampleMeta(), sampleLayout(), chunk_ops);
+    for (const auto &op : ops)
+        writer.consume(op);
+    IoCounters io;
+    io.diskReadBytes = 123456;
+    io.diskWriteBytes = 7890;
+    io.networkBytes = 42;
+    DataBehavior data;
+    data.inputBytes = 1 << 20;
+    data.intermediateBytes = 1 << 18;
+    data.outputBytes = 1 << 10;
+    writer.finish(io, data);
+}
+
+TEST(TraceFormat, VarintRoundTrip)
+{
+    std::vector<uint8_t> buf;
+    const uint64_t values[] = {0, 1, 127, 128, 300, 1ull << 32,
+                               (1ull << 63), UINT64_MAX};
+    for (uint64_t v : values)
+        tracefile::putVarint(buf, v);
+    const int64_t signed_values[] = {0, -1, 1, -64, 64, INT64_MIN,
+                                     INT64_MAX};
+    for (int64_t v : signed_values)
+        tracefile::putVarintSigned(buf, v);
+
+    tracefile::Decoder dec(buf.data(), buf.size());
+    for (uint64_t v : values)
+        EXPECT_EQ(dec.varint(), v);
+    for (int64_t v : signed_values)
+        EXPECT_EQ(dec.varintSigned(), v);
+    EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(TraceFormat, CrcMatchesReference)
+{
+    // The standard CRC-32 check value.
+    const char *s = "123456789";
+    EXPECT_EQ(tracefile::crc32(reinterpret_cast<const uint8_t *>(s), 9),
+              0xCBF43926u);
+}
+
+TEST(TraceFile, OpForOpRoundTrip)
+{
+    std::string path = tempTracePath("roundtrip");
+    auto ops = awkwardOps();
+    writeSample(path, ops);
+
+    TraceReader reader(path);
+    EXPECT_EQ(reader.meta().workload, "T-Sample");
+    EXPECT_EQ(reader.meta().category, AppCategory::Service);
+    EXPECT_EQ(reader.meta().stackKind, StackKind::Spark);
+    EXPECT_DOUBLE_EQ(reader.meta().scale, 0.125);
+    EXPECT_EQ(reader.opCount(), ops.size());
+
+    ASSERT_EQ(reader.regions().size(), 3u);
+    EXPECT_EQ(reader.regions()[0].name, "app.kernel");
+    EXPECT_EQ(reader.regions()[1].layer, CodeLayer::Framework);
+    EXPECT_EQ(reader.regions()[1].bytes, 65536u);
+
+    EXPECT_EQ(reader.io().diskReadBytes, 123456u);
+    EXPECT_EQ(reader.io().networkBytes, 42u);
+    EXPECT_EQ(reader.data().inputBytes, 1u << 20);
+    EXPECT_EQ(reader.data().outputBytes, 1u << 10);
+
+    RecordingSink sink;
+    EXPECT_EQ(reader.replayInto(sink), ops.size());
+    expectOpsEqual(ops, sink.ops);
+
+    // A reader replays repeatably.
+    RecordingSink again;
+    reader.replayInto(again);
+    expectOpsEqual(ops, again.ops);
+
+    fs::remove(path);
+}
+
+TEST(TraceFile, MultiChunkRoundTrip)
+{
+    std::string path = tempTracePath("chunks");
+    std::vector<MicroOp> ops;
+    auto sample = awkwardOps();
+    for (int rep = 0; rep < 50; ++rep)
+        for (const auto &op : sample)
+            ops.push_back(op);
+
+    writeSample(path, ops, 7);  // force many small chunks
+
+    TraceReader reader(path);
+    EXPECT_GT(reader.chunkCount(), ops.size() / 7 - 1);
+    RecordingSink sink;
+    reader.replayInto(sink);
+    expectOpsEqual(ops, sink.ops);
+    fs::remove(path);
+}
+
+TEST(TraceFile, LiveAndReplayedSinksAgree)
+{
+    const double scale = 0.1;
+    for (const char *name : {"M-WordCount", "H-WordCount"}) {
+        SCOPED_TRACE(name);
+        const WorkloadEntry &entry = findWorkload(name);
+
+        // Live baselines, each on a fresh workload instance.
+        MixCounter live_mix;
+        {
+            WorkloadPtr w = entry.make(scale);
+            runThroughSink(*w, live_mix);
+        }
+        std::vector<uint32_t> sizes{16, 64, 256};
+        FootprintSweep live_sweep(sizes);
+        {
+            WorkloadPtr w = entry.make(scale);
+            runThroughSink(*w, live_sweep);
+        }
+        WorkloadRun live_run;
+        {
+            WorkloadPtr w = entry.make(scale);
+            live_run = profileWorkload(*w, xeonE5645());
+        }
+
+        // One capture feeds all three replays.
+        std::string path = tempTracePath(std::string("live-") + name);
+        {
+            WorkloadPtr w = entry.make(scale);
+            captureTrace(*w, path, scale);
+        }
+
+        TraceReader reader(path);
+        MixCounter replay_mix;
+        reader.replayInto(replay_mix);
+        EXPECT_EQ(replay_mix.total(), live_mix.total());
+        for (size_t k = 0; k < numOpKinds; ++k) {
+            EXPECT_EQ(replay_mix.count(static_cast<OpKind>(k)),
+                      live_mix.count(static_cast<OpKind>(k)))
+                << "kind " << k;
+        }
+
+        FootprintSweep replay_sweep(sizes);
+        reader.replayInto(replay_sweep);
+        auto live_inst = live_sweep.missRatios(SweepKind::Instruction);
+        auto replay_inst = replay_sweep.missRatios(SweepKind::Instruction);
+        auto live_data = live_sweep.missRatios(SweepKind::Data);
+        auto replay_data = replay_sweep.missRatios(SweepKind::Data);
+        for (size_t i = 0; i < sizes.size(); ++i) {
+            EXPECT_EQ(live_inst[i], replay_inst[i]) << sizes[i] << " KB";
+            EXPECT_EQ(live_data[i], replay_data[i]) << sizes[i] << " KB";
+        }
+
+        WorkloadRun replayed = profileWorkload(reader, xeonE5645());
+        EXPECT_EQ(replayed.name, live_run.name);
+        EXPECT_EQ(replayed.category, live_run.category);
+        EXPECT_EQ(replayed.stackKind, live_run.stackKind);
+        EXPECT_EQ(replayed.report.instructions,
+                  live_run.report.instructions);
+        EXPECT_EQ(replayed.report.ipc, live_run.report.ipc);
+        EXPECT_EQ(replayed.report.l1iMpki, live_run.report.l1iMpki);
+        EXPECT_EQ(replayed.report.l2Mpki, live_run.report.l2Mpki);
+        EXPECT_EQ(replayed.io.diskReadBytes, live_run.io.diskReadBytes);
+        EXPECT_EQ(replayed.data.inputBytes, live_run.data.inputBytes);
+        EXPECT_EQ(replayed.sysBehavior, live_run.sysBehavior);
+        for (size_t m = 0; m < numMetrics; ++m)
+            EXPECT_EQ(replayed.metrics[m], live_run.metrics[m])
+                << "metric " << m;
+
+        fs::remove(path);
+    }
+}
+
+TEST(TraceFile, TruncatedFileThrows)
+{
+    std::string path = tempTracePath("truncated");
+    writeSample(path, awkwardOps());
+
+    auto size = fs::file_size(path);
+    fs::resize_file(path, size - 10);
+    EXPECT_THROW(TraceReader reader(path), TraceFormatError);
+    fs::remove(path);
+}
+
+TEST(TraceFile, CorruptPayloadThrows)
+{
+    std::string path = tempTracePath("corrupt");
+    std::vector<MicroOp> ops;
+    auto sample = awkwardOps();
+    for (int rep = 0; rep < 200; ++rep)
+        for (const auto &op : sample)
+            ops.push_back(op);
+    writeSample(path, ops);
+
+    // Flip a byte well inside the op payload. Opening scans chunk
+    // headers only; decoding must detect the CRC mismatch.
+    auto size = fs::file_size(path);
+    std::fstream f(path, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    f.get(byte);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.put(static_cast<char>(byte ^ 0x5a));
+    f.close();
+
+    EXPECT_THROW(
+        {
+            TraceReader reader(path);
+            RecordingSink sink;
+            reader.replayInto(sink);
+        },
+        TraceFormatError);
+    fs::remove(path);
+}
+
+TEST(TraceFile, BadMagicThrows)
+{
+    std::string path = tempTracePath("magic");
+    std::ofstream(path, std::ios::binary)
+        << "this is not a trace file at all";
+    EXPECT_THROW(TraceReader reader(path), TraceFormatError);
+    fs::remove(path);
+}
+
+TEST(TraceFile, UnsupportedVersionThrows)
+{
+    std::string path = tempTracePath("version");
+    writeSample(path, awkwardOps());
+
+    std::fstream f(path, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    f.seekp(4);  // version field follows the magic
+    f.put(99);
+    f.close();
+
+    EXPECT_THROW(TraceReader reader(path), TraceFormatError);
+    fs::remove(path);
+}
+
+TEST(TraceFile, MissingFileThrows)
+{
+    EXPECT_THROW(TraceReader reader(tempTracePath("nonexistent-xyz")),
+                 TraceFormatError);
+}
+
+TEST(TraceCacheTest, CapturesOnceThenHits)
+{
+    std::string dir =
+        (fs::temp_directory_path() / "wcrt-test-cache").string();
+    fs::remove_all(dir);
+    TraceCache cache(dir);
+    const WorkloadEntry &entry = findWorkload("M-Grep");
+    auto make = [&] { return entry.make(0.05); };
+
+    EXPECT_FALSE(cache.has(entry.name, 0.05));
+    bool captured = false;
+    std::string path = cache.ensure(entry.name, 0.05, make, &captured);
+    EXPECT_TRUE(captured);
+    EXPECT_TRUE(cache.has(entry.name, 0.05));
+
+    std::string again = cache.ensure(entry.name, 0.05, make, &captured);
+    EXPECT_FALSE(captured);
+    EXPECT_EQ(path, again);
+
+    // A different scale is a different cache entry.
+    EXPECT_FALSE(cache.has(entry.name, 0.075));
+
+    // A corrupted cache file is re-captured, not trusted.
+    fs::resize_file(path, fs::file_size(path) / 2);
+    cache.ensure(entry.name, 0.05, make, &captured);
+    EXPECT_TRUE(captured);
+    TraceReader reader(path);
+    EXPECT_GT(reader.opCount(), 0u);
+
+    fs::remove_all(dir);
+}
+
+TEST(Replay, ParallelForRunsEveryJobOnce)
+{
+    std::vector<int> hits(257, 0);
+    parallelFor(hits.size(),
+                [&](size_t i) { hits[i]++; }, 4);
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << "job " << i;
+
+    // Serial fallback covers everything too.
+    std::fill(hits.begin(), hits.end(), 0);
+    parallelFor(hits.size(), [&](size_t i) { hits[i]++; }, 1);
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << "job " << i;
+}
+
+TEST(Replay, ParallelForPropagatesExceptions)
+{
+    EXPECT_THROW(parallelFor(64,
+                             [](size_t i) {
+                                 if (i == 33)
+                                     throw std::runtime_error("boom");
+                             },
+                             4),
+                 std::runtime_error);
+}
+
+TEST(Replay, ParallelReplayMatchesSerial)
+{
+    const WorkloadEntry &entry = findWorkload("M-Sort");
+    std::string path = tempTracePath("parallel");
+    {
+        WorkloadPtr w = entry.make(0.1);
+        captureTrace(*w, path, 0.1);
+    }
+
+    std::vector<MachineConfig> configs{xeonE5645(), atomD510(),
+                                       atomInOrderSim(32)};
+    auto parallel = replayOnConfigs(path, configs, 3);
+    ASSERT_EQ(parallel.size(), configs.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+        TraceReader reader(path);
+        WorkloadRun serial = profileWorkload(reader, configs[i]);
+        EXPECT_EQ(parallel[i].machine, configs[i].name);
+        EXPECT_EQ(parallel[i].ipc, serial.report.ipc);
+        EXPECT_EQ(parallel[i].instructions,
+                  serial.report.instructions);
+        EXPECT_EQ(parallel[i].l1iMpki, serial.report.l1iMpki);
+    }
+
+    // The sweep-ladder replay equals a live one-pass sweep.
+    std::vector<uint32_t> ladder{16, 32, 64, 128};
+    auto replayed = replaySweepLadder(path, SweepKind::Instruction,
+                                      ladder, 4);
+    FootprintSweep live(ladder);
+    {
+        WorkloadPtr w = entry.make(0.1);
+        runThroughSink(*w, live);
+    }
+    auto live_curve = live.missRatios(SweepKind::Instruction);
+    ASSERT_EQ(replayed.size(), ladder.size());
+    for (size_t i = 0; i < ladder.size(); ++i)
+        EXPECT_EQ(replayed[i], live_curve[i]) << ladder[i] << " KB";
+
+    fs::remove(path);
+}
+
+TEST(Replay, ProfileTracesKeepsInputOrder)
+{
+    TraceCache cache(
+        (fs::temp_directory_path() / "wcrt-test-order").string());
+    std::vector<std::string> names{"M-WordCount", "M-Grep", "M-Sort"};
+    std::vector<std::string> paths;
+    for (const auto &name : names) {
+        const WorkloadEntry &entry = findWorkload(name);
+        paths.push_back(cache.ensure(
+            name, 0.05, [&] { return entry.make(0.05); }));
+    }
+
+    auto runs = profileTraces(paths, xeonE5645(), {}, 3);
+    ASSERT_EQ(runs.size(), names.size());
+    for (size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(runs[i].name, names[i]);
+
+    fs::remove_all(cache.directory());
+}
+
+} // namespace
+} // namespace wcrt
