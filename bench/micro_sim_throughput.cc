@@ -17,6 +17,7 @@
 #include "sim/sim_cpu.hh"
 #include "stats/kmeans.hh"
 #include "stats/pca.hh"
+#include "trace/mix_counter.hh"
 #include "trace/sampling.hh"
 #include "tracefile/trace_reader.hh"
 #include "tracefile/trace_writer.hh"
@@ -144,6 +145,139 @@ BM_SimCpuConsume(benchmark::State &state)
 }
 BENCHMARK(BM_SimCpuConsume);
 
+/**
+ * Forwards op by op through the virtual boundary — reproduces the
+ * pre-batching per-op dispatch cost for same-run comparison. Its
+ * inherited default consumeBatch() loops over consume(), so putting
+ * this shim in front of any sink measures the old transport.
+ */
+class PerOpShim : public TraceSink
+{
+  public:
+    explicit PerOpShim(TraceSink &down) : down(down) {}
+    void consume(const MicroOp &op) override { down.consume(op); }
+
+  private:
+    TraceSink &down;
+};
+
+/** Push `ops` through the sink interface in OpBlock-sized batches. */
+void
+dispatchBatched(TraceSink &sink, const std::vector<MicroOp> &ops)
+{
+    for (size_t i = 0; i < ops.size(); i += defaultOpBlockOps)
+        sink.consumeBatch(ops.data() + i,
+                          std::min(defaultOpBlockOps, ops.size() - i));
+}
+
+/**
+ * A traced-workload-shaped stream for the transport rows: sequential
+ * code runs over a 16 KB loop body and streaming loads/stores over a
+ * 128 KB working set, so the machine model itself stays cache-resident
+ * and the measurement isolates the op transport, not DRAM.
+ */
+std::vector<MicroOp>
+dispatchStream(size_t count)
+{
+    Rng rng(29);
+    std::vector<MicroOp> ops(count);
+    uint64_t read_cursor = 0;
+    uint64_t write_cursor = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        MicroOp &op = ops[i];
+        op.pc = 0x400000 + (i % 4096) * 4;
+        uint64_t pick = rng.nextBelow(100);
+        if (pick < 25) {
+            op.kind = OpKind::Load;
+            op.memAddr = 0x10000000 + (read_cursor % (128 * 1024));
+            read_cursor += 8;
+            op.memSize = 8;
+        } else if (pick < 35) {
+            op.kind = OpKind::Store;
+            op.memAddr = 0x20000000 + (write_cursor % (128 * 1024));
+            write_cursor += 8;
+            op.memSize = 8;
+        } else if (pick < 50) {
+            op.kind = OpKind::BranchCond;
+            op.taken = rng.nextBool(0.3);
+            op.target = 0x400000 + rng.nextBelow(16384);
+        } else {
+            op.kind = OpKind::IntAlu;
+            op.purpose = pick < 80 ? IntPurpose::IntAddress
+                                   : IntPurpose::Compute;
+        }
+    }
+    return ops;
+}
+
+/** batch_dispatch: per-op virtual dispatch into MixCounter. */
+void
+BM_BatchDispatchMixPerOp(benchmark::State &state)
+{
+    auto ops = dispatchStream(64 * 1024);
+    MixCounter mix;
+    TraceSink &sink = mix;
+    for (auto _ : state) {
+        for (const auto &op : ops)
+            sink.consume(op);
+    }
+    benchmark::DoNotOptimize(mix.total());
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(ops.size()));
+}
+BENCHMARK(BM_BatchDispatchMixPerOp);
+
+/** batch_dispatch: block dispatch into MixCounter. */
+void
+BM_BatchDispatchMixBatch(benchmark::State &state)
+{
+    auto ops = dispatchStream(64 * 1024);
+    MixCounter mix;
+    for (auto _ : state) {
+        dispatchBatched(mix, ops);
+    }
+    benchmark::DoNotOptimize(mix.total());
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(ops.size()));
+}
+BENCHMARK(BM_BatchDispatchMixBatch);
+
+/** batch_dispatch: per-op virtual dispatch into SimCpu. */
+void
+BM_BatchDispatchSimCpuPerOp(benchmark::State &state)
+{
+    auto ops = dispatchStream(64 * 1024);
+    SimCpu cpu(xeonE5645());
+    TraceSink &sink = cpu;
+    for (auto _ : state) {
+        for (const auto &op : ops)
+            sink.consume(op);
+    }
+    benchmark::DoNotOptimize(cpu.instructions());
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(ops.size()));
+}
+BENCHMARK(BM_BatchDispatchSimCpuPerOp);
+
+/** batch_dispatch: block dispatch into SimCpu. */
+void
+BM_BatchDispatchSimCpuBatch(benchmark::State &state)
+{
+    auto ops = dispatchStream(64 * 1024);
+    SimCpu cpu(xeonE5645());
+    for (auto _ : state) {
+        dispatchBatched(cpu, ops);
+    }
+    benchmark::DoNotOptimize(cpu.instructions());
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(ops.size()));
+}
+BENCHMARK(BM_BatchDispatchSimCpuBatch);
+
 void
 BM_TraceWrite(benchmark::State &state)
 {
@@ -206,6 +340,72 @@ BM_TraceRead(benchmark::State &state)
     std::filesystem::remove(path);
 }
 BENCHMARK(BM_TraceRead);
+
+/** Write one shared trace for the replay-to-sink rows. */
+const std::string &
+replayBenchTrace()
+{
+    static const std::string path = [] {
+        std::string p = benchTracePath("wcrt-bench-replay.wtrace");
+        auto ops = dispatchStream(256 * 1024);
+        CodeLayout layout;
+        layout.addFunction("bench", CodeLayer::Application, 8192);
+        TraceMeta meta;
+        meta.workload = "bench";
+        TraceWriter writer(p, meta, layout);
+        writer.consumeBatch(ops.data(), ops.size());
+        writer.finish();
+        return p;
+    }();
+    return path;
+}
+
+/** File replay into a sink, per-op (via shim) or chunk-batched. */
+template <typename MakeSink>
+void
+replayRows(benchmark::State &state, MakeSink make_sink, bool per_op)
+{
+    TraceReader reader(replayBenchTrace());
+    uint64_t ops_read = 0;
+    for (auto _ : state) {
+        auto sink = make_sink();
+        if (per_op) {
+            PerOpShim shim(sink);
+            ops_read += reader.replayInto(shim);
+        } else {
+            ops_read += reader.replayInto(sink);
+        }
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(ops_read));
+}
+
+void
+BM_ReplayMixPerOp(benchmark::State &state)
+{
+    replayRows(state, [] { return MixCounter(); }, true);
+}
+BENCHMARK(BM_ReplayMixPerOp);
+
+void
+BM_ReplayMixBatch(benchmark::State &state)
+{
+    replayRows(state, [] { return MixCounter(); }, false);
+}
+BENCHMARK(BM_ReplayMixBatch);
+
+void
+BM_ReplaySimCpuPerOp(benchmark::State &state)
+{
+    replayRows(state, [] { return SimCpu(xeonE5645()); }, true);
+}
+BENCHMARK(BM_ReplaySimCpuPerOp);
+
+void
+BM_ReplaySimCpuBatch(benchmark::State &state)
+{
+    replayRows(state, [] { return SimCpu(xeonE5645()); }, false);
+}
+BENCHMARK(BM_ReplaySimCpuBatch);
 
 void
 BM_Pca45Metrics(benchmark::State &state)

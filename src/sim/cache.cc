@@ -44,12 +44,10 @@ bool
 Cache::touch(uint64_t addr, bool is_write)
 {
     ++tick;
-    uint64_t line = addr >> lineShift;
     // Non-power-of-two set counts (e.g. the E5645's 12288-set L3) use
-    // modulo indexing; the full line id serves as the tag.
-    uint32_t set = setsPow2 ? static_cast<uint32_t>(line & (nSets - 1))
-                            : static_cast<uint32_t>(line % nSets);
-    uint64_t tag = line;
+    // modulo indexing (see setIndex); the full line id is the tag.
+    uint32_t set = setIndex(addr);
+    uint64_t tag = addr >> lineShift;
     Way *base = &ways[static_cast<size_t>(set) * cfg.assoc];
 
     Way *victim = base;

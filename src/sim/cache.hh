@@ -58,6 +58,17 @@ class Cache
      */
     bool prefetch(uint64_t addr);
 
+    /**
+     * Credit `n` accesses that are architecturally guaranteed hits
+     * without walking the tag array: re-accesses of a line that is
+     * still the MRU line *of its set* (no access or prefetch has
+     * touched that set since). Skipping the recency update then
+     * leaves the within-set LRU ordering — and thus all future
+     * behaviour — identical; only the hit/access statistics need the
+     * credit. See setIndex() for the boundary condition.
+     */
+    void creditRepeatHits(uint64_t n) { nAccesses += n; }
+
     /** Drop all contents, keep statistics. */
     void invalidate();
 
@@ -73,6 +84,21 @@ class Cache
 
     /** Number of sets. */
     uint32_t sets() const { return nSets; }
+
+    /**
+     * Set index @p addr maps to. LRU order is relative within one
+     * set, so an external repeat filter may skip (and credit) a
+     * guaranteed hit on a line that is still MRU of its set — which
+     * holds exactly until another access or prefetch touches the same
+     * set. This accessor lets callers detect that boundary.
+     */
+    uint32_t
+    setIndex(uint64_t addr) const
+    {
+        uint64_t line = addr >> lineShift;
+        return setsPow2 ? static_cast<uint32_t>(line & (nSets - 1))
+                        : static_cast<uint32_t>(line % nSets);
+    }
 
   private:
     /** Lookup/fill without statistics; @return true on hit. */

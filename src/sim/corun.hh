@@ -52,6 +52,13 @@ class TraceRecorder : public TraceSink
 {
   public:
     void consume(const MicroOp &op) override { ops.push_back(op); }
+
+    void
+    consumeBatch(const MicroOp *o, size_t n) override
+    {
+        ops.insert(ops.end(), o, o + n);
+    }
+
     const std::vector<MicroOp> &trace() const { return ops; }
 
   private:

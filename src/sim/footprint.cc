@@ -40,6 +40,31 @@ FootprintSweep::consume(const MicroOp &op)
     }
 }
 
+void
+FootprintSweep::consumeBatch(const MicroOp *batch, size_t count)
+{
+    ops += count;
+    // Rung-major: every cache instance is independent, so reordering
+    // the (rung, op) loop nest leaves each rung's access sequence —
+    // and therefore its miss counts — exactly as in the per-op path,
+    // while one rung's tag array stays resident for the whole block.
+    for (size_t k = 0; k < sizes.size(); ++k) {
+        Cache &ic = icaches[k];
+        Cache &dc = dcaches[k];
+        Cache &uc = ucaches[k];
+        for (size_t i = 0; i < count; ++i) {
+            const MicroOp &op = batch[i];
+            ic.access(op.pc, false);
+            uc.access(op.pc, false);
+            if (op.memSize > 0) {
+                bool is_write = op.kind == OpKind::Store;
+                dc.access(op.memAddr, is_write);
+                uc.access(op.memAddr, is_write);
+            }
+        }
+    }
+}
+
 std::vector<double>
 FootprintSweep::missRatios(SweepKind kind) const
 {

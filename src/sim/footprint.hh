@@ -40,6 +40,13 @@ class FootprintSweep : public TraceSink
 
     void consume(const MicroOp &op) override;
 
+    /**
+     * Batch-native path: iterates rung-major (one cache's tag array
+     * at a time over the whole block) so each rung's sets stay hot
+     * instead of being evicted by its neighbours every op.
+     */
+    void consumeBatch(const MicroOp *ops, size_t count) override;
+
     /** The capacities swept, in KB. */
     const std::vector<uint32_t> &sizesKb() const { return sizes; }
 

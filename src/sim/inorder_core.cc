@@ -57,7 +57,20 @@ void
 InOrderCore::consume(const MicroOp &op)
 {
     mixCounter.consume(op);
+    step(op);
+}
 
+void
+InOrderCore::consumeBatch(const MicroOp *ops, size_t count)
+{
+    mixCounter.consumeBatch(ops, count);
+    for (size_t i = 0; i < count; ++i)
+        step(ops[i]);
+}
+
+void
+InOrderCore::step(const MicroOp &op)
+{
     // Front end.
     double bubble = fetchCharge(op.pc);
     if (bubble > 0.0) {

@@ -77,12 +77,21 @@ class InOrderCore : public TraceSink
 
     void consume(const MicroOp &op) override;
 
+    /**
+     * Batch-native path: one virtual call per block, pipeline state
+     * carried through an inlined step loop.
+     */
+    void consumeBatch(const MicroOp *ops, size_t count) override;
+
     /** Finish accounting and report. */
     InOrderReport report() const;
 
     const MixCounter &mix() const { return mixCounter; }
 
   private:
+    /** Advance the pipeline by one op (shared by both consume paths). */
+    void step(const MicroOp &op);
+
     /** Data-side access latency through the hierarchy. */
     uint32_t dataLatency(uint64_t addr, bool is_write);
 

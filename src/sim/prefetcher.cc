@@ -1,6 +1,7 @@
 #include "sim/prefetcher.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "base/logging.hh"
 
@@ -12,6 +13,12 @@ StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &config)
     if (cfg.streams == 0 || cfg.streams > table.size())
         wcrt_fatal("stream prefetcher supports 1..", table.size(),
                    " streams");
+    if (cfg.lineBytes == 0 || !std::has_single_bit(cfg.lineBytes))
+        wcrt_fatal("stream prefetcher line size must be a power of "
+                   "two, got ", cfg.lineBytes);
+    // observe() sits on the simulation hot path; a shift beats the
+    // integer division a runtime line size would otherwise cost.
+    lineShift = static_cast<uint32_t>(std::countr_zero(cfg.lineBytes));
 }
 
 StreamPrefetcher::Advice
@@ -22,7 +29,7 @@ StreamPrefetcher::observe(uint64_t addr)
         return advice;
 
     ++tick;
-    uint64_t line = addr / cfg.lineBytes;
+    uint64_t line = addr >> lineShift;
 
     Entry *lru = &table[0];
     for (uint32_t i = 0; i < cfg.streams; ++i) {
@@ -48,7 +55,7 @@ StreamPrefetcher::observe(uint64_t addr)
                 ++coveredCount;
                 advice.covered = true;
                 advice.prefetchLines = cfg.degree;
-                advice.prefetchFrom = (line + 1) * cfg.lineBytes;
+                advice.prefetchFrom = (line + 1) << lineShift;
             }
             return advice;
         }

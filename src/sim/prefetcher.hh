@@ -63,6 +63,7 @@ class StreamPrefetcher
     };
 
     PrefetcherConfig cfg;
+    uint32_t lineShift;  //!< log2(cfg.lineBytes); observe() is hot
     std::array<Entry, 32> table;
     uint64_t tick = 0;
     uint64_t confirmed = 0;

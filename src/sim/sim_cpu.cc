@@ -70,6 +70,284 @@ SimCpu::consume(const MicroOp &op)
         branchUnit.predict(op);
 }
 
+void
+SimCpu::consumeBatch(const MicroOp *ops, size_t count)
+{
+    // Same event sequence as consume(), restructured for block
+    // throughput: mix tallies ride the event loop's existing kind
+    // branches and commit once per block (no second pass over the
+    // ops), event counts ride in registers until the block drains, the
+    // unordered-set footprint inserts are skipped while the stream
+    // stays on the same code line / data page (set semantics make the
+    // skip invisible in the report), and guaranteed-hit re-accesses
+    // bypass the L1I/TLB/L1D tag walks as statistics-credited hits.
+    //
+    // The d-side skip is a two-slot filter: a slot holds a page/line
+    // that is provably still the MRU entry *of its cache set*, which
+    // stays true until another access or prefetch touches the same
+    // set. Two slots whose sets differ therefore cannot invalidate
+    // each other, so alternating load/store streams both keep their
+    // skip (the classic A,B,A,B pattern a single-slot guard misses).
+    // Re-accessing a slotted entry is then a guaranteed hit on a line
+    // whose within-set LRU position cannot change, so skipping the
+    // walk leaves the model state bit-identical (see
+    // Cache::creditRepeatHits). L1D writes never skip: a write also
+    // sets the dirty bit, which only the real walk can do.
+    const bool has_l3 = cfg.hasL3;
+    std::array<uint64_t, numOpKinds> kind_tally{};
+    uint64_t int_addr = 0, fp_addr = 0, compute_int = 0;
+    uint64_t itlb_miss = 0, dtlb_miss = 0;
+    uint64_t l1i_miss = 0, l1d_miss = 0;
+    uint64_t l2_from_l1i = 0, l2_from_l1d = 0;
+    uint64_t l3_miss = 0, store_l3_miss = 0;
+    uint64_t itlb_repeats = 0, dtlb_repeats = 0;
+    uint64_t l1i_repeats = 0, l1d_repeats = 0;
+    uint64_t last_code_line = ~0ull;
+    uint64_t last_code_page = ~0ull;
+    // DTLB repeat-filter slots (page id + the set it maps to).
+    uint64_t dtlb_page0 = ~0ull, dtlb_page1 = ~0ull;
+    uint32_t dtlb_set0 = 0, dtlb_set1 = 0;
+    // L1D repeat-filter slots (line id + set). Invalidated per-set by
+    // prefetch fills, which touch the tag array behind the filter.
+    uint64_t l1d_line0 = ~0ull, l1d_line1 = ~0ull;
+    uint32_t l1d_set0 = 0, l1d_set1 = 0;
+    // Prefetch-burst memos: the line ranges the last two fill bursts
+    // covered (one per concurrent stream, same two-slot idea as
+    // above). Consecutive bursts from a confirmed stream overlap by
+    // degree-1 lines, and prefetch() keeps no statistics, so
+    // re-filling a line that is still MRU of its set at every level
+    // is a provable no-op and is skipped. A memo dies as soon as a
+    // demand walk or another burst's fill touches any memoised set
+    // (checked below); a range is empty when lo > hi.
+    uint64_t pf_lo0 = 1, pf_hi0 = 0;
+    uint64_t pf_lo1 = 1, pf_hi1 = 0;
+    // Last line handed to prefetcher.observe(): an immediate same-line
+    // re-observation takes the warm-retouch path, which only re-marks
+    // a stream entry that the immediately preceding observe() already
+    // made most-recent — relative recency among entries is unchanged
+    // and no advice is returned, so the call can be skipped outright.
+    uint64_t last_obs_line = ~0ull;
+    // Two-slot memo for the dataPages set: loads and stores typically
+    // stream over two distinct regions, so remembering the last two
+    // inserted pages skips the hash insert for both streams (set
+    // semantics make any skip heuristic invisible in the report).
+    uint64_t page_memo0 = ~0ull;
+    uint64_t page_memo1 = ~0ull;
+
+    for (size_t i = 0; i < count; ++i) {
+        const MicroOp &op = ops[i];
+        ++kind_tally[static_cast<size_t>(op.kind)];
+
+        uint64_t code_page = op.pc >> 12;
+        if (code_page == last_code_page) {
+            ++itlb_repeats;
+        } else {
+            if (!itlbUnit.access(op.pc))
+                ++itlb_miss;
+            last_code_page = code_page;
+        }
+        uint64_t code_line = op.pc >> 6;
+        if (code_line == last_code_line) {
+            ++l1i_repeats;
+        } else {
+            codeLines.insert(code_line);
+            last_code_line = code_line;
+            if (!l1iCache.access(op.pc, false)) {
+                ++l1i_miss;
+                // The L2/L3 walk below may touch memoised sets;
+                // i-side misses are rare, so drop the memos outright.
+                pf_lo0 = 1;
+                pf_hi0 = 0;
+                pf_lo1 = 1;
+                pf_hi1 = 0;
+                if (!l2Cache.access(op.pc, false)) {
+                    ++l2_from_l1i;
+                    if (!has_l3 || !l3Cache.access(op.pc, false))
+                        ++l3_miss;
+                }
+            }
+        }
+
+        if (op.memSize > 0) {
+            bool is_write = op.kind == OpKind::Store;
+            uint64_t data_page = op.memAddr >> 12;
+            if (data_page == dtlb_page0) {
+                ++dtlb_repeats;
+            } else if (data_page == dtlb_page1) {
+                // Slot 1's set differs from slot 0's, so slot 0's
+                // accesses cannot have disturbed it: still MRU.
+                ++dtlb_repeats;
+                std::swap(dtlb_page0, dtlb_page1);
+                std::swap(dtlb_set0, dtlb_set1);
+            } else {
+                uint32_t set = dtlbUnit.setIndex(op.memAddr);
+                if (!dtlbUnit.access(op.memAddr))
+                    ++dtlb_miss;
+                if (set == dtlb_set0) {
+                    // Displaces slot 0's page from MRU of this set.
+                    dtlb_page0 = data_page;
+                } else {
+                    dtlb_page1 = dtlb_page0;
+                    dtlb_set1 = dtlb_set0;
+                    dtlb_page0 = data_page;
+                    dtlb_set0 = set;
+                }
+            }
+            if (data_page != page_memo0 && data_page != page_memo1) {
+                dataPages.insert(data_page);
+                page_memo1 = page_memo0;
+                page_memo0 = data_page;
+            }
+            uint64_t data_line = op.memAddr >> 6;
+            if (data_line != last_obs_line) {
+                last_obs_line = data_line;
+                auto advice = prefetcher.observe(op.memAddr);
+                if (advice.prefetchLines > 0) {
+                    uint64_t first = advice.prefetchFrom >> 6;
+                    uint64_t last = first + advice.prefetchLines - 1;
+                    // The range the new burst does NOT replace (the
+                    // other stream's burst, usually) keeps its claim
+                    // only while no fill touches one of its sets.
+                    bool replaces0 = first <= pf_hi0 && last >= pf_lo0;
+                    uint64_t keep_lo = replaces0 ? pf_lo1 : pf_lo0;
+                    uint64_t keep_hi = replaces0 ? pf_hi1 : pf_hi0;
+                    for (uint64_t line = first; line <= last; ++line) {
+                        if ((line >= pf_lo0 && line <= pf_hi0) ||
+                            (line >= pf_lo1 && line <= pf_hi1))
+                            continue;  // still MRU at every level
+                        uint64_t line_addr = line << 6;
+                        l1dCache.prefetch(line_addr);
+                        l2Cache.prefetch(line_addr);
+                        if (has_l3)
+                            l3Cache.prefetch(line_addr);
+                        // A fill into a slotted set dethrones that
+                        // slot's line from MRU; forget it.
+                        uint32_t pset = l1dCache.setIndex(line_addr);
+                        if (pset == l1d_set0)
+                            l1d_line0 = ~0ull;
+                        if (pset == l1d_set1)
+                            l1d_line1 = ~0ull;
+                        for (uint64_t m = keep_lo; m <= keep_hi; ++m) {
+                            if (l1dCache.setIndex(m << 6) == pset ||
+                                l2Cache.setIndex(m << 6) ==
+                                    l2Cache.setIndex(line_addr) ||
+                                (has_l3 &&
+                                 l3Cache.setIndex(m << 6) ==
+                                     l3Cache.setIndex(line_addr))) {
+                                keep_lo = 1;
+                                keep_hi = 0;
+                                break;
+                            }
+                        }
+                    }
+                    pf_lo0 = first;
+                    pf_hi0 = last;
+                    pf_lo1 = keep_lo;
+                    pf_hi1 = keep_hi;
+                }
+            }
+            if (!is_write && data_line == l1d_line0) {
+                ++l1d_repeats;
+            } else if (!is_write && data_line == l1d_line1) {
+                ++l1d_repeats;
+                std::swap(l1d_line0, l1d_line1);
+                std::swap(l1d_set0, l1d_set1);
+            } else {
+                uint32_t set = l1dCache.setIndex(op.memAddr);
+                bool l1d_hit = l1dCache.access(op.memAddr, is_write);
+                if (!l1d_hit) {
+                    ++l1d_miss;
+                    if (!l2Cache.access(op.memAddr, is_write)) {
+                        ++l2_from_l1d;
+                        if (!has_l3 ||
+                            !l3Cache.access(op.memAddr, is_write)) {
+                            ++l3_miss;
+                            if (is_write)
+                                ++store_l3_miss;
+                        }
+                    }
+                }
+                // This walk touched real sets; drop a burst memo if
+                // any of its lines' MRU position could have been
+                // disturbed. A hit only touches this line's own L1D
+                // set — re-touching a memoised line itself leaves it
+                // MRU, so only *other* memoised lines aliasing the
+                // same set matter. A miss also walks L2/L3 (a
+                // memoised line is L1D-resident by construction, so
+                // a miss line is never memoised).
+                auto demand_clash = [&](uint64_t lo, uint64_t hi) {
+                    for (uint64_t m = lo; m <= hi; ++m) {
+                        if (m == data_line)
+                            continue;
+                        if (l1dCache.setIndex(m << 6) == set ||
+                            (!l1d_hit &&
+                             (l2Cache.setIndex(m << 6) ==
+                                  l2Cache.setIndex(op.memAddr) ||
+                              (has_l3 &&
+                               l3Cache.setIndex(m << 6) ==
+                                   l3Cache.setIndex(op.memAddr)))))
+                            return true;
+                    }
+                    return false;
+                };
+                if (demand_clash(pf_lo0, pf_hi0)) {
+                    pf_lo0 = 1;
+                    pf_hi0 = 0;
+                }
+                if (demand_clash(pf_lo1, pf_hi1)) {
+                    pf_lo1 = 1;
+                    pf_hi1 = 0;
+                }
+                // The accessed line is now MRU of its set; record it.
+                // A write to an already-slotted line keeps its slot
+                // (same line, same set, dirty now set by the walk).
+                if (data_line == l1d_line1) {
+                    std::swap(l1d_line0, l1d_line1);
+                    std::swap(l1d_set0, l1d_set1);
+                } else if (data_line != l1d_line0) {
+                    if (set == l1d_set0) {
+                        l1d_line0 = data_line;
+                    } else {
+                        l1d_line1 = l1d_line0;
+                        l1d_set1 = l1d_set0;
+                        l1d_line0 = data_line;
+                        l1d_set0 = set;
+                    }
+                }
+            }
+        }
+
+        // Branchless purpose tally, keyed on kind exactly like
+        // consume(): zero contribution for anything but int ops.
+        uint64_t is_alu = op.kind == OpKind::IntAlu ? 1u : 0u;
+        uint64_t ia =
+            is_alu & (op.purpose == IntPurpose::IntAddress ? 1u : 0u);
+        uint64_t fa =
+            is_alu & (op.purpose == IntPurpose::FpAddress ? 1u : 0u);
+        int_addr += ia;
+        fp_addr += fa;
+        compute_int += (isInt(op.kind) ? 1u : 0u) - ia - fa;
+
+        if (isControl(op.kind))
+            branchUnit.predict(op);
+    }
+
+    mixCounter.addTallies(kind_tally, int_addr, fp_addr, compute_int,
+                          count);
+    itlbUnit.creditRepeatHits(itlb_repeats);
+    dtlbUnit.creditRepeatHits(dtlb_repeats);
+    l1iCache.creditRepeatHits(l1i_repeats);
+    l1dCache.creditRepeatHits(l1d_repeats);
+    itlbMisses += itlb_miss;
+    dtlbMisses += dtlb_miss;
+    l1iMissCount += l1i_miss;
+    l1dMissCount += l1d_miss;
+    l2MissesFromL1i += l2_from_l1i;
+    l2MissesFromL1d += l2_from_l1d;
+    l3MissesTotal += l3_miss;
+    storesMissingL3 += store_l3_miss;
+}
+
 CpuReport
 SimCpu::report() const
 {

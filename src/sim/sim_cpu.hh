@@ -107,6 +107,13 @@ class SimCpu : public TraceSink
 
     void consume(const MicroOp &op) override;
 
+    /**
+     * Batch-native path: event counters accumulate in locals, the
+     * footprint-set inserts are line/page-memoized across the block,
+     * and the L3 presence check is hoisted out of the loop.
+     */
+    void consumeBatch(const MicroOp *ops, size_t count) override;
+
     /** Finish accounting and produce the report. */
     CpuReport report() const;
 

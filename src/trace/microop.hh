@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace wcrt {
@@ -100,9 +101,66 @@ struct MicroOp
 };
 
 /**
+ * Default capacity of an OpBlock: 4096 ops ≈ 160 KB, large enough to
+ * amortize a virtual dispatch down to noise, small enough that a block
+ * plus a hot sink's tables stays cache-resident while it drains.
+ */
+inline constexpr size_t defaultOpBlockOps = 4096;
+
+/**
+ * A fixed-capacity, reusable buffer of MicroOps — the unit of
+ * transport between emitters and sinks.
+ *
+ * Emitters (Tracer, TraceReader) fill a block and hand the whole thing
+ * to TraceSink::consumeBatch in one virtual call instead of one call
+ * per op. The storage is allocated once and recycled with clear(), so
+ * steady-state emission performs no allocation.
+ */
+class OpBlock
+{
+  public:
+    explicit OpBlock(size_t capacity = defaultOpBlockOps)
+        : buf(capacity ? capacity : 1)
+    {
+    }
+
+    /** Append one op; the caller must check full() first. */
+    void push(const MicroOp &op) { buf[used++] = op; }
+
+    /** Drop the contents, keep the storage. */
+    void clear() { used = 0; }
+
+    const MicroOp *data() const { return buf.data(); }
+    size_t size() const { return used; }
+    size_t capacity() const { return buf.size(); }
+    bool empty() const { return used == 0; }
+    bool full() const { return used == buf.size(); }
+
+    /** Span view over the filled prefix. */
+    std::span<const MicroOp> span() const { return {buf.data(), used}; }
+
+    const MicroOp &operator[](size_t i) const { return buf[i]; }
+
+    const MicroOp *begin() const { return buf.data(); }
+    const MicroOp *end() const { return buf.data() + used; }
+
+  private:
+    std::vector<MicroOp> buf;  //!< sized to capacity once, never grown
+    size_t used = 0;
+};
+
+/**
  * Consumer of a micro-op stream. Implementations include the mix
  * counter (Figures 1-2), the micro-architecture simulator (Figures
  * 3-5) and the cache-capacity sweeper (Figures 6-9).
+ *
+ * Transport contract: emitters deliver ops either one at a time via
+ * consume() or in blocks via consumeBatch(). The default
+ * consumeBatch() loops over consume(), so a sink that only implements
+ * consume() observes the exact per-op sequence either way; hot sinks
+ * override consumeBatch() with a tight loop and must produce
+ * bit-identical state for any partitioning of the same stream
+ * (enforced by tests/batch_dispatch_test.cc).
  */
 class TraceSink
 {
@@ -111,6 +169,24 @@ class TraceSink
 
     /** Consume one dynamic instruction. */
     virtual void consume(const MicroOp &op) = 0;
+
+    /**
+     * Consume `count` dynamic instructions in emission order. The
+     * default preserves per-op semantics for sinks that don't
+     * override it.
+     */
+    virtual void
+    consumeBatch(const MicroOp *ops, size_t count)
+    {
+        for (size_t i = 0; i < count; ++i)
+            consume(ops[i]);
+    }
+
+    /** Convenience: consume a whole block. */
+    void consumeBlock(const OpBlock &block)
+    {
+        consumeBatch(block.data(), block.size());
+    }
 };
 
 /** A sink that fans one stream out to several consumers. */
@@ -125,6 +201,14 @@ class TeeSink : public TraceSink
     {
         for (auto *s : sinks)
             s->consume(op);
+    }
+
+    /** Whole blocks go to each downstream sink — no per-op fan-out. */
+    void
+    consumeBatch(const MicroOp *ops, size_t count) override
+    {
+        for (auto *s : sinks)
+            s->consumeBatch(ops, count);
     }
 
   private:

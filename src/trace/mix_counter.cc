@@ -24,6 +24,49 @@ MixCounter::consume(const MicroOp &op)
     }
 }
 
+void
+MixCounter::consumeBatch(const MicroOp *ops, size_t count)
+{
+    // Accumulate in stack locals so the inner loop touches no member
+    // state; commit once per block. The purpose breakdown is computed
+    // branchlessly — op kinds arrive in data-dependent order, so any
+    // per-op branch here is a mispredict, not a hint — and the loop
+    // runs two ops per trip into disjoint accumulators so runs of the
+    // same kind don't serialize on one counter's store-to-load
+    // forwarding.
+    uint64_t kinds_a[numOpKinds] = {};
+    uint64_t kinds_b[numOpKinds] = {};
+    uint64_t int_addr = 0;
+    uint64_t fp_addr = 0;
+    uint64_t compute = 0;
+    auto tally = [&](const MicroOp &op, uint64_t *kinds) {
+        ++kinds[static_cast<size_t>(op.kind)];
+        uint64_t is_alu = op.kind == OpKind::IntAlu;
+        uint64_t ia =
+            is_alu & (op.purpose == IntPurpose::IntAddress ? 1u : 0u);
+        uint64_t fa =
+            is_alu & (op.purpose == IntPurpose::FpAddress ? 1u : 0u);
+        int_addr += ia;
+        fp_addr += fa;
+        // isInt covers IntAlu too, so subtracting the two address
+        // flavours leaves exactly the per-op path's compute bump.
+        compute += (isInt(op.kind) ? 1u : 0u) - ia - fa;
+    };
+    size_t i = 0;
+    for (; i + 1 < count; i += 2) {
+        tally(ops[i], kinds_a);
+        tally(ops[i + 1], kinds_b);
+    }
+    if (i < count)
+        tally(ops[i], kinds_a);
+    for (size_t k = 0; k < numOpKinds; ++k)
+        kindCounts[k] += kinds_a[k] + kinds_b[k];
+    intAddressOps += int_addr;
+    fpAddressOps += fp_addr;
+    computeIntOps += compute;
+    totalOps += count;
+}
+
 uint64_t
 MixCounter::count(OpKind k) const
 {

@@ -24,6 +24,9 @@ class MixCounter : public TraceSink
   public:
     void consume(const MicroOp &op) override;
 
+    /** Batch-native path: accumulates in locals, commits once. */
+    void consumeBatch(const MicroOp *ops, size_t count) override;
+
     /** Total dynamic ops observed. */
     uint64_t total() const { return totalOps; }
 
@@ -58,6 +61,27 @@ class MixCounter : public TraceSink
 
     /** Merge counts from another counter. */
     void merge(const MixCounter &other);
+
+    /**
+     * Commit tallies a caller accumulated while walking a block
+     * itself. Batch-native sinks that already branch on op kind per
+     * op (SimCpu's event loop) use this to fold mix counting into
+     * their own pass instead of re-reading the block. `compute_int`
+     * must follow the consume() convention: every IntAlu, IntMul and
+     * IntDiv op except the two address flavours.
+     */
+    void
+    addTallies(const std::array<uint64_t, numOpKinds> &kinds,
+               uint64_t int_addr, uint64_t fp_addr,
+               uint64_t compute_int, uint64_t total)
+    {
+        for (size_t k = 0; k < numOpKinds; ++k)
+            kindCounts[k] += kinds[k];
+        intAddressOps += int_addr;
+        fpAddressOps += fp_addr;
+        computeIntOps += compute_int;
+        totalOps += total;
+    }
 
   private:
     std::array<uint64_t, numOpKinds> kindCounts{};

@@ -53,6 +53,36 @@ SamplingSink::consume(const MicroOp &op)
     }
 }
 
+void
+SamplingSink::consumeBatch(const MicroOp *ops, size_t count)
+{
+    uint64_t base = seen;
+    seen += count;
+    size_t i = 0;
+    while (i < count && cursor < ranges.size()) {
+        uint64_t index = base + i;
+        // Retire ranges the stream has passed, exactly as the per-op
+        // path would at this index.
+        while (cursor < ranges.size() && index >= ranges[cursor].second)
+            ++cursor;
+        if (cursor == ranges.size())
+            break;
+        auto [lo, hi] = ranges[cursor];
+        if (index < lo) {
+            // Jump to the window start (or the end of this block).
+            i += static_cast<size_t>(
+                std::min<uint64_t>(lo - index, count - i));
+            continue;
+        }
+        // Forward the contiguous in-window run in one call.
+        auto run = static_cast<size_t>(
+            std::min<uint64_t>(hi - index, count - i));
+        downstream.consumeBatch(ops + i, run);
+        forwarded += run;
+        i += run;
+    }
+}
+
 double
 SamplingSink::sampledFraction()
 const

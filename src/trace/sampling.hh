@@ -49,6 +49,13 @@ class SamplingSink : public TraceSink
 
     void consume(const MicroOp &op) override;
 
+    /**
+     * Batch-native path: forwards each contiguous in-window slice of
+     * the block downstream in one consumeBatch call, skipping
+     * out-of-window stretches without touching the ops at all.
+     */
+    void consumeBatch(const MicroOp *ops, size_t count) override;
+
     /** Ops seen in total. */
     uint64_t totalOps() const { return seen; }
 
@@ -71,6 +78,13 @@ class CountingSink : public TraceSink
 {
   public:
     void consume(const MicroOp &) override { ++count; }
+
+    void
+    consumeBatch(const MicroOp *, size_t n) override
+    {
+        count += n;
+    }
+
     uint64_t ops() const { return count; }
 
   private:

@@ -28,6 +28,20 @@ Tracer::Tracer(const CodeLayout &layout, TraceSink &sink)
     scratchBase.resize(layout.size(), 0);
 }
 
+Tracer::~Tracer()
+{
+    flush();
+}
+
+void
+Tracer::flush()
+{
+    if (block.empty())
+        return;
+    sink.consumeBatch(block.data(), block.size());
+    block.clear();
+}
+
 Tracer::Frame &
 Tracer::top()
 {
@@ -60,7 +74,9 @@ Tracer::emit(OpKind kind, IntPurpose purpose, uint64_t mem_addr,
     op.taken = taken;
     f.cursor = (f.cursor + opBytes) % f.bytes;
     ++emitted;
-    sink.consume(op);
+    block.push(op);
+    if (block.full())
+        flush();
 }
 
 void
@@ -127,6 +143,10 @@ Tracer::ret()
     uint64_t target = frames.back().returnPc;
     emit(OpKind::Return, IntPurpose::None, 0, 0, target, true);
     frames.pop_back();
+    // The run is complete once the root frame returns; drain the
+    // block so callers can read sink state without an explicit flush.
+    if (frames.empty())
+        flush();
 }
 
 Tracer::Scope::Scope(Tracer &tracer, FunctionId f, bool indirect)

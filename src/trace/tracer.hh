@@ -15,6 +15,12 @@
  * how the instruction-footprint difference between thin and deep
  * software stacks becomes a measurable cache phenomenon: deep stacks
  * execute more framework code spread over more static bytes.
+ *
+ * Transport: emitted ops accumulate into an OpBlock and reach the sink
+ * as whole blocks via TraceSink::consumeBatch, not one virtual call
+ * per op. The block drains automatically when it fills, when the call
+ * stack returns to depth zero, and on destruction; call flush()
+ * explicitly before inspecting sink state mid-emission.
  */
 
 #ifndef WCRT_TRACE_TRACER_HH
@@ -40,6 +46,20 @@ class Tracer
      * @param sink Consumer of the op stream (not owned).
      */
     Tracer(const CodeLayout &layout, TraceSink &sink);
+
+    /** Delivers any buffered ops to the sink. */
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /**
+     * Push every buffered op to the sink now. Emission flushes
+     * automatically when the block fills and when the call stack
+     * empties; use this before reading sink state while frames are
+     * still active.
+     */
+    void flush();
 
     /** Direct call: emits the Call op and the callee's overhead walk. */
     void call(FunctionId f);
@@ -153,6 +173,7 @@ class Tracer
 
     const CodeLayout &layout;
     TraceSink &sink;
+    OpBlock block;  //!< ops accumulated since the last flush
     std::vector<Frame> frames;
     std::vector<uint32_t> callCounts;    //!< indexed by FunctionId
     std::vector<uint64_t> scratchBase;   //!< per-function scratch data

@@ -85,6 +85,14 @@ inline constexpr uint8_t extHasTarget = 0x04;
 inline constexpr uint8_t defaultOpSize = 4;
 
 /**
+ * Upper bound on one op's encoded size: flags + extension + size
+ * bytes, three 10-byte worst-case varints (pc, memAddr, target) and
+ * the memSize byte. While at least this many payload bytes remain, a
+ * decoder can run without per-byte bounds checks.
+ */
+inline constexpr size_t maxEncodedOpBytes = 3 + 3 * 10 + 1;
+
+/**
  * CRC-32 (IEEE 802.3 polynomial) over a byte range. Slicing-by-8
  * implementation: decoding checksums every chunk, so this sits on the
  * replay hot path.

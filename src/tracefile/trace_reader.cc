@@ -36,6 +36,100 @@ struct ChunkHeader
     uint32_t crc;
 };
 
+/**
+ * Unchecked decode cursor for the chunk interior. The caller
+ * guarantees at least maxEncodedOpBytes remain before each op, so the
+ * per-byte bounds checks the general Decoder pays are unnecessary;
+ * only the malformed-varint guard stays. Must mirror Decoder exactly.
+ */
+struct FastCursor
+{
+    const uint8_t *p;
+
+    uint8_t u8() { return *p++; }
+
+    uint64_t
+    varint()
+    {
+        uint64_t b = *p++;
+        if (!(b & 0x80))
+            return b;
+        uint64_t v = b & 0x7f;
+        for (int shift = 7; shift < 64; shift += 7) {
+            b = *p++;
+            v |= (b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return v;
+        }
+        throw TraceFormatError("malformed varint (more than 10 bytes)");
+    }
+
+    int64_t
+    varintSigned()
+    {
+        uint64_t u = varint();
+        return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+    }
+};
+
+/** Checked cursor with the same surface, for the chunk tail. */
+struct CheckedCursor
+{
+    Decoder &dec;
+
+    uint8_t u8() { return dec.u8(); }
+    uint64_t varint() { return dec.varint(); }
+    int64_t varintSigned() { return dec.varintSigned(); }
+};
+
+/**
+ * Decode one encoded op through either cursor and append it to the
+ * block. Shared by the fast interior and the checked tail so the two
+ * paths cannot drift apart.
+ */
+template <typename Cursor>
+inline void
+decodeOp(Cursor &cur, uint64_t &prev_pc, uint64_t &prev_mem,
+         OpBlock &block, const std::string &path)
+{
+    uint8_t flags = cur.u8();
+    MicroOp op;
+    uint8_t kind_bits = flags & kindMask;
+    if (kind_bits >= numOpKinds)
+        throw TraceFormatError("invalid op kind in trace: " + path);
+    op.kind = static_cast<OpKind>(kind_bits);
+    op.purpose =
+        static_cast<IntPurpose>((flags & purposeMask) >> purposeShift);
+    op.taken = flags & takenBit;
+
+    bool has_mem;
+    bool has_target;
+    if (flags & extBit) {
+        uint8_t ext = cur.u8();
+        if (ext & ~(extHasMem | extHasSize | extHasTarget))
+            throw TraceFormatError(
+                "invalid op extension bits in trace: " + path);
+        op.size = (ext & extHasSize) ? cur.u8() : defaultOpSize;
+        has_mem = ext & extHasMem;
+        has_target = ext & extHasTarget;
+    } else {
+        op.size = defaultOpSize;
+        has_mem = impliedHasMem(op.kind);
+        has_target = isControl(op.kind);
+    }
+
+    op.pc = prev_pc + static_cast<uint64_t>(cur.varintSigned());
+    prev_pc = op.pc;
+    if (has_mem) {
+        op.memAddr = prev_mem + static_cast<uint64_t>(cur.varintSigned());
+        prev_mem = op.memAddr;
+        op.memSize = cur.u8();
+    }
+    if (has_target)
+        op.target = op.pc + static_cast<uint64_t>(cur.varintSigned());
+    block.push(op);
+}
+
 } // namespace
 
 TraceReader::TraceReader(const std::string &path)
@@ -165,57 +259,37 @@ TraceReader::walkChunks(TraceSink *sink)
             if (crc32(payload.data(), payload.size()) != hdr.crc)
                 throw TraceFormatError("trace chunk CRC mismatch: " +
                                        filePath);
-            Decoder dec(payload.data(), payload.size());
+            // Decode the whole chunk into the reusable block, then
+            // hand it to the sink in one consumeBatch call — no
+            // per-op virtual dispatch on the replay path. The chunk
+            // interior decodes through the unchecked fast cursor
+            // (maxEncodedOpBytes guarantees every read stays in
+            // bounds); the tail falls back to the checked Decoder,
+            // so truncation still surfaces as a clean error.
+            if (block.capacity() < hdr.opCount)
+                block = OpBlock(hdr.opCount);
+            block.clear();
             uint64_t prev_pc = 0;
             uint64_t prev_mem = 0;
-            for (uint32_t i = 0; i < hdr.opCount; ++i) {
-                uint8_t flags = dec.u8();
-                MicroOp op;
-                uint8_t kind_bits = flags & kindMask;
-                if (kind_bits >= numOpKinds)
-                    throw TraceFormatError("invalid op kind in trace: " +
-                                           filePath);
-                op.kind = static_cast<OpKind>(kind_bits);
-                op.purpose = static_cast<IntPurpose>(
-                    (flags & purposeMask) >> purposeShift);
-                op.taken = flags & takenBit;
-
-                bool has_mem;
-                bool has_target;
-                if (flags & extBit) {
-                    uint8_t ext = dec.u8();
-                    if (ext & ~(extHasMem | extHasSize | extHasTarget))
-                        throw TraceFormatError(
-                            "invalid op extension bits in trace: " +
-                            filePath);
-                    op.size = (ext & extHasSize) ? dec.u8()
-                                                 : defaultOpSize;
-                    has_mem = ext & extHasMem;
-                    has_target = ext & extHasTarget;
-                } else {
-                    op.size = defaultOpSize;
-                    has_mem = impliedHasMem(op.kind);
-                    has_target = isControl(op.kind);
-                }
-
-                op.pc = prev_pc +
-                        static_cast<uint64_t>(dec.varintSigned());
-                prev_pc = op.pc;
-                if (has_mem) {
-                    op.memAddr =
-                        prev_mem +
-                        static_cast<uint64_t>(dec.varintSigned());
-                    prev_mem = op.memAddr;
-                    op.memSize = dec.u8();
-                }
-                if (has_target)
-                    op.target = op.pc +
-                                static_cast<uint64_t>(dec.varintSigned());
-                sink->consume(op);
+            const uint8_t *pay = payload.data();
+            const uint8_t *pay_end = pay + payload.size();
+            FastCursor fast{pay};
+            uint32_t i = 0;
+            while (i < hdr.opCount &&
+                   static_cast<size_t>(pay_end - fast.p) >=
+                       maxEncodedOpBytes) {
+                decodeOp(fast, prev_pc, prev_mem, block, filePath);
+                ++i;
             }
+            Decoder dec(fast.p,
+                        static_cast<size_t>(pay_end - fast.p));
+            CheckedCursor checked{dec};
+            for (; i < hdr.opCount; ++i)
+                decodeOp(checked, prev_pc, prev_mem, block, filePath);
             if (dec.remaining() != 0)
                 throw TraceFormatError(
                     "trailing bytes in trace chunk: " + filePath);
+            sink->consumeBatch(block.data(), block.size());
         }
         ops_seen += hdr.opCount;
     }

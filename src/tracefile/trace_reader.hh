@@ -6,8 +6,12 @@
  * version, CRC) and the region table; replayInto() then streams every
  * stored op to a sink exactly as the live workload emitted it, so
  * SimCpu, FootprintSweep, MixCounter and SamplingSink all work
- * unchanged. A reader can replay its file any number of times; for
- * parallel replay open one reader per thread (see tracefile/replay.hh).
+ * unchanged. Replay is block-based: each chunk is decoded into a
+ * reusable op block and handed to the sink with one consumeBatch()
+ * call, so a chunk-sized stretch of the stream crosses the sink
+ * boundary per virtual dispatch instead of a single op. A reader can
+ * replay its file any number of times; for parallel replay open one
+ * reader per thread (see tracefile/replay.hh).
  */
 
 #ifndef WCRT_TRACEFILE_TRACE_READER_HH
@@ -89,6 +93,7 @@ class TraceReader
 
     std::string filePath;
     std::ifstream in;
+    OpBlock block;  //!< reusable decode target, one chunk at a time
     std::streamoff firstChunk = 0;
     TraceMeta fileMeta;
     std::vector<CodeLayout::Function> regionTable;

@@ -139,6 +139,19 @@ TraceWriter::consume(const MicroOp &op)
 }
 
 void
+TraceWriter::consumeBatch(const MicroOp *ops, size_t count)
+{
+    if (finished)
+        wcrt_panic("TraceWriter::consumeBatch after finish");
+    for (size_t i = 0; i < count; ++i) {
+        encodeOp(ops[i]);
+        if (++bufOps >= chunkOps)
+            flushChunk();
+    }
+    totalOps += count;
+}
+
+void
 TraceWriter::flushChunk()
 {
     if (bufOps == 0)

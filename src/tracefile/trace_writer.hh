@@ -50,6 +50,13 @@ class TraceWriter : public TraceSink
     void consume(const MicroOp &op) override;
 
     /**
+     * Batch-native path: encodes the whole block behind one virtual
+     * call, honouring the same chunk boundaries as per-op emission
+     * (the produced file is byte-identical).
+     */
+    void consumeBatch(const MicroOp *ops, size_t count) override;
+
+    /**
      * Flush the last chunk and write the footer. Must be the final
      * call; consume() afterwards is an error.
      *

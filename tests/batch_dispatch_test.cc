@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Equivalence tests for the batched micro-op transport: every sink
+ * must produce bit-identical state whether the same stream arrives op
+ * by op through consume() or partitioned into consumeBatch() blocks
+ * of any size — including blocks of one, awkward primes and a ragged
+ * final block. This is the TraceSink compatibility contract that lets
+ * emitters and the trace reader switch to block transport without
+ * perturbing any measurement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "base/rng.hh"
+#include "core/metrics.hh"
+#include "sim/corun.hh"
+#include "sim/footprint.hh"
+#include "sim/inorder_core.hh"
+#include "sim/sim_cpu.hh"
+#include "trace/mix_counter.hh"
+#include "trace/sampling.hh"
+#include "tracefile/trace_writer.hh"
+
+namespace wcrt {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Block sizes covering the interesting partitions of one stream. */
+const size_t kBlockSizes[] = {1, 7, 4096};
+
+/** Stream length chosen so every tested block size ends ragged. */
+constexpr size_t kStreamOps = 10000;
+
+/**
+ * A SimCpu-shaped synthetic stream: loads, stores, branches, calls,
+ * FP work and address arithmetic over a few MB of data.
+ */
+std::vector<MicroOp>
+syntheticStream(size_t count)
+{
+    Rng rng(23);
+    std::vector<MicroOp> ops(count);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        MicroOp &op = ops[i];
+        op.pc = 0x400000 + (i % 4093) * 4;
+        uint64_t pick = rng.nextBelow(100);
+        if (pick < 25) {
+            op.kind = OpKind::Load;
+            op.memAddr = rng.nextBelow(1 << 22);
+            op.memSize = 8;
+        } else if (pick < 35) {
+            op.kind = OpKind::Store;
+            op.memAddr = rng.nextBelow(1 << 22);
+            op.memSize = 8;
+        } else if (pick < 50) {
+            op.kind = OpKind::BranchCond;
+            op.taken = rng.nextBool(0.4);
+            op.target = 0x400000 + rng.nextBelow(16384);
+        } else if (pick < 53) {
+            op.kind = OpKind::Call;
+            op.target = 0x500000 + rng.nextBelow(4096);
+            op.taken = true;
+        } else if (pick < 56) {
+            op.kind = OpKind::Return;
+            op.target = 0x400000 + rng.nextBelow(16384);
+            op.taken = true;
+        } else if (pick < 64) {
+            op.kind = pick < 60 ? OpKind::FpMul : OpKind::FpAlu;
+        } else {
+            op.kind = OpKind::IntAlu;
+            op.purpose = pick < 80   ? IntPurpose::IntAddress
+                         : pick < 88 ? IntPurpose::FpAddress
+                                     : IntPurpose::Compute;
+        }
+    }
+    return ops;
+}
+
+/**
+ * A streaming-locality stream: sequential code, two strided data
+ * streams that confirm the hardware prefetcher, plus occasional
+ * random pointer-chase accesses. This is the adversarial input for
+ * SimCpu's batch-path repeat filters and prefetch-burst memos —
+ * alternating loads and stores re-access lines in the A,B,A,B
+ * pattern, streams advance across cache-set boundaries, and the
+ * random accesses land in memoised sets at arbitrary points.
+ */
+std::vector<MicroOp>
+streamingStream(size_t count)
+{
+    Rng rng(31);
+    std::vector<MicroOp> ops(count);
+    uint64_t read_cursor = 0;
+    uint64_t write_cursor = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        MicroOp &op = ops[i];
+        op.pc = 0x400000 + (i % 4096) * 4;
+        uint64_t pick = rng.nextBelow(100);
+        if (pick < 25) {
+            op.kind = OpKind::Load;
+            op.memAddr = 0x10000000 + (read_cursor % (128 * 1024));
+            read_cursor += 8;
+            op.memSize = 8;
+        } else if (pick < 30) {
+            op.kind = OpKind::Load;
+            op.memAddr = 0x30000000 + rng.nextBelow(1 << 22);
+            op.memSize = 8;
+        } else if (pick < 40) {
+            op.kind = OpKind::Store;
+            op.memAddr = 0x20000000 + (write_cursor % (128 * 1024));
+            write_cursor += 8;
+            op.memSize = 8;
+        } else if (pick < 55) {
+            op.kind = OpKind::BranchCond;
+            op.taken = rng.nextBool(0.3);
+            op.target = 0x400000 + rng.nextBelow(16384);
+        } else {
+            op.kind = OpKind::IntAlu;
+            op.purpose = pick < 80 ? IntPurpose::IntAddress
+                                   : IntPurpose::Compute;
+        }
+    }
+    return ops;
+}
+
+/** Feed `ops` to `sink` in consumeBatch blocks of `block` ops. */
+void
+feedBlocked(TraceSink &sink, const std::vector<MicroOp> &ops, size_t block)
+{
+    for (size_t i = 0; i < ops.size(); i += block)
+        sink.consumeBatch(ops.data() + i,
+                          std::min(block, ops.size() - i));
+}
+
+void
+feedPerOp(TraceSink &sink, const std::vector<MicroOp> &ops)
+{
+    for (const auto &op : ops)
+        sink.consume(op);
+}
+
+void
+expectOpsEqual(const std::vector<MicroOp> &a,
+               const std::vector<MicroOp> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("op " + std::to_string(i));
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].purpose, b[i].purpose);
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].memAddr, b[i].memAddr);
+        EXPECT_EQ(a[i].memSize, b[i].memSize);
+        EXPECT_EQ(a[i].target, b[i].target);
+        EXPECT_EQ(a[i].taken, b[i].taken);
+    }
+}
+
+TEST(BatchDispatch, MixCounterMatchesPerOp)
+{
+    auto ops = syntheticStream(kStreamOps);
+    MixCounter per_op;
+    feedPerOp(per_op, ops);
+    for (size_t block : kBlockSizes) {
+        SCOPED_TRACE("block " + std::to_string(block));
+        MixCounter batched;
+        feedBlocked(batched, ops, block);
+        EXPECT_EQ(batched.total(), per_op.total());
+        for (size_t k = 0; k < numOpKinds; ++k)
+            EXPECT_EQ(batched.count(static_cast<OpKind>(k)),
+                      per_op.count(static_cast<OpKind>(k)))
+                << "kind " << k;
+        EXPECT_EQ(batched.intAddressShare(), per_op.intAddressShare());
+        EXPECT_EQ(batched.fpAddressShare(), per_op.fpAddressShare());
+        EXPECT_EQ(batched.otherIntShare(), per_op.otherIntShare());
+        EXPECT_EQ(batched.dataMovementRatio(),
+                  per_op.dataMovementRatio());
+    }
+}
+
+TEST(BatchDispatch, SimCpuReportBitIdentical)
+{
+    auto ops = syntheticStream(kStreamOps);
+    SimCpu per_op(xeonE5645());
+    feedPerOp(per_op, ops);
+    MetricVector base = toMetricVector(per_op.report());
+    for (size_t block : kBlockSizes) {
+        SCOPED_TRACE("block " + std::to_string(block));
+        SimCpu batched(xeonE5645());
+        feedBlocked(batched, ops, block);
+        CpuReport report = batched.report();
+        EXPECT_EQ(report.instructions, per_op.report().instructions);
+        EXPECT_EQ(report.cycles, per_op.report().cycles);
+        MetricVector got = toMetricVector(report);
+        for (size_t m = 0; m < numMetrics; ++m)
+            EXPECT_EQ(got[m], base[m])
+                << "metric " << metricInfos()[m].name;
+    }
+}
+
+TEST(BatchDispatch, SimCpuBitIdenticalOnStreamingPattern)
+{
+    auto ops = streamingStream(kStreamOps);
+    SimCpu per_op(xeonE5645());
+    feedPerOp(per_op, ops);
+    MetricVector base = toMetricVector(per_op.report());
+    for (size_t block : kBlockSizes) {
+        SCOPED_TRACE("block " + std::to_string(block));
+        SimCpu batched(xeonE5645());
+        feedBlocked(batched, ops, block);
+        MetricVector got = toMetricVector(batched.report());
+        for (size_t m = 0; m < numMetrics; ++m)
+            EXPECT_EQ(got[m], base[m])
+                << "metric " << metricInfos()[m].name;
+    }
+}
+
+TEST(BatchDispatch, FootprintSweepCurvesMatch)
+{
+    auto ops = syntheticStream(kStreamOps);
+    std::vector<uint32_t> sizes{16, 64, 256, 1024};
+    FootprintSweep per_op(sizes);
+    feedPerOp(per_op, ops);
+    for (size_t block : kBlockSizes) {
+        SCOPED_TRACE("block " + std::to_string(block));
+        FootprintSweep batched(sizes);
+        feedBlocked(batched, ops, block);
+        EXPECT_EQ(batched.instructions(), per_op.instructions());
+        for (auto kind : {SweepKind::Instruction, SweepKind::Data,
+                          SweepKind::Unified}) {
+            auto base = per_op.missRatios(kind);
+            auto got = batched.missRatios(kind);
+            for (size_t i = 0; i < sizes.size(); ++i)
+                EXPECT_EQ(got[i], base[i]) << sizes[i] << " KB";
+        }
+    }
+}
+
+TEST(BatchDispatch, InOrderCoreReportMatches)
+{
+    auto ops = syntheticStream(kStreamOps);
+    InOrderCore per_op(atomInOrderSim(32));
+    feedPerOp(per_op, ops);
+    InOrderReport base = per_op.report();
+    for (size_t block : kBlockSizes) {
+        SCOPED_TRACE("block " + std::to_string(block));
+        InOrderCore batched(atomInOrderSim(32));
+        feedBlocked(batched, ops, block);
+        InOrderReport got = batched.report();
+        EXPECT_EQ(got.instructions, base.instructions);
+        EXPECT_EQ(got.cycles, base.cycles);
+        EXPECT_EQ(got.ipc, base.ipc);
+        EXPECT_EQ(got.loadUseStallCycles, base.loadUseStallCycles);
+        EXPECT_EQ(got.frontendStallCycles, base.frontendStallCycles);
+        EXPECT_EQ(got.memoryStallCycles, base.memoryStallCycles);
+        EXPECT_EQ(got.executeCycles, base.executeCycles);
+    }
+}
+
+TEST(BatchDispatch, SamplingSinkForwardsIdenticalOps)
+{
+    auto ops = syntheticStream(kStreamOps);
+    TraceRecorder per_op_rec;
+    SamplingSink per_op(per_op_rec, ops.size());
+    feedPerOp(per_op, ops);
+    for (size_t block : kBlockSizes) {
+        SCOPED_TRACE("block " + std::to_string(block));
+        TraceRecorder rec;
+        SamplingSink batched(rec, ops.size());
+        feedBlocked(batched, ops, block);
+        EXPECT_EQ(batched.totalOps(), per_op.totalOps());
+        EXPECT_EQ(batched.sampledOps(), per_op.sampledOps());
+        expectOpsEqual(rec.trace(), per_op_rec.trace());
+    }
+}
+
+TEST(BatchDispatch, CountingSinkAndRecorderMatch)
+{
+    auto ops = syntheticStream(kStreamOps);
+    for (size_t block : kBlockSizes) {
+        SCOPED_TRACE("block " + std::to_string(block));
+        CountingSink counter;
+        feedBlocked(counter, ops, block);
+        EXPECT_EQ(counter.ops(), ops.size());
+
+        TraceRecorder recorder;
+        feedBlocked(recorder, ops, block);
+        expectOpsEqual(recorder.trace(), ops);
+    }
+}
+
+TEST(BatchDispatch, TeeSinkKeepsFanOutCountsExact)
+{
+    auto ops = syntheticStream(kStreamOps);
+    MixCounter per_op;
+    feedPerOp(per_op, ops);
+    for (size_t block : kBlockSizes) {
+        SCOPED_TRACE("block " + std::to_string(block));
+        MixCounter a;
+        CountingSink b;
+        TeeSink tee;
+        tee.addSink(&a);
+        tee.addSink(&b);
+        feedBlocked(tee, ops, block);
+        EXPECT_EQ(a.total(), per_op.total());
+        EXPECT_EQ(b.ops(), ops.size());
+    }
+}
+
+TEST(BatchDispatch, TraceWriterFilesByteIdentical)
+{
+    // Small chunks so every tested block size straddles chunk
+    // boundaries; the produced files must still match byte for byte.
+    auto ops = syntheticStream(2000);
+    TraceMeta meta;
+    meta.workload = "T-Batch";
+    CodeLayout layout;
+    layout.addFunction("kernel", CodeLayer::Application, 4096);
+
+    auto write = [&](const std::string &path, size_t block) {
+        TraceWriter writer(path, meta, layout, 64);
+        if (block == 0)
+            feedPerOp(writer, ops);
+        else
+            feedBlocked(writer, ops, block);
+        writer.finish();
+    };
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        return std::vector<char>(std::istreambuf_iterator<char>(in),
+                                 std::istreambuf_iterator<char>());
+    };
+
+    std::string base_path =
+        (fs::temp_directory_path() / "wcrt-batch-base.wtrace").string();
+    write(base_path, 0);
+    auto base = slurp(base_path);
+    ASSERT_FALSE(base.empty());
+    for (size_t block : kBlockSizes) {
+        SCOPED_TRACE("block " + std::to_string(block));
+        std::string path =
+            (fs::temp_directory_path() /
+             ("wcrt-batch-" + std::to_string(block) + ".wtrace"))
+                .string();
+        write(path, block);
+        EXPECT_EQ(slurp(path), base);
+        fs::remove(path);
+    }
+    fs::remove(base_path);
+}
+
+} // namespace
+} // namespace wcrt

@@ -97,6 +97,7 @@ TEST_F(TracerTest, StablePcForStaticSite)
     // A loop body with a fixed op count must produce the identical pc
     // sequence on every iteration: that is what lets the branch
     // predictor and BTB learn static sites.
+    t.flush();
     sink.ops.clear();
     t.loop(4, [&](uint64_t) { t.intAlu(IntPurpose::Compute, 3); });
     t.ret();
@@ -133,6 +134,7 @@ TEST_F(TracerTest, ReturnTargetsFollowCallSite)
     t.intAlu();
     t.call(fw);
     t.ret();  // from fw
+    t.flush();
     // Find the call and the matching return.
     const MicroOp *call = nullptr, *ret = nullptr;
     for (const auto &op : sink.ops) {
@@ -228,6 +230,7 @@ TEST_F(TracerTest, RotationSpreadsFootprint)
         t.call(fw);
         t.ret();
     }
+    t.flush();
     for (const auto &op : sink.ops)
         lines.insert(op.pc >> 6);
     // Four rotated calls must touch clearly more unique lines than one
@@ -389,6 +392,61 @@ TEST(TeeSink, FansOutToAllSinks)
     tee.consume(op);
     EXPECT_EQ(a.total(), 1u);
     EXPECT_EQ(b.total(), 1u);
+}
+
+TEST(TeeSink, ForwardsWholeBatches)
+{
+    MixCounter a, b;
+    TeeSink tee;
+    tee.addSink(&a);
+    tee.addSink(&b);
+    std::vector<MicroOp> ops(5);
+    for (auto &op : ops)
+        op.kind = OpKind::IntAlu;
+    tee.consumeBatch(ops.data(), ops.size());
+    EXPECT_EQ(a.total(), 5u);
+    EXPECT_EQ(b.total(), 5u);
+}
+
+TEST(OpBlock, FillsClearsAndViews)
+{
+    OpBlock block(4);
+    EXPECT_TRUE(block.empty());
+    EXPECT_EQ(block.capacity(), 4u);
+    MicroOp op;
+    op.kind = OpKind::Store;
+    while (!block.full())
+        block.push(op);
+    EXPECT_EQ(block.size(), 4u);
+    EXPECT_EQ(block.span().size(), 4u);
+    EXPECT_EQ(block[2].kind, OpKind::Store);
+    size_t seen = 0;
+    for (const auto &o : block)
+        seen += o.kind == OpKind::Store;
+    EXPECT_EQ(seen, 4u);
+    block.clear();
+    EXPECT_TRUE(block.empty());
+    EXPECT_EQ(block.capacity(), 4u);
+}
+
+TEST(Tracer, FlushDeliversBufferedOpsAndDestructorDrains)
+{
+    CodeLayout layout;
+    auto f = layout.addFunction("f", CodeLayer::Application, 1024);
+    RecordingSink sink;
+    {
+        Tracer t(layout, sink);
+        t.call(f);
+        t.intAlu(IntPurpose::Compute, 3);
+        // Ops are block-buffered: nothing reaches the sink until a
+        // flush point.
+        EXPECT_TRUE(sink.ops.empty());
+        t.flush();
+        EXPECT_EQ(sink.ops.size(), 3u);  // root call emits no op
+        t.intAlu();
+        // Destructor drains whatever is still buffered.
+    }
+    EXPECT_EQ(sink.ops.size(), 4u);
 }
 
 } // namespace

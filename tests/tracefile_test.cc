@@ -254,6 +254,54 @@ TEST(TraceFile, MultiChunkRoundTrip)
     fs::remove(path);
 }
 
+/** Batch-native sink recording each consumeBatch call's extent. */
+class BatchRecordingSink : public TraceSink
+{
+  public:
+    void
+    consume(const MicroOp &op) override
+    {
+        batchSizes.push_back(1);
+        ops.push_back(op);
+    }
+
+    void
+    consumeBatch(const MicroOp *batch, size_t count) override
+    {
+        batchSizes.push_back(count);
+        ops.insert(ops.end(), batch, batch + count);
+    }
+
+    std::vector<MicroOp> ops;
+    std::vector<size_t> batchSizes;
+};
+
+TEST(TraceFile, ReplayDeliversWholeChunksAsSingleBatches)
+{
+    std::string path = tempTracePath("chunk-batches");
+    std::vector<MicroOp> ops;
+    auto sample = awkwardOps();
+    for (int rep = 0; rep < 12; ++rep)
+        for (const auto &op : sample)
+            ops.push_back(op);
+    ASSERT_NE(ops.size() % 7, 0u);  // force a ragged final chunk
+
+    writeSample(path, ops, 7);
+
+    TraceReader reader(path);
+    BatchRecordingSink sink;
+    EXPECT_EQ(reader.replayInto(sink), ops.size());
+    expectOpsEqual(ops, sink.ops);
+
+    // Replay hands each chunk to the sink in exactly one batch: every
+    // batch is a full chunk, the last carries the ragged remainder.
+    ASSERT_EQ(sink.batchSizes.size(), reader.chunkCount());
+    for (size_t i = 0; i + 1 < sink.batchSizes.size(); ++i)
+        EXPECT_EQ(sink.batchSizes[i], 7u) << "chunk " << i;
+    EXPECT_EQ(sink.batchSizes.back(), ops.size() % 7);
+    fs::remove(path);
+}
+
 TEST(TraceFile, LiveAndReplayedSinksAgree)
 {
     const double scale = 0.1;
