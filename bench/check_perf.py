@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over micro_sim_throughput JSON output.
+
+Compares a current benchmark run against the committed baseline
+(bench/baseline.json) and fails when any throughput row regresses by
+more than the allowed fraction.
+
+CI runners are not the machine the baseline was recorded on and their
+absolute speed varies run to run, so raw ops/s comparisons would flake
+constantly. Instead every row is normalised by a same-run reference row
+(BM_CacheAccess): the *relative* throughput of, say, BM_TraceRead vs
+the cache model is a property of the code, not of the runner. The gate
+fails only when
+
+    current_rel(name) < (1 - threshold) * baseline_rel(name)
+
+with current_rel(name) = items_per_second(name) / items_per_second(ref)
+measured within the same JSON file.
+
+Usage:
+    check_perf.py BASELINE.json CURRENT.json [--threshold 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+REFERENCE = "BM_CacheAccess"
+
+
+def load_rates(path):
+    """Map benchmark name -> items_per_second for rows that report it."""
+    with open(path) as f:
+        data = json.load(f)
+    rates = {}
+    for row in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if present.
+        if row.get("run_type") == "aggregate":
+            continue
+        ips = row.get("items_per_second")
+        if ips:
+            rates[row["name"]] = float(ips)
+    return rates
+
+
+def relative(rates):
+    ref = rates.get(REFERENCE)
+    if not ref:
+        sys.exit(f"error: reference row {REFERENCE} missing or zero")
+    return {name: ips / ref for name, ips in rates.items()
+            if name != REFERENCE}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional regression "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args()
+
+    base = relative(load_rates(args.baseline))
+    cur = relative(load_rates(args.current))
+
+    failures = []
+    width = max(len(n) for n in base) if base else 0
+    print(f"{'benchmark':<{width}}  base-rel  cur-rel   ratio")
+    for name in sorted(base):
+        if name not in cur:
+            failures.append(f"{name}: missing from current run")
+            continue
+        ratio = cur[name] / base[name]
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            failures.append(
+                f"{name}: relative throughput {ratio:.2f}x of baseline "
+                f"(limit {1.0 - args.threshold:.2f}x)")
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {base[name]:8.3f}  {cur[name]:8.3f}"
+              f"  {ratio:5.2f}x{flag}")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed ({len(base)} rows, "
+          f"threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

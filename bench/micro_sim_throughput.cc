@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "base/rng.hh"
 #include "sim/branch.hh"
@@ -165,9 +167,16 @@ class PerOpShim : public TraceSink
 void
 dispatchBatched(TraceSink &sink, const std::vector<MicroOp> &ops)
 {
-    for (size_t i = 0; i < ops.size(); i += defaultOpBlockOps)
-        sink.consumeBatch(ops.data() + i,
-                          std::min(defaultOpBlockOps, ops.size() - i));
+    // One reused SoA block, refilled per batch — the same shape and
+    // amortized cost as the Tracer's emit/flush cycle.
+    static thread_local OpBlock block(defaultOpBlockOps);
+    for (size_t i = 0; i < ops.size(); i += defaultOpBlockOps) {
+        size_t n = std::min(defaultOpBlockOps, ops.size() - i);
+        block.clear();
+        for (size_t j = 0; j < n; ++j)
+            block.push(ops[i + j]);
+        sink.consumeBlock(block);
+    }
 }
 
 /**
@@ -353,7 +362,7 @@ replayBenchTrace()
         TraceMeta meta;
         meta.workload = "bench";
         TraceWriter writer(p, meta, layout);
-        writer.consumeBatch(ops.data(), ops.size());
+        writer.consumeOps(ops.data(), ops.size());
         writer.finish();
         return p;
     }();
@@ -448,4 +457,39 @@ BENCHMARK(BM_KMeans77x10);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Standard benchmark main plus a `--json PATH` convenience flag that
+ * expands to `--benchmark_out=PATH --benchmark_out_format=json`. The
+ * CI perf-regression gate and the README throughput table both
+ * consume the JSON file this produces.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string json_path;
+        if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            args.push_back(std::move(arg));
+            continue;
+        }
+        args.push_back("--benchmark_out=" + json_path);
+        args.push_back("--benchmark_out_format=json");
+    }
+    std::vector<char *> argp;
+    argp.reserve(args.size());
+    for (auto &a : args)
+        argp.push_back(a.data());
+    int new_argc = static_cast<int>(argp.size());
+    benchmark::Initialize(&new_argc, argp.data());
+    if (benchmark::ReportUnrecognizedArguments(new_argc, argp.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -54,9 +54,11 @@ class TraceRecorder : public TraceSink
     void consume(const MicroOp &op) override { ops.push_back(op); }
 
     void
-    consumeBatch(const MicroOp *o, size_t n) override
+    consumeBatch(const OpBlockView &batch) override
     {
-        ops.insert(ops.end(), o, o + n);
+        ops.reserve(ops.size() + batch.count);
+        for (size_t i = 0; i < batch.count; ++i)
+            ops.push_back(batch[i]);
     }
 
     const std::vector<MicroOp> &trace() const { return ops; }

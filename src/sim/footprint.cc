@@ -41,25 +41,28 @@ FootprintSweep::consume(const MicroOp &op)
 }
 
 void
-FootprintSweep::consumeBatch(const MicroOp *batch, size_t count)
+FootprintSweep::consumeBatch(const OpBlockView &batch)
 {
+    const size_t count = batch.count;
     ops += count;
     // Rung-major: every cache instance is independent, so reordering
     // the (rung, op) loop nest leaves each rung's access sequence —
     // and therefore its miss counts — exactly as in the per-op path,
     // while one rung's tag array stays resident for the whole block.
+    // The loop reads only the pc/memAddr/memSize/kind arrays.
     for (size_t k = 0; k < sizes.size(); ++k) {
         Cache &ic = icaches[k];
         Cache &dc = dcaches[k];
         Cache &uc = ucaches[k];
         for (size_t i = 0; i < count; ++i) {
-            const MicroOp &op = batch[i];
-            ic.access(op.pc, false);
-            uc.access(op.pc, false);
-            if (op.memSize > 0) {
-                bool is_write = op.kind == OpKind::Store;
-                dc.access(op.memAddr, is_write);
-                uc.access(op.memAddr, is_write);
+            uint64_t pc = batch.pcs[i];
+            ic.access(pc, false);
+            uc.access(pc, false);
+            if (batch.memSizes[i] > 0) {
+                bool is_write = batch.kinds[i] == OpKind::Store;
+                uint64_t mem_addr = batch.memAddrs[i];
+                dc.access(mem_addr, is_write);
+                uc.access(mem_addr, is_write);
             }
         }
     }

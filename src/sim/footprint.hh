@@ -45,7 +45,7 @@ class FootprintSweep : public TraceSink
      * at a time over the whole block) so each rung's sets stay hot
      * instead of being evicted by its neighbours every op.
      */
-    void consumeBatch(const MicroOp *ops, size_t count) override;
+    void consumeBatch(const OpBlockView &ops) override;
 
     /** The capacities swept, in KB. */
     const std::vector<uint32_t> &sizesKb() const { return sizes; }

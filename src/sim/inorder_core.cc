@@ -61,10 +61,10 @@ InOrderCore::consume(const MicroOp &op)
 }
 
 void
-InOrderCore::consumeBatch(const MicroOp *ops, size_t count)
+InOrderCore::consumeBatch(const OpBlockView &ops)
 {
-    mixCounter.consumeBatch(ops, count);
-    for (size_t i = 0; i < count; ++i)
+    mixCounter.consumeBatch(ops);
+    for (size_t i = 0; i < ops.count; ++i)
         step(ops[i]);
 }
 

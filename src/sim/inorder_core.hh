@@ -81,7 +81,7 @@ class InOrderCore : public TraceSink
      * Batch-native path: one virtual call per block, pipeline state
      * carried through an inlined step loop.
      */
-    void consumeBatch(const MicroOp *ops, size_t count) override;
+    void consumeBatch(const OpBlockView &ops) override;
 
     /** Finish accounting and report. */
     InOrderReport report() const;

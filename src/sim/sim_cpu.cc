@@ -71,12 +71,15 @@ SimCpu::consume(const MicroOp &op)
 }
 
 void
-SimCpu::consumeBatch(const MicroOp *ops, size_t count)
+SimCpu::consumeBatch(const OpBlockView &ops)
 {
     // Same event sequence as consume(), restructured for block
-    // throughput: mix tallies ride the event loop's existing kind
-    // branches and commit once per block (no second pass over the
-    // ops), event counts ride in registers until the block drains, the
+    // throughput: the loop reads the block's field arrays directly
+    // (kinds/pcs/memAddrs/memSizes), materializing a whole MicroOp
+    // only for the control ops the branch unit needs, mix tallies
+    // ride the event loop's existing kind branches and commit once
+    // per block (no second pass over the ops), event counts ride in
+    // registers until the block drains, the
     // unordered-set footprint inserts are skipped while the stream
     // stays on the same code line / data page (set semantics make the
     // skip invisible in the report), and guaranteed-hit re-accesses
@@ -134,25 +137,27 @@ SimCpu::consumeBatch(const MicroOp *ops, size_t count)
     uint64_t page_memo0 = ~0ull;
     uint64_t page_memo1 = ~0ull;
 
+    const size_t count = ops.count;
     for (size_t i = 0; i < count; ++i) {
-        const MicroOp &op = ops[i];
-        ++kind_tally[static_cast<size_t>(op.kind)];
+        const OpKind kind = ops.kinds[i];
+        const uint64_t pc = ops.pcs[i];
+        ++kind_tally[static_cast<size_t>(kind)];
 
-        uint64_t code_page = op.pc >> 12;
+        uint64_t code_page = pc >> 12;
         if (code_page == last_code_page) {
             ++itlb_repeats;
         } else {
-            if (!itlbUnit.access(op.pc))
+            if (!itlbUnit.access(pc))
                 ++itlb_miss;
             last_code_page = code_page;
         }
-        uint64_t code_line = op.pc >> 6;
+        uint64_t code_line = pc >> 6;
         if (code_line == last_code_line) {
             ++l1i_repeats;
         } else {
             codeLines.insert(code_line);
             last_code_line = code_line;
-            if (!l1iCache.access(op.pc, false)) {
+            if (!l1iCache.access(pc, false)) {
                 ++l1i_miss;
                 // The L2/L3 walk below may touch memoised sets;
                 // i-side misses are rare, so drop the memos outright.
@@ -160,17 +165,18 @@ SimCpu::consumeBatch(const MicroOp *ops, size_t count)
                 pf_hi0 = 0;
                 pf_lo1 = 1;
                 pf_hi1 = 0;
-                if (!l2Cache.access(op.pc, false)) {
+                if (!l2Cache.access(pc, false)) {
                     ++l2_from_l1i;
-                    if (!has_l3 || !l3Cache.access(op.pc, false))
+                    if (!has_l3 || !l3Cache.access(pc, false))
                         ++l3_miss;
                 }
             }
         }
 
-        if (op.memSize > 0) {
-            bool is_write = op.kind == OpKind::Store;
-            uint64_t data_page = op.memAddr >> 12;
+        if (ops.memSizes[i] > 0) {
+            const uint64_t mem_addr = ops.memAddrs[i];
+            bool is_write = kind == OpKind::Store;
+            uint64_t data_page = mem_addr >> 12;
             if (data_page == dtlb_page0) {
                 ++dtlb_repeats;
             } else if (data_page == dtlb_page1) {
@@ -180,8 +186,8 @@ SimCpu::consumeBatch(const MicroOp *ops, size_t count)
                 std::swap(dtlb_page0, dtlb_page1);
                 std::swap(dtlb_set0, dtlb_set1);
             } else {
-                uint32_t set = dtlbUnit.setIndex(op.memAddr);
-                if (!dtlbUnit.access(op.memAddr))
+                uint32_t set = dtlbUnit.setIndex(mem_addr);
+                if (!dtlbUnit.access(mem_addr))
                     ++dtlb_miss;
                 if (set == dtlb_set0) {
                     // Displaces slot 0's page from MRU of this set.
@@ -198,10 +204,10 @@ SimCpu::consumeBatch(const MicroOp *ops, size_t count)
                 page_memo1 = page_memo0;
                 page_memo0 = data_page;
             }
-            uint64_t data_line = op.memAddr >> 6;
+            uint64_t data_line = mem_addr >> 6;
             if (data_line != last_obs_line) {
                 last_obs_line = data_line;
-                auto advice = prefetcher.observe(op.memAddr);
+                auto advice = prefetcher.observe(mem_addr);
                 if (advice.prefetchLines > 0) {
                     uint64_t first = advice.prefetchFrom >> 6;
                     uint64_t last = first + advice.prefetchLines - 1;
@@ -253,14 +259,14 @@ SimCpu::consumeBatch(const MicroOp *ops, size_t count)
                 std::swap(l1d_line0, l1d_line1);
                 std::swap(l1d_set0, l1d_set1);
             } else {
-                uint32_t set = l1dCache.setIndex(op.memAddr);
-                bool l1d_hit = l1dCache.access(op.memAddr, is_write);
+                uint32_t set = l1dCache.setIndex(mem_addr);
+                bool l1d_hit = l1dCache.access(mem_addr, is_write);
                 if (!l1d_hit) {
                     ++l1d_miss;
-                    if (!l2Cache.access(op.memAddr, is_write)) {
+                    if (!l2Cache.access(mem_addr, is_write)) {
                         ++l2_from_l1d;
                         if (!has_l3 ||
-                            !l3Cache.access(op.memAddr, is_write)) {
+                            !l3Cache.access(mem_addr, is_write)) {
                             ++l3_miss;
                             if (is_write)
                                 ++store_l3_miss;
@@ -282,10 +288,10 @@ SimCpu::consumeBatch(const MicroOp *ops, size_t count)
                         if (l1dCache.setIndex(m << 6) == set ||
                             (!l1d_hit &&
                              (l2Cache.setIndex(m << 6) ==
-                                  l2Cache.setIndex(op.memAddr) ||
+                                  l2Cache.setIndex(mem_addr) ||
                               (has_l3 &&
                                l3Cache.setIndex(m << 6) ==
-                                   l3Cache.setIndex(op.memAddr)))))
+                                   l3Cache.setIndex(mem_addr)))))
                             return true;
                     }
                     return false;
@@ -319,17 +325,17 @@ SimCpu::consumeBatch(const MicroOp *ops, size_t count)
 
         // Branchless purpose tally, keyed on kind exactly like
         // consume(): zero contribution for anything but int ops.
-        uint64_t is_alu = op.kind == OpKind::IntAlu ? 1u : 0u;
-        uint64_t ia =
-            is_alu & (op.purpose == IntPurpose::IntAddress ? 1u : 0u);
-        uint64_t fa =
-            is_alu & (op.purpose == IntPurpose::FpAddress ? 1u : 0u);
+        uint64_t is_alu = kind == OpKind::IntAlu ? 1u : 0u;
+        uint64_t ia = is_alu &
+                      (ops.purposes[i] == IntPurpose::IntAddress ? 1u : 0u);
+        uint64_t fa = is_alu &
+                      (ops.purposes[i] == IntPurpose::FpAddress ? 1u : 0u);
         int_addr += ia;
         fp_addr += fa;
-        compute_int += (isInt(op.kind) ? 1u : 0u) - ia - fa;
+        compute_int += (isInt(kind) ? 1u : 0u) - ia - fa;
 
-        if (isControl(op.kind))
-            branchUnit.predict(op);
+        if (isControl(kind))
+            branchUnit.predict(ops[i]);
     }
 
     mixCounter.addTallies(kind_tally, int_addr, fp_addr, compute_int,

@@ -112,7 +112,7 @@ class SimCpu : public TraceSink
      * footprint-set inserts are line/page-memoized across the block,
      * and the L3 presence check is hoisted out of the loop.
      */
-    void consumeBatch(const MicroOp *ops, size_t count) override;
+    void consumeBatch(const OpBlockView &ops) override;
 
     /** Finish accounting and produce the report. */
     CpuReport report() const;

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Out-of-line pieces of the micro-op transport: the AoS convenience
+ * packer and the parallel TeeSink fan-out.
+ */
+
+#include "trace/microop.hh"
+
+namespace wcrt {
+
+void
+TraceSink::consumeOps(const MicroOp *ops, size_t count)
+{
+    OpBlock block(count);
+    for (size_t i = 0; i < count; ++i)
+        block.push(ops[i]);
+    consumeBatch(block.view());
+}
+
+TeeSink::TeeSink(unsigned workers)
+{
+    pool.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        pool.emplace_back([this] { workerLoop(); });
+}
+
+TeeSink::~TeeSink()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    workReady.notify_all();
+    for (auto &t : pool)
+        t.join();
+}
+
+void
+TeeSink::addSink(TraceSink *sink, bool concurrentSafe)
+{
+    if (concurrentSafe)
+        safeSinks.push_back(sink);
+    else
+        seqSinks.push_back(sink);
+}
+
+bool
+TeeSink::claimChild(uint64_t gen, size_t &idx)
+{
+    // The claim counter carries the generation in its upper bits so a
+    // worker still spinning on the previous batch can never steal an
+    // index from the next one: a stale claimer sees either its own
+    // generation exhausted or a foreign generation, and backs off
+    // without touching the counter.
+    uint64_t v = claimState.load(std::memory_order_acquire);
+    while ((v >> claimIndexBits) == (gen & claimGenMask) &&
+           (v & claimIndexMask) < safeSinks.size()) {
+        if (claimState.compare_exchange_weak(v, v + 1,
+                                             std::memory_order_acq_rel)) {
+            idx = v & claimIndexMask;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TeeSink::consumeBatch(const OpBlockView &ops)
+{
+    if (pool.empty() || safeSinks.size() <= 1) {
+        for (auto *s : safeSinks)
+            s->consumeBatch(ops);
+        for (auto *s : seqSinks)
+            s->consumeBatch(ops);
+        return;
+    }
+
+    uint64_t gen;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        current = &ops;
+        gen = ++generation;
+        remaining.store(safeSinks.size(), std::memory_order_relaxed);
+        claimState.store((gen & claimGenMask) << claimIndexBits,
+                         std::memory_order_release);
+    }
+    workReady.notify_all();
+
+    // The calling thread owns the non-thread-safe children and then
+    // helps drain the shared claim queue instead of idling.
+    for (auto *s : seqSinks)
+        s->consumeBatch(ops);
+    size_t idx;
+    while (claimChild(gen, idx)) {
+        safeSinks[idx]->consumeBatch(ops);
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    // Full barrier: the emitter reuses the block as soon as we return.
+    std::unique_lock<std::mutex> lock(mtx);
+    workDone.wait(lock, [this] {
+        return remaining.load(std::memory_order_acquire) == 0;
+    });
+    current = nullptr;
+}
+
+void
+TeeSink::workerLoop()
+{
+    uint64_t seen = 0;
+    while (true) {
+        const OpBlockView *ops = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            workReady.wait(lock, [this, seen] {
+                return stopping || generation != seen;
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            ops = current;
+        }
+        size_t idx;
+        while (claimChild(seen, idx)) {
+            safeSinks[idx]->consumeBatch(*ops);
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(mtx);
+                workDone.notify_all();
+            }
+        }
+    }
+}
+
+} // namespace wcrt

@@ -13,9 +13,12 @@
 #ifndef WCRT_TRACE_MICROOP_HH
 #define WCRT_TRACE_MICROOP_HH
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <span>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace wcrt {
@@ -101,51 +104,163 @@ struct MicroOp
 };
 
 /**
- * Default capacity of an OpBlock: 4096 ops ≈ 160 KB, large enough to
- * amortize a virtual dispatch down to noise, small enough that a block
- * plus a hot sink's tables stays cache-resident while it drains.
+ * Default capacity of an OpBlock: 4096 ops ≈ 112 KB across the field
+ * arrays, large enough to amortize a virtual dispatch down to noise,
+ * small enough that a block plus a hot sink's tables stays
+ * cache-resident while it drains.
  */
 inline constexpr size_t defaultOpBlockOps = 4096;
 
 /**
- * A fixed-capacity, reusable buffer of MicroOps — the unit of
- * transport between emitters and sinks.
+ * Read-only struct-of-arrays view of a run of micro-ops.
  *
- * Emitters (Tracer, TraceReader) fill a block and hand the whole thing
- * to TraceSink::consumeBatch in one virtual call instead of one call
- * per op. The storage is allocated once and recycled with clear(), so
- * steady-state emission performs no allocation.
+ * Each MicroOp field lives in its own contiguous array, so a sink that
+ * reads a single field (the mix counter reads kinds[], the footprint
+ * sweep mostly memAddrs[]) streams exactly that array through cache
+ * instead of dragging whole 40-byte records. Sinks that want whole
+ * records use operator[], which materializes one MicroOp from the
+ * arrays — that shim keeps per-op code compiling unchanged.
+ *
+ * A view does not own storage; it stays valid only while the OpBlock
+ * (or arrays) it points into are alive and unmodified.
+ */
+struct OpBlockView
+{
+    const OpKind *kinds = nullptr;
+    const IntPurpose *purposes = nullptr;
+    const uint64_t *pcs = nullptr;
+    const uint8_t *sizes = nullptr;
+    const uint64_t *memAddrs = nullptr;
+    const uint8_t *memSizes = nullptr;
+    const uint64_t *targets = nullptr;
+    const uint8_t *takens = nullptr;  //!< 0/1; not vector<bool>
+    size_t count = 0;
+
+    bool empty() const { return count == 0; }
+    size_t size() const { return count; }
+
+    /** Materialize op `i` from the field arrays. */
+    MicroOp
+    operator[](size_t i) const
+    {
+        MicroOp op;
+        op.kind = kinds[i];
+        op.purpose = purposes[i];
+        op.pc = pcs[i];
+        op.size = sizes[i];
+        op.memAddr = memAddrs[i];
+        op.memSize = memSizes[i];
+        op.target = targets[i];
+        op.taken = takens[i] != 0;
+        return op;
+    }
+
+    /** Zero-copy sub-view of `len` ops starting at `offset`. */
+    OpBlockView
+    slice(size_t offset, size_t len) const
+    {
+        OpBlockView v;
+        v.kinds = kinds + offset;
+        v.purposes = purposes + offset;
+        v.pcs = pcs + offset;
+        v.sizes = sizes + offset;
+        v.memAddrs = memAddrs + offset;
+        v.memSizes = memSizes + offset;
+        v.targets = targets + offset;
+        v.takens = takens + offset;
+        v.count = len;
+        return v;
+    }
+};
+
+/**
+ * A fixed-capacity, reusable struct-of-arrays buffer of micro-ops —
+ * the unit of transport between emitters and sinks.
+ *
+ * Emitters (Tracer, TraceReader) fill a block and hand its view() to
+ * TraceSink::consumeBatch in one virtual call instead of one call per
+ * op. The storage is allocated once and recycled with clear(), so
+ * steady-state emission performs no allocation. The trace decoder
+ * writes straight into the field arrays via the mutable raw*()
+ * pointers and then publishes the fill with setUsed().
  */
 class OpBlock
 {
   public:
     explicit OpBlock(size_t capacity = defaultOpBlockOps)
-        : buf(capacity ? capacity : 1)
+        : cap(capacity ? capacity : 1), kinds(cap), purposes(cap),
+          pcs(cap), sizes(cap), memAddrs(cap), memSizes(cap),
+          targets(cap), takens(cap)
     {
     }
 
-    /** Append one op; the caller must check full() first. */
-    void push(const MicroOp &op) { buf[used++] = op; }
+    /** Append one op, scattering fields; the caller checks full(). */
+    void
+    push(const MicroOp &op)
+    {
+        kinds[used] = op.kind;
+        purposes[used] = op.purpose;
+        pcs[used] = op.pc;
+        sizes[used] = op.size;
+        memAddrs[used] = op.memAddr;
+        memSizes[used] = op.memSize;
+        targets[used] = op.target;
+        takens[used] = op.taken ? 1 : 0;
+        ++used;
+    }
 
     /** Drop the contents, keep the storage. */
     void clear() { used = 0; }
 
-    const MicroOp *data() const { return buf.data(); }
     size_t size() const { return used; }
-    size_t capacity() const { return buf.size(); }
+    size_t capacity() const { return cap; }
     bool empty() const { return used == 0; }
-    bool full() const { return used == buf.size(); }
+    bool full() const { return used == cap; }
 
-    /** Span view over the filled prefix. */
-    std::span<const MicroOp> span() const { return {buf.data(), used}; }
+    /** SoA view over the filled prefix. */
+    OpBlockView
+    view() const
+    {
+        OpBlockView v;
+        v.kinds = kinds.data();
+        v.purposes = purposes.data();
+        v.pcs = pcs.data();
+        v.sizes = sizes.data();
+        v.memAddrs = memAddrs.data();
+        v.memSizes = memSizes.data();
+        v.targets = targets.data();
+        v.takens = takens.data();
+        v.count = used;
+        return v;
+    }
 
-    const MicroOp &operator[](size_t i) const { return buf[i]; }
+    /** Materialize op `i` (per-op accessor shim). */
+    MicroOp operator[](size_t i) const { return view()[i]; }
 
-    const MicroOp *begin() const { return buf.data(); }
-    const MicroOp *end() const { return buf.data() + used; }
+    /**
+     * Mutable field arrays for decoders that fill the block directly;
+     * after writing `n` ops into every array, publish with setUsed(n).
+     */
+    OpKind *rawKinds() { return kinds.data(); }
+    IntPurpose *rawPurposes() { return purposes.data(); }
+    uint64_t *rawPcs() { return pcs.data(); }
+    uint8_t *rawSizes() { return sizes.data(); }
+    uint64_t *rawMemAddrs() { return memAddrs.data(); }
+    uint8_t *rawMemSizes() { return memSizes.data(); }
+    uint64_t *rawTargets() { return targets.data(); }
+    uint8_t *rawTakens() { return takens.data(); }
+    void setUsed(size_t n) { used = n; }
 
   private:
-    std::vector<MicroOp> buf;  //!< sized to capacity once, never grown
+    size_t cap;  //!< fixed at construction, never grown
+    std::vector<OpKind> kinds;
+    std::vector<IntPurpose> purposes;
+    std::vector<uint64_t> pcs;
+    std::vector<uint8_t> sizes;
+    std::vector<uint64_t> memAddrs;
+    std::vector<uint8_t> memSizes;
+    std::vector<uint64_t> targets;
+    std::vector<uint8_t> takens;
     size_t used = 0;
 };
 
@@ -155,10 +270,11 @@ class OpBlock
  * 3-5) and the cache-capacity sweeper (Figures 6-9).
  *
  * Transport contract: emitters deliver ops either one at a time via
- * consume() or in blocks via consumeBatch(). The default
- * consumeBatch() loops over consume(), so a sink that only implements
- * consume() observes the exact per-op sequence either way; hot sinks
- * override consumeBatch() with a tight loop and must produce
+ * consume() or in struct-of-arrays blocks via consumeBatch(). The
+ * default consumeBatch() materializes each op and loops over
+ * consume(), so a sink that only implements consume() observes the
+ * exact per-op sequence either way; hot sinks override consumeBatch()
+ * with a tight loop over the field arrays and must produce
  * bit-identical state for any partitioning of the same stream
  * (enforced by tests/batch_dispatch_test.cc).
  */
@@ -171,48 +287,95 @@ class TraceSink
     virtual void consume(const MicroOp &op) = 0;
 
     /**
-     * Consume `count` dynamic instructions in emission order. The
+     * Consume `ops.count` dynamic instructions in emission order. The
      * default preserves per-op semantics for sinks that don't
      * override it.
      */
     virtual void
-    consumeBatch(const MicroOp *ops, size_t count)
+    consumeBatch(const OpBlockView &ops)
     {
-        for (size_t i = 0; i < count; ++i)
+        for (size_t i = 0; i < ops.count; ++i)
             consume(ops[i]);
     }
 
     /** Convenience: consume a whole block. */
-    void consumeBlock(const OpBlock &block)
-    {
-        consumeBatch(block.data(), block.size());
-    }
+    void consumeBlock(const OpBlock &block) { consumeBatch(block.view()); }
+
+    /**
+     * Convenience for callers holding an array-of-structs run: packs
+     * the ops into a temporary OpBlock and delivers it through
+     * consumeBatch(). Allocates; for tests and tools, not hot paths.
+     */
+    void consumeOps(const MicroOp *ops, size_t count);
 };
 
-/** A sink that fans one stream out to several consumers. */
+/**
+ * A sink that fans one stream out to several consumers.
+ *
+ * By default children are fed sequentially on the calling thread. With
+ * `workers > 0` a persistent pool hands the same immutable block view
+ * to thread-safe children concurrently; children registered with
+ * `concurrentSafe = false` are always fed by the calling thread. A
+ * consumeBatch() call returns only after every child has consumed the
+ * block (the emitter reuses the block's storage immediately after), so
+ * each child still observes the exact per-op sequence in order.
+ *
+ * The TeeSink itself is not re-entrant: deliver to it from one thread.
+ */
 class TeeSink : public TraceSink
 {
   public:
-    /** Attach another downstream sink; not owned. */
-    void addSink(TraceSink *sink) { sinks.push_back(sink); }
+    /** `workers` = extra pool threads; 0 = fully sequential fan-out. */
+    explicit TeeSink(unsigned workers = 0);
+    ~TeeSink() override;
+
+    TeeSink(const TeeSink &) = delete;
+    TeeSink &operator=(const TeeSink &) = delete;
+
+    /**
+     * Attach another downstream sink; not owned. Children flagged
+     * `concurrentSafe = false` never leave the calling thread.
+     */
+    void addSink(TraceSink *sink, bool concurrentSafe = true);
 
     void
     consume(const MicroOp &op) override
     {
-        for (auto *s : sinks)
+        for (auto *s : safeSinks)
+            s->consume(op);
+        for (auto *s : seqSinks)
             s->consume(op);
     }
 
     /** Whole blocks go to each downstream sink — no per-op fan-out. */
-    void
-    consumeBatch(const MicroOp *ops, size_t count) override
-    {
-        for (auto *s : sinks)
-            s->consumeBatch(ops, count);
-    }
+    void consumeBatch(const OpBlockView &ops) override;
 
   private:
-    std::vector<TraceSink *> sinks;
+    void workerLoop();
+    bool claimChild(uint64_t gen, size_t &idx);
+
+    std::vector<TraceSink *> safeSinks;  //!< may run on pool threads
+    std::vector<TraceSink *> seqSinks;   //!< calling thread only
+
+    // Generation-tagged child-claim counter: upper bits hold the batch
+    // generation, lower bits the next unclaimed child index.
+    static constexpr unsigned claimIndexBits = 16;
+    static constexpr uint64_t claimIndexMask = (1ull << claimIndexBits) - 1;
+    static constexpr uint64_t claimGenMask =
+        (1ull << (64 - claimIndexBits)) - 1;
+
+    // Pool state: consumeBatch publishes `current` under `mtx` with a
+    // new generation, workers claim child indices from `claimState`
+    // and count completions down through `remaining`.
+    std::vector<std::thread> pool;
+    std::mutex mtx;
+    std::condition_variable workReady;
+    std::condition_variable workDone;
+    const OpBlockView *current = nullptr;
+    uint64_t generation = 0;
+    std::atomic<uint64_t> claimState{0};
+    std::atomic<size_t> remaining{0};
+    bool stopping = false;
 };
 
 } // namespace wcrt

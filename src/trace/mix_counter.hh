@@ -24,8 +24,13 @@ class MixCounter : public TraceSink
   public:
     void consume(const MicroOp &op) override;
 
-    /** Batch-native path: accumulates in locals, commits once. */
-    void consumeBatch(const MicroOp *ops, size_t count) override;
+    /**
+     * Batch-native path: histograms the block's kinds[] / purposes[]
+     * arrays into flat tallies and commits once. The scalar loop is
+     * written to autovectorize; on x86-64 an AVX2 compare/popcount
+     * path takes over at runtime when the CPU supports it.
+     */
+    void consumeBatch(const OpBlockView &ops) override;
 
     /** Total dynamic ops observed. */
     uint64_t total() const { return totalOps; }

@@ -54,8 +54,9 @@ SamplingSink::consume(const MicroOp &op)
 }
 
 void
-SamplingSink::consumeBatch(const MicroOp *ops, size_t count)
+SamplingSink::consumeBatch(const OpBlockView &ops)
 {
+    size_t count = ops.count;
     uint64_t base = seen;
     seen += count;
     size_t i = 0;
@@ -77,7 +78,7 @@ SamplingSink::consumeBatch(const MicroOp *ops, size_t count)
         // Forward the contiguous in-window run in one call.
         auto run = static_cast<size_t>(
             std::min<uint64_t>(hi - index, count - i));
-        downstream.consumeBatch(ops + i, run);
+        downstream.consumeBatch(ops.slice(i, run));
         forwarded += run;
         i += run;
     }

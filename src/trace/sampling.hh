@@ -54,7 +54,7 @@ class SamplingSink : public TraceSink
      * the block downstream in one consumeBatch call, skipping
      * out-of-window stretches without touching the ops at all.
      */
-    void consumeBatch(const MicroOp *ops, size_t count) override;
+    void consumeBatch(const OpBlockView &ops) override;
 
     /** Ops seen in total. */
     uint64_t totalOps() const { return seen; }
@@ -80,9 +80,9 @@ class CountingSink : public TraceSink
     void consume(const MicroOp &) override { ++count; }
 
     void
-    consumeBatch(const MicroOp *, size_t n) override
+    consumeBatch(const OpBlockView &ops) override
     {
-        count += n;
+        count += ops.count;
     }
 
     uint64_t ops() const { return count; }

@@ -38,7 +38,7 @@ Tracer::flush()
 {
     if (block.empty())
         return;
-    sink.consumeBatch(block.data(), block.size());
+    sink.consumeBlock(block);
     block.clear();
 }
 

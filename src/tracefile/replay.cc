@@ -12,8 +12,13 @@ replayWorkers(unsigned requested)
 {
     if (requested > 0)
         return requested;
+    // hardware_concurrency() is allowed to return 0 when the hardware
+    // cannot be probed; fall back to a small pool so the result is
+    // always >= 1.
     unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 2;
+    if (hw == 0)
+        hw = 2;
+    return hw;
 }
 
 void

@@ -1,5 +1,6 @@
 #include "tracefile/trace_reader.hh"
 
+#include <bit>
 #include <cstring>
 
 namespace wcrt {
@@ -38,9 +39,19 @@ struct ChunkHeader
 
 /**
  * Unchecked decode cursor for the chunk interior. The caller
- * guarantees at least maxEncodedOpBytes remain before each op, so the
- * per-byte bounds checks the general Decoder pays are unnecessary;
- * only the malformed-varint guard stays. Must mirror Decoder exactly.
+ * guarantees at least maxEncodedOpBytes (34) remain before each op,
+ * so the per-byte bounds checks the general Decoder pays are
+ * unnecessary; only the malformed-varint guard stays. Must mirror
+ * Decoder exactly.
+ *
+ * varint() is SWAR: one unaligned 8-byte load covers any 1-8-byte
+ * varint (within an op, a varint starts at most 24 bytes in, so the
+ * load stays inside the 34-byte window). The continuation bits are
+ * found in parallel — `~word & 0x80..80` has a bit set at every byte
+ * whose continuation bit is clear, countr_zero finds the terminator —
+ * and the 7-bit groups are compacted with three shift/mask steps.
+ * 9/10-byte varints (top-bit-heavy deltas; rare) take the byte-serial
+ * slow path.
  */
 struct FastCursor
 {
@@ -51,15 +62,39 @@ struct FastCursor
     uint64_t
     varint()
     {
-        uint64_t b = *p++;
-        if (!(b & 0x80))
-            return b;
-        uint64_t v = b & 0x7f;
-        for (int shift = 7; shift < 64; shift += 7) {
-            b = *p++;
+        uint64_t word;
+        std::memcpy(&word, p, 8);
+        uint64_t cont = ~word & 0x8080808080808080ull;
+        if (cont == 0)
+            return varintLong();
+        unsigned terminator = std::countr_zero(cont) >> 3;  // byte index
+        p += terminator + 1;
+        // Keep bytes up to and including the terminator, drop the
+        // continuation bits, then pack eight 7-bit groups into 56 bits.
+        word &= cont ^ (cont - 1);
+        word &= 0x7f7f7f7f7f7f7f7full;
+        word = (word & 0x007f007f007f007full) |
+               ((word & 0x7f007f007f007f00ull) >> 1);
+        word = (word & 0x00003fff00003fffull) |
+               ((word & 0x3fff00003fff0000ull) >> 2);
+        word = (word & 0x000000000fffffffull) |
+               ((word & 0x0fffffff00000000ull) >> 4);
+        return word;
+    }
+
+    uint64_t
+    varintLong()
+    {
+        uint64_t v = 0;
+        int shift = 0;
+        for (int i = 0; i < 10; ++i) {
+            uint64_t b = p[i];
             v |= (b & 0x7f) << shift;
-            if (!(b & 0x80))
+            shift += 7;
+            if (!(b & 0x80)) {
+                p += i + 1;
                 return v;
+            }
         }
         throw TraceFormatError("malformed varint (more than 10 bytes)");
     }
@@ -82,25 +117,47 @@ struct CheckedCursor
     int64_t varintSigned() { return dec.varintSigned(); }
 };
 
+/** Mutable handles on an OpBlock's field arrays for direct decode. */
+struct BlockArrays
+{
+    OpKind *kinds;
+    IntPurpose *purposes;
+    uint64_t *pcs;
+    uint8_t *sizes;
+    uint64_t *memAddrs;
+    uint8_t *memSizes;
+    uint64_t *targets;
+    uint8_t *takens;
+
+    explicit BlockArrays(OpBlock &block)
+        : kinds(block.rawKinds()), purposes(block.rawPurposes()),
+          pcs(block.rawPcs()), sizes(block.rawSizes()),
+          memAddrs(block.rawMemAddrs()), memSizes(block.rawMemSizes()),
+          targets(block.rawTargets()), takens(block.rawTakens())
+    {
+    }
+};
+
 /**
- * Decode one encoded op through either cursor and append it to the
- * block. Shared by the fast interior and the checked tail so the two
- * paths cannot drift apart.
+ * Decode one encoded op through either cursor, scattering its fields
+ * into the block's arrays at index `n` — no intermediate MicroOp.
+ * Shared by the fast interior and the checked tail so the two paths
+ * cannot drift apart.
  */
 template <typename Cursor>
 inline void
 decodeOp(Cursor &cur, uint64_t &prev_pc, uint64_t &prev_mem,
-         OpBlock &block, const std::string &path)
+         BlockArrays &a, size_t n, const std::string &path)
 {
     uint8_t flags = cur.u8();
-    MicroOp op;
     uint8_t kind_bits = flags & kindMask;
     if (kind_bits >= numOpKinds)
         throw TraceFormatError("invalid op kind in trace: " + path);
-    op.kind = static_cast<OpKind>(kind_bits);
-    op.purpose =
+    OpKind kind = static_cast<OpKind>(kind_bits);
+    a.kinds[n] = kind;
+    a.purposes[n] =
         static_cast<IntPurpose>((flags & purposeMask) >> purposeShift);
-    op.taken = flags & takenBit;
+    a.takens[n] = (flags & takenBit) ? 1 : 0;
 
     bool has_mem;
     bool has_target;
@@ -109,25 +166,32 @@ decodeOp(Cursor &cur, uint64_t &prev_pc, uint64_t &prev_mem,
         if (ext & ~(extHasMem | extHasSize | extHasTarget))
             throw TraceFormatError(
                 "invalid op extension bits in trace: " + path);
-        op.size = (ext & extHasSize) ? cur.u8() : defaultOpSize;
+        a.sizes[n] = (ext & extHasSize) ? cur.u8() : defaultOpSize;
         has_mem = ext & extHasMem;
         has_target = ext & extHasTarget;
     } else {
-        op.size = defaultOpSize;
-        has_mem = impliedHasMem(op.kind);
-        has_target = isControl(op.kind);
+        a.sizes[n] = defaultOpSize;
+        has_mem = impliedHasMem(kind);
+        has_target = isControl(kind);
     }
 
-    op.pc = prev_pc + static_cast<uint64_t>(cur.varintSigned());
-    prev_pc = op.pc;
+    uint64_t pc = prev_pc + static_cast<uint64_t>(cur.varintSigned());
+    a.pcs[n] = pc;
+    prev_pc = pc;
     if (has_mem) {
-        op.memAddr = prev_mem + static_cast<uint64_t>(cur.varintSigned());
-        prev_mem = op.memAddr;
-        op.memSize = cur.u8();
+        uint64_t mem =
+            prev_mem + static_cast<uint64_t>(cur.varintSigned());
+        a.memAddrs[n] = mem;
+        prev_mem = mem;
+        a.memSizes[n] = cur.u8();
+    } else {
+        a.memAddrs[n] = 0;
+        a.memSizes[n] = 0;
     }
     if (has_target)
-        op.target = op.pc + static_cast<uint64_t>(cur.varintSigned());
-    block.push(op);
+        a.targets[n] = pc + static_cast<uint64_t>(cur.varintSigned());
+    else
+        a.targets[n] = 0;
 }
 
 } // namespace
@@ -259,16 +323,19 @@ TraceReader::walkChunks(TraceSink *sink)
             if (crc32(payload.data(), payload.size()) != hdr.crc)
                 throw TraceFormatError("trace chunk CRC mismatch: " +
                                        filePath);
-            // Decode the whole chunk into the reusable block, then
-            // hand it to the sink in one consumeBatch call — no
-            // per-op virtual dispatch on the replay path. The chunk
-            // interior decodes through the unchecked fast cursor
-            // (maxEncodedOpBytes guarantees every read stays in
-            // bounds); the tail falls back to the checked Decoder,
-            // so truncation still surfaces as a clean error.
+            // Decode the whole chunk straight into the reusable SoA
+            // block, then hand its view to the sink in one
+            // consumeBatch call — no per-op virtual dispatch and no
+            // intermediate MicroOp on the replay path. The chunk
+            // interior decodes through the unchecked SWAR fast cursor
+            // (maxEncodedOpBytes guarantees every read, including the
+            // 8-byte varint loads, stays in bounds); the tail falls
+            // back to the checked Decoder, so truncation still
+            // surfaces as a clean error.
             if (block.capacity() < hdr.opCount)
                 block = OpBlock(hdr.opCount);
             block.clear();
+            BlockArrays arrays(block);
             uint64_t prev_pc = 0;
             uint64_t prev_mem = 0;
             const uint8_t *pay = payload.data();
@@ -278,18 +345,20 @@ TraceReader::walkChunks(TraceSink *sink)
             while (i < hdr.opCount &&
                    static_cast<size_t>(pay_end - fast.p) >=
                        maxEncodedOpBytes) {
-                decodeOp(fast, prev_pc, prev_mem, block, filePath);
+                decodeOp(fast, prev_pc, prev_mem, arrays, i, filePath);
                 ++i;
             }
             Decoder dec(fast.p,
                         static_cast<size_t>(pay_end - fast.p));
             CheckedCursor checked{dec};
             for (; i < hdr.opCount; ++i)
-                decodeOp(checked, prev_pc, prev_mem, block, filePath);
+                decodeOp(checked, prev_pc, prev_mem, arrays, i,
+                         filePath);
             if (dec.remaining() != 0)
                 throw TraceFormatError(
                     "trailing bytes in trace chunk: " + filePath);
-            sink->consumeBatch(block.data(), block.size());
+            block.setUsed(hdr.opCount);
+            sink->consumeBatch(block.view());
         }
         ops_seen += hdr.opCount;
     }

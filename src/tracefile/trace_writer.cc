@@ -139,16 +139,16 @@ TraceWriter::consume(const MicroOp &op)
 }
 
 void
-TraceWriter::consumeBatch(const MicroOp *ops, size_t count)
+TraceWriter::consumeBatch(const OpBlockView &ops)
 {
     if (finished)
         wcrt_panic("TraceWriter::consumeBatch after finish");
-    for (size_t i = 0; i < count; ++i) {
+    for (size_t i = 0; i < ops.count; ++i) {
         encodeOp(ops[i]);
         if (++bufOps >= chunkOps)
             flushChunk();
     }
-    totalOps += count;
+    totalOps += ops.count;
 }
 
 void

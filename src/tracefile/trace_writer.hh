@@ -54,7 +54,7 @@ class TraceWriter : public TraceSink
      * call, honouring the same chunk boundaries as per-op emission
      * (the produced file is byte-identical).
      */
-    void consumeBatch(const MicroOp *ops, size_t count) override;
+    void consumeBatch(const OpBlockView &ops) override;
 
     /**
      * Flush the last chunk and write the footer. Must be the final

@@ -427,7 +427,7 @@ MlWorkload::runPageRank(RunEnv &env, Tracer &t)
                 if (out) {
                     Record r;
                     r.key = std::to_string(dst);
-                    r.value = "c";
+                    r.value = std::string(1, 'c');
                     r.keyAddr = g.nodeAddr(dst);
                     r.valueAddr = g.edgeAddr(v, e);
                     out->push_back(std::move(r));
@@ -575,7 +575,7 @@ class BayesMapper : public Mapper
         for (auto tok : tokens) {
             Record r;
             r.key = std::to_string(cls) + "#" + std::string(tok);
-            r.value = "1";
+            r.value = std::string(1, '1');
             r.keyAddr =
                 in.valueAddr + static_cast<uint64_t>(tok.data() - base);
             r.valueAddr = r.keyAddr;

@@ -481,7 +481,9 @@ QueryWorkload::runHive(RunEnv &env, Tracer &t)
                         tt.load(b.valueAddr, 8);
                         Record r;
                         r.key = key;
-                        r.value = "J";
+                        // std::string(1, ...) sidesteps a GCC 12 -O3
+                        // -Wrestrict false positive on assign("J").
+                        r.value = std::string(1, 'J');
                         r.keyAddr = a.keyAddr;
                         r.valueAddr = b.keyAddr;
                         out.push_back(std::move(r));
@@ -666,10 +668,10 @@ QueryWorkload::runShark(RunEnv &env, Tracer &t)
         // models the per-key join work).
         RecordVec input = tableRecords(*orders, "order_id");
         for (auto &r : input)
-            r.value = "A";
+            r.value = std::string(1, 'A');
         RecordVec items_recs = tableRecords(*items, "order_id");
         for (auto &r : items_recs) {
-            r.value = "B";
+            r.value = std::string(1, 'B');
             input.push_back(std::move(r));
         }
         shark->parallelize(input)

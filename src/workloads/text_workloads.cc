@@ -64,7 +64,7 @@ class WordCountMapper : public Mapper
         for (auto tok : tokens) {
             Record r;
             r.key = std::string(tok);
-            r.value = "1";
+            r.value = std::string(1, '1');
             r.keyAddr =
                 in.valueAddr + static_cast<uint64_t>(tok.data() - base);
             r.valueAddr = r.keyAddr;

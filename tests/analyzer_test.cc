@@ -38,8 +38,10 @@ TEST(Analyzer, SeparatesSyntheticClasses)
     std::vector<MetricVector> metrics;
     for (int proto = 0; proto < 4; ++proto) {
         for (int i = 0; i < 6; ++i) {
-            names.push_back("w" + std::to_string(proto) + "_" +
-                            std::to_string(i));
+            // std::string(1, ...) sidesteps a GCC 12 -O3 -Wrestrict
+            // false positive on concatenating short literals.
+            names.push_back(std::string(1, 'w') + std::to_string(proto) +
+                            std::string(1, '_') + std::to_string(i));
             metrics.push_back(fromPrototype(proto, rng));
         }
     }
@@ -74,7 +76,7 @@ TEST(Analyzer, PcaDropsRedundantDimensions)
         MetricVector v{};
         for (size_t m = 0; m < numMetrics; ++m)
             v[m] = (m % 2 ? f1 : f2) * (1.0 + 0.01 * m);
-        names.push_back("w" + std::to_string(i));
+        names.push_back(std::string(1, 'w') + std::to_string(i));
         metrics.push_back(v);
     }
     AnalyzerOptions opts;
@@ -91,8 +93,8 @@ TEST(Analyzer, AutoKFindsPlantedClusterCount)
     std::vector<MetricVector> metrics;
     for (int proto = 0; proto < 5; ++proto) {
         for (int i = 0; i < 8; ++i) {
-            names.push_back("p" + std::to_string(proto) + "_" +
-                            std::to_string(i));
+            names.push_back(std::string(1, 'p') + std::to_string(proto) +
+                            std::string(1, '_') + std::to_string(i));
             metrics.push_back(fromPrototype(proto, rng));
         }
     }
@@ -110,7 +112,7 @@ TEST(Analyzer, EveryWorkloadAssignedExactlyOnce)
     std::vector<std::string> names;
     std::vector<MetricVector> metrics;
     for (int i = 0; i < 30; ++i) {
-        names.push_back("w" + std::to_string(i));
+        names.push_back(std::string(1, 'w') + std::to_string(i));
         metrics.push_back(fromPrototype(i % 3, rng));
     }
     AnalyzerOptions opts;
@@ -167,7 +169,7 @@ TEST(Analyzer, RepresentativesReturnedInClusterOrder)
     std::vector<std::string> names;
     std::vector<MetricVector> metrics;
     for (int i = 0; i < 12; ++i) {
-        names.push_back("w" + std::to_string(i));
+        names.push_back(std::string(1, 'w') + std::to_string(i));
         metrics.push_back(fromPrototype(i % 4, rng));
     }
     AnalyzerOptions opts;

@@ -89,8 +89,10 @@ tinyReport(std::vector<std::string> &names,
     Rng rng(3);
     for (int proto = 0; proto < 3; ++proto) {
         for (int i = 0; i < 4; ++i) {
-            names.push_back("w" + std::to_string(proto) + "_" +
-                            std::to_string(i));
+            // std::string(1, ...) sidesteps a GCC 12 -O3 -Wrestrict
+            // false positive on concatenating short literals.
+            names.push_back(std::string(1, 'w') + std::to_string(proto) +
+                            std::string(1, '_') + std::to_string(i));
             MetricVector v{};
             for (size_t m = 0; m < numMetrics; ++m)
                 v[m] = proto * 10.0 + 0.1 * rng.nextGaussian() +

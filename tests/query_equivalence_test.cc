@@ -231,7 +231,9 @@ TEST(DifferenceEquivalence, ImpalaMatchesHiveStyle)
     for (uint64_t r = 0; r < orders.rows; ++r) {
         Record rec;
         rec.key = std::to_string(order_pk[r]);
-        rec.value = "A";
+        // std::string(1, ...) sidesteps a GCC 12 -O3 -Wrestrict false
+        // positive on assign("A").
+        rec.value = std::string(1, 'A');
         rec.keyAddr = orders.cellAddr(0, r);
         rec.valueAddr = rec.keyAddr;
         input.push_back(std::move(rec));
@@ -240,7 +242,7 @@ TEST(DifferenceEquivalence, ImpalaMatchesHiveStyle)
     for (uint64_t r = 0; r < items.rows; ++r) {
         Record rec;
         rec.key = std::to_string(item_fk[r]);
-        rec.value = "B";
+        rec.value = std::string(1, 'B');
         rec.keyAddr = items.cellAddr(1, r);
         rec.valueAddr = rec.keyAddr;
         input.push_back(std::move(rec));

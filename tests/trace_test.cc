@@ -403,7 +403,7 @@ TEST(TeeSink, ForwardsWholeBatches)
     std::vector<MicroOp> ops(5);
     for (auto &op : ops)
         op.kind = OpKind::IntAlu;
-    tee.consumeBatch(ops.data(), ops.size());
+    tee.consumeOps(ops.data(), ops.size());
     EXPECT_EQ(a.total(), 5u);
     EXPECT_EQ(b.total(), 5u);
 }
@@ -415,15 +415,24 @@ TEST(OpBlock, FillsClearsAndViews)
     EXPECT_EQ(block.capacity(), 4u);
     MicroOp op;
     op.kind = OpKind::Store;
+    op.memAddr = 0x1000;
+    op.memSize = 8;
     while (!block.full())
         block.push(op);
     EXPECT_EQ(block.size(), 4u);
-    EXPECT_EQ(block.span().size(), 4u);
+    OpBlockView view = block.view();
+    EXPECT_EQ(view.size(), 4u);
+    EXPECT_EQ(view.kinds[1], OpKind::Store);
+    EXPECT_EQ(view.memAddrs[3], 0x1000u);
     EXPECT_EQ(block[2].kind, OpKind::Store);
+    EXPECT_EQ(block[2].memSize, 8u);
     size_t seen = 0;
-    for (const auto &o : block)
-        seen += o.kind == OpKind::Store;
+    for (size_t i = 0; i < view.size(); ++i)
+        seen += view[i].kind == OpKind::Store;
     EXPECT_EQ(seen, 4u);
+    OpBlockView tail = view.slice(2, 2);
+    EXPECT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].memAddr, 0x1000u);
     block.clear();
     EXPECT_TRUE(block.empty());
     EXPECT_EQ(block.capacity(), 4u);

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <vector>
 
 #include "core/profiler.hh"
@@ -266,10 +267,11 @@ class BatchRecordingSink : public TraceSink
     }
 
     void
-    consumeBatch(const MicroOp *batch, size_t count) override
+    consumeBatch(const OpBlockView &batch) override
     {
-        batchSizes.push_back(count);
-        ops.insert(ops.end(), batch, batch + count);
+        batchSizes.push_back(batch.count);
+        for (size_t i = 0; i < batch.count; ++i)
+            ops.push_back(batch[i]);
     }
 
     std::vector<MicroOp> ops;
@@ -448,6 +450,154 @@ TEST(TraceFile, MissingFileThrows)
                  TraceFormatError);
 }
 
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+/** The complete file header (magic through region table) of a valid
+ *  empty trace, reusable as a prefix for hand-crafted chunk bytes. */
+std::vector<uint8_t>
+sampleHeaderBytes()
+{
+    std::string path = tempTracePath("hand-header");
+    writeSample(path, {});
+    std::ifstream f(path, std::ios::binary);
+    std::vector<uint8_t> file(
+        (std::istreambuf_iterator<char>(f)),
+        std::istreambuf_iterator<char>());
+    f.close();
+    fs::remove(path);
+    // Header length = 16 fixed bytes + the payload size at offset 8.
+    uint32_t payload_bytes = static_cast<uint32_t>(file[8]) |
+                             static_cast<uint32_t>(file[9]) << 8 |
+                             static_cast<uint32_t>(file[10]) << 16 |
+                             static_cast<uint32_t>(file[11]) << 24;
+    file.resize(16 + payload_bytes);
+    return file;
+}
+
+/**
+ * Write a trace whose single op chunk declares `op_count` ops over the
+ * given payload, with correct CRCs throughout and a footer agreeing
+ * with the declared count. The open-time scan (which only checks
+ * bounds and the footer) accepts the file; decoding must then reject
+ * the malformed payload itself rather than hit undefined behaviour.
+ */
+std::string
+writeHandCraftedChunk(const std::string &tag, uint32_t op_count,
+                      const std::vector<uint8_t> &payload)
+{
+    std::vector<uint8_t> bytes = sampleHeaderBytes();
+    putU32(bytes, op_count);
+    putU32(bytes, static_cast<uint32_t>(payload.size()));
+    putU32(bytes, tracefile::crc32(payload.data(), payload.size()));
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+    std::vector<uint8_t> footer;
+    tracefile::putVarint(footer, op_count);
+    for (int i = 0; i < 6; ++i)  // IoCounters + DataBehavior, all zero
+        tracefile::putVarint(footer, 0);
+    putU32(bytes, 0);
+    putU32(bytes, static_cast<uint32_t>(footer.size()));
+    putU32(bytes, tracefile::crc32(footer.data(), footer.size()));
+    bytes.insert(bytes.end(), footer.begin(), footer.end());
+
+    std::string path = tempTracePath(tag);
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return path;
+}
+
+TEST(TraceFile, ChunkDeclaringPayloadPastEofThrows)
+{
+    std::string path = tempTracePath("bad-chunk-header");
+    writeSample(path, awkwardOps());
+
+    // Inflate the first chunk's declared payloadBytes far past the
+    // end of the file; the open-time bounds check must reject it.
+    std::fstream f(path, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    uint8_t fixed[16];
+    f.read(reinterpret_cast<char *>(fixed), sizeof(fixed));
+    uint32_t header_payload = static_cast<uint32_t>(fixed[8]) |
+                              static_cast<uint32_t>(fixed[9]) << 8 |
+                              static_cast<uint32_t>(fixed[10]) << 16 |
+                              static_cast<uint32_t>(fixed[11]) << 24;
+    f.seekp(16 + header_payload + 4);  // chunk header's payloadBytes
+    const char huge[4] = {'\xf0', '\xff', '\xff', '\xff'};
+    f.write(huge, 4);
+    f.close();
+
+    EXPECT_THROW(TraceReader reader(path), TraceFormatError);
+    fs::remove(path);
+}
+
+TEST(TraceFile, OverlongVarintThrows)
+{
+    // A varint of ten continuation bytes is malformed no matter what
+    // follows. Padding keeps >= maxEncodedOpBytes in the chunk so the
+    // decode runs through the unchecked SWAR fast path, which must
+    // still fail cleanly instead of reading on forever.
+    std::vector<uint8_t> payload;
+    payload.push_back(0x00);  // IntAlu, no extension; pc delta follows
+    for (int i = 0; i < 40; ++i)
+        payload.push_back(0x80);
+    std::string path = writeHandCraftedChunk("overlong-varint", 2,
+                                             payload);
+    TraceReader reader(path);
+    RecordingSink sink;
+    EXPECT_THROW(reader.replayInto(sink), TraceFormatError);
+    fs::remove(path);
+}
+
+TEST(TraceFile, ChunkEndingMidOpThrows)
+{
+    // Flags byte only, no pc delta: the checked tail decoder must
+    // report truncation (the CRC is valid, so only payload-level
+    // validation can catch this).
+    std::string path =
+        writeHandCraftedChunk("mid-op", 1, {0x00});
+    TraceReader reader(path);
+    RecordingSink sink;
+    EXPECT_THROW(reader.replayInto(sink), TraceFormatError);
+    fs::remove(path);
+}
+
+TEST(TraceFile, OpCountExceedingPayloadThrows)
+{
+    // One complete op, but the chunk claims five.
+    std::vector<uint8_t> payload;
+    payload.push_back(0x00);
+    tracefile::putVarintSigned(payload, 0x400000);
+    std::string path = writeHandCraftedChunk("count-over", 5, payload);
+    TraceReader reader(path);
+    RecordingSink sink;
+    EXPECT_THROW(reader.replayInto(sink), TraceFormatError);
+    fs::remove(path);
+}
+
+TEST(TraceFile, PayloadExceedingOpCountThrows)
+{
+    // Two complete ops, but the chunk claims one: the leftover bytes
+    // must be rejected, not silently dropped.
+    std::vector<uint8_t> payload;
+    payload.push_back(0x00);
+    tracefile::putVarintSigned(payload, 0x400000);
+    payload.push_back(0x00);
+    tracefile::putVarintSigned(payload, 4);
+    std::string path = writeHandCraftedChunk("count-under", 1, payload);
+    TraceReader reader(path);
+    RecordingSink sink;
+    EXPECT_THROW(reader.replayInto(sink), TraceFormatError);
+    fs::remove(path);
+}
+
 TEST(TraceCacheTest, CapturesOnceThenHits)
 {
     std::string dir =
@@ -478,6 +628,45 @@ TEST(TraceCacheTest, CapturesOnceThenHits)
     EXPECT_GT(reader.opCount(), 0u);
 
     fs::remove_all(dir);
+}
+
+TEST(Replay, WorkerCountIsAlwaysPositive)
+{
+    // requested == 0 defers to hardware_concurrency(), which is
+    // allowed to return 0; the pool size must still come back >= 1.
+    EXPECT_GE(replayWorkers(0), 1u);
+    EXPECT_EQ(replayWorkers(1), 1u);
+    EXPECT_EQ(replayWorkers(7), 7u);
+}
+
+TEST(Replay, ParallelForDefaultThreadCountRunsEveryJob)
+{
+    std::vector<int> hits(97, 0);
+    parallelFor(hits.size(), [&](size_t i) { hits[i]++; }, 0);
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << "job " << i;
+}
+
+TEST(Replay, ReplayOnConfigsDefaultJobsMatchesSerial)
+{
+    const WorkloadEntry &entry = findWorkload("M-Grep");
+    std::string path = tempTracePath("default-jobs");
+    {
+        WorkloadPtr w = entry.make(0.05);
+        captureTrace(*w, path, 0.05);
+    }
+
+    std::vector<MachineConfig> configs{xeonE5645(), atomD510()};
+    auto defaulted = replayOnConfigs(path, configs, 0);  // jobs = auto
+    ASSERT_EQ(defaulted.size(), configs.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+        TraceReader reader(path);
+        WorkloadRun serial = profileWorkload(reader, configs[i]);
+        EXPECT_EQ(defaulted[i].ipc, serial.report.ipc);
+        EXPECT_EQ(defaulted[i].instructions,
+                  serial.report.instructions);
+    }
+    fs::remove(path);
 }
 
 TEST(Replay, ParallelForRunsEveryJobOnce)
