@@ -17,8 +17,14 @@ fails only when
 with current_rel(name) = items_per_second(name) / items_per_second(ref)
 measured within the same JSON file.
 
+Rows present in the current run but absent from the baseline fail the
+gate (pass --allow-new to warn instead): a benchmark that never joins
+the baseline is a benchmark the gate silently ignores forever. A row
+whose rate is zero is always a regression, not a skip.
+
 Usage:
     check_perf.py BASELINE.json CURRENT.json [--threshold 0.25]
+                  [--allow-new]
 """
 
 import argparse
@@ -29,7 +35,12 @@ REFERENCE = "BM_CacheAccess"
 
 
 def load_rates(path):
-    """Map benchmark name -> items_per_second for rows that report it."""
+    """Map benchmark name -> items_per_second for rows that report it.
+
+    A row reporting an explicit 0 is kept (it means the benchmark
+    collapsed, which the gate must flag); only rows that do not report
+    items_per_second at all (e.g. wall-time-only analyses) are skipped.
+    """
     with open(path) as f:
         data = json.load(f)
     rates = {}
@@ -38,7 +49,7 @@ def load_rates(path):
         if row.get("run_type") == "aggregate":
             continue
         ips = row.get("items_per_second")
-        if ips:
+        if ips is not None:
             rates[row["name"]] = float(ips)
     return rates
 
@@ -58,6 +69,9 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression "
                              "(default 0.25 = 25%%)")
+    parser.add_argument("--allow-new", action="store_true",
+                        help="warn instead of fail on rows missing "
+                             "from the baseline")
     args = parser.parse_args()
 
     base = relative(load_rates(args.baseline))
@@ -70,15 +84,29 @@ def main():
         if name not in cur:
             failures.append(f"{name}: missing from current run")
             continue
+        if base[name] == 0.0:
+            failures.append(
+                f"{name}: baseline rate is zero; re-record the baseline")
+            continue
         ratio = cur[name] / base[name]
         flag = ""
-        if ratio < 1.0 - args.threshold:
+        if cur[name] == 0.0 or ratio < 1.0 - args.threshold:
             failures.append(
                 f"{name}: relative throughput {ratio:.2f}x of baseline "
                 f"(limit {1.0 - args.threshold:.2f}x)")
             flag = "  << REGRESSION"
         print(f"{name:<{width}}  {base[name]:8.3f}  {cur[name]:8.3f}"
               f"  {ratio:5.2f}x{flag}")
+
+    unknown = sorted(set(cur) - set(base))
+    for name in unknown:
+        if args.allow_new:
+            print(f"warning: {name} not in baseline "
+                  f"(cur-rel {cur[name]:.3f}); add it", file=sys.stderr)
+        else:
+            failures.append(
+                f"{name}: not in baseline — re-record the baseline or "
+                f"pass --allow-new")
 
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)

@@ -15,12 +15,14 @@
 #include "base/rng.hh"
 #include "sim/branch.hh"
 #include "sim/cache.hh"
+#include "sim/footprint.hh"
 #include "sim/prefetcher.hh"
 #include "sim/sim_cpu.hh"
 #include "stats/kmeans.hh"
 #include "stats/pca.hh"
 #include "trace/mix_counter.hh"
 #include "trace/sampling.hh"
+#include "tracefile/replay.hh"
 #include "tracefile/trace_reader.hh"
 #include "tracefile/trace_writer.hh"
 
@@ -415,6 +417,87 @@ BM_ReplaySimCpuBatch(benchmark::State &state)
     replayRows(state, [] { return SimCpu(xeonE5645()); }, false);
 }
 BENCHMARK(BM_ReplaySimCpuBatch);
+
+/**
+ * The paper's Section 5.4 capacity sweep as a replay sink: ten cache
+ * rungs x three streams per op make it the heaviest sink in any
+ * replay, which is exactly what the batch path's line-id precompute,
+ * set-MRU repeat memos and rung-parallel fan-out attack.
+ */
+void
+BM_ReplaySweepPerOp(benchmark::State &state)
+{
+    replayRows(state, [] { return FootprintSweep(paperSweepSizesKb()); },
+               true);
+}
+BENCHMARK(BM_ReplaySweepPerOp);
+
+void
+BM_ReplaySweepBatch(benchmark::State &state)
+{
+    replayRows(state, [] { return FootprintSweep(paperSweepSizesKb()); },
+               false);
+}
+BENCHMARK(BM_ReplaySweepBatch);
+
+// The threaded rows measure wall time: CPU-time-based items/s would
+// count only the calling thread while the pool does the work,
+// overstating throughput on every multi-core host.
+void
+BM_ReplaySweepParallel(benchmark::State &state)
+{
+    unsigned workers = replayWorkers(0);
+    replayRows(state,
+               [workers] {
+                   return FootprintSweep(paperSweepSizesKb(), 8, 64,
+                                         workers);
+               },
+               false);
+}
+BENCHMARK(BM_ReplaySweepParallel)->UseRealTime();
+
+/**
+ * Multi-sink tee replay: one decode pass fanned out to a fast counter,
+ * the mix tally, the full machine model and the capacity sweep — the
+ * record-once/measure-everything pipeline the figure benches run.
+ * `workers` 0 is the sequential fan-out; > 0 is the double-buffered
+ * pipelined fan-out.
+ */
+void
+teeReplayRow(benchmark::State &state, unsigned workers)
+{
+    TraceReader reader(replayBenchTrace());
+    uint64_t ops_read = 0;
+    for (auto _ : state) {
+        MixCounter mix;
+        CountingSink counter;
+        SimCpu cpu(xeonE5645());
+        FootprintSweep sweep(paperSweepSizesKb());
+        TeeSink tee(workers);
+        tee.addSink(&mix);
+        tee.addSink(&counter);
+        tee.addSink(&cpu);
+        tee.addSink(&sweep);
+        ops_read += reader.replayInto(tee);
+        benchmark::DoNotOptimize(cpu.instructions());
+        benchmark::DoNotOptimize(mix.total());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(ops_read));
+}
+
+void
+BM_ReplayTeeSeq(benchmark::State &state)
+{
+    teeReplayRow(state, 0);
+}
+BENCHMARK(BM_ReplayTeeSeq);
+
+void
+BM_ReplayTeePipelined(benchmark::State &state)
+{
+    teeReplayRow(state, 2);
+}
+BENCHMARK(BM_ReplayTeePipelined)->UseRealTime();
 
 void
 BM_Pca45Metrics(benchmark::State &state)

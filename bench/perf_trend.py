@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Perf-gate history: accumulate per-run relative rates, print a trend.
+
+The perf gate compares one run against the committed baseline, which
+answers "did this PR regress" but not "has this row been drifting for
+a month". This script maintains the longitudinal view: each CI run
+appends one record (label -> relative rates, normalised by the same
+BM_CacheAccess reference row check_perf.py uses) to a JSONL trend file
+that the workflow passes from run to run as an artifact, and prints a
+markdown table of the last few runs for the job summary.
+
+The trend file is append-only JSONL so a truncated or missing download
+(first run, expired artifact) degrades to a shorter table, never an
+error.
+
+Usage:
+    perf_trend.py TREND.jsonl CURRENT.json [--label LABEL]
+                  [--limit N]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from check_perf import load_rates, relative  # noqa: E402
+
+
+def load_trend(path):
+    records = []
+    if not os.path.exists(path):
+        return records
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # tolerate a torn tail from a cancelled run
+            if isinstance(rec, dict) and "rel" in rec:
+                records.append(rec)
+    return records
+
+
+def run_date(current_json):
+    with open(current_json) as f:
+        data = json.load(f)
+    # google-benchmark stamps the run start in the context block.
+    return data.get("context", {}).get("date", "")[:10]
+
+
+def markdown_table(records):
+    if not records:
+        return "(no trend data)"
+    names = sorted({n for rec in records for n in rec["rel"]})
+    labels = [rec.get("label", "?") for rec in records]
+    lines = ["| benchmark | " + " | ".join(labels) + " |",
+             "|---" * (len(records) + 1) + "|"]
+    for name in names:
+        cells = []
+        for rec in records:
+            rel = rec["rel"].get(name)
+            cells.append(f"{rel:.3f}" if rel is not None else "—")
+        lines.append(f"| {name} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trend", help="JSONL trend file (appended to)")
+    parser.add_argument("current", help="benchmark --json output")
+    parser.add_argument("--label", default="this run",
+                        help="column label for the current run "
+                             "(e.g. short commit sha)")
+    parser.add_argument("--limit", type=int, default=8,
+                        help="runs shown in the table (default 8)")
+    args = parser.parse_args()
+
+    rel = relative(load_rates(args.current))
+    record = {"label": args.label, "date": run_date(args.current),
+              "rel": rel}
+
+    records = load_trend(args.trend)
+    records.append(record)
+    with open(args.trend, "w") as f:
+        for rec in records:
+            f.write(json.dumps(rec, sort_keys=True) + "\n")
+
+    shown = records[-args.limit:]
+    print("### Perf trend (relative to BM_CacheAccess)\n")
+    print(f"{len(records)} recorded run(s); showing last {len(shown)}.\n")
+    print(markdown_table(shown))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

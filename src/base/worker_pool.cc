@@ -1,0 +1,105 @@
+#include "base/worker_pool.hh"
+
+#include <algorithm>
+
+namespace wcrt {
+
+WorkerPool::WorkerPool(unsigned workers) : threads(workers)
+{
+    pool.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        pool.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    workReady.notify_all();
+    for (auto &t : pool)
+        t.join();
+}
+
+WorkerPool::Ticket
+WorkerPool::submit(size_t count, Job job)
+{
+    auto task = std::make_shared<Task>();
+    task->job = std::move(job);
+    task->count = count;
+    task->remaining.store(count, std::memory_order_relaxed);
+    if (count == 0)
+        return task;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        queue.push_back(task);
+    }
+    if (!pool.empty())
+        workReady.notify_all();
+    return task;
+}
+
+bool
+WorkerPool::helpOne(const Ticket &t)
+{
+    size_t i = t->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= t->count)
+        return false;
+    t->job(i);
+    // The release half of this RMW chain is what publishes every job's
+    // effects to whoever observes remaining == 0 with an acquire load.
+    if (t->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mtx);
+        queue.erase(std::remove(queue.begin(), queue.end(), t),
+                    queue.end());
+        workDone.notify_all();
+    }
+    return true;
+}
+
+void
+WorkerPool::wait(const Ticket &t)
+{
+    while (helpOne(t)) {
+    }
+    if (done(t))
+        return;
+    // Indices claimed by pool threads are still running; sleep until
+    // the last one counts remaining down to zero.
+    std::unique_lock<std::mutex> lock(mtx);
+    workDone.wait(lock, [&] { return done(t); });
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    while (true) {
+        Ticket task;
+        // Fully-claimed tasks stay queued until their last index
+        // retires (completion prunes them), so the predicate hunts for
+        // a task that still has claimable indices rather than trusting
+        // queue emptiness.
+        workReady.wait(lock, [&] {
+            if (stopping)
+                return true;
+            for (const auto &q : queue) {
+                if (q->next.load(std::memory_order_relaxed) < q->count) {
+                    task = q;
+                    return true;
+                }
+            }
+            return false;
+        });
+        if (stopping)
+            return;
+        lock.unlock();
+        while (helpOne(task)) {
+        }
+        task.reset();
+        lock.lock();
+    }
+}
+
+} // namespace wcrt

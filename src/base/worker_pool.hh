@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Persistent worker pool with caller-participating completion waits.
+ *
+ * Both parallel sinks in the transport layer need the same machinery:
+ * TeeSink fans one block out to N children, FootprintSweep fans one
+ * block out to 3xK independent cache rungs. Each submits a task of
+ * `count` independent indices; pool threads and the waiting caller
+ * claim indices from a shared atomic counter, so the submitter never
+ * idles while work remains and a pool of zero threads degenerates to
+ * plain sequential execution on the caller.
+ *
+ * A submitted task is represented by a Ticket. wait() blocks until
+ * every index of that ticket has finished executing — not merely been
+ * claimed — which is what lets users treat a ticket as a per-batch
+ * completion latch (TeeSink keeps two block tickets in flight and
+ * waits the older one before reusing its storage).
+ */
+
+#ifndef WCRT_BASE_WORKER_POOL_HH
+#define WCRT_BASE_WORKER_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wcrt {
+
+/**
+ * Fixed-size thread pool executing index-parallel tasks.
+ */
+class WorkerPool
+{
+  public:
+    /** Work item: called once per index in [0, count). */
+    using Job = std::function<void(size_t)>;
+
+    /** One submitted task; shared by submitter and workers. */
+    struct Task
+    {
+        Job job;
+        size_t count = 0;
+        std::atomic<size_t> next{0};       //!< next unclaimed index
+        std::atomic<size_t> remaining{0};  //!< indices not yet finished
+    };
+
+    /** Handle for waiting on a submitted task. */
+    using Ticket = std::shared_ptr<Task>;
+
+    /** @param workers Pool threads; 0 = all work runs in wait(). */
+    explicit WorkerPool(unsigned workers);
+
+    /** Joins the threads. Outstanding tickets must be waited first. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    unsigned workerCount() const { return threads; }
+
+    /**
+     * Queue `job` to run once per index in [0, count) and return
+     * without waiting. The job must be safe to call concurrently for
+     * distinct indices.
+     */
+    Ticket submit(size_t count, Job job);
+
+    /** True once every index of `t` has finished executing. */
+    bool
+    done(const Ticket &t) const
+    {
+        return t->remaining.load(std::memory_order_acquire) == 0;
+    }
+
+    /**
+     * Help execute unclaimed indices of `t`, then block until every
+     * claimed index has finished. On return all of the job's effects
+     * are visible to the caller.
+     */
+    void wait(const Ticket &t);
+
+    /** submit() + wait(): run the task to completion now. */
+    void
+    run(size_t count, Job job)
+    {
+        wait(submit(count, std::move(job)));
+    }
+
+  private:
+    void workerLoop();
+
+    /** Claim and run one index of `t`; false when fully claimed. */
+    bool helpOne(const Ticket &t);
+
+    unsigned threads = 0;
+    std::vector<std::thread> pool;
+    mutable std::mutex mtx;
+    std::condition_variable workReady;  //!< claimable work queued
+    std::condition_variable workDone;   //!< some task completed
+    std::vector<Ticket> queue;          //!< tasks with work outstanding
+    bool stopping = false;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_BASE_WORKER_POOL_HH

@@ -27,8 +27,14 @@ Cache::Cache(const CacheConfig &config) : cfg(config)
 bool
 Cache::access(uint64_t addr, bool is_write)
 {
+    return accessLine(addr >> lineShift, is_write);
+}
+
+bool
+Cache::accessLine(uint64_t line, bool is_write)
+{
     ++nAccesses;
-    bool hit = touch(addr, is_write);
+    bool hit = touchLine(line, is_write);
     if (!hit)
         ++nMisses;
     return hit;
@@ -37,17 +43,17 @@ Cache::access(uint64_t addr, bool is_write)
 bool
 Cache::prefetch(uint64_t addr)
 {
-    return touch(addr, false);
+    return touchLine(addr >> lineShift, false);
 }
 
 bool
-Cache::touch(uint64_t addr, bool is_write)
+Cache::touchLine(uint64_t line, bool is_write)
 {
     ++tick;
     // Non-power-of-two set counts (e.g. the E5645's 12288-set L3) use
-    // modulo indexing (see setIndex); the full line id is the tag.
-    uint32_t set = setIndex(addr);
-    uint64_t tag = addr >> lineShift;
+    // modulo indexing (see setOfLine); the full line id is the tag.
+    uint32_t set = setOfLine(line);
+    uint64_t tag = line;
     Way *base = &ways[static_cast<size_t>(set) * cfg.assoc];
 
     Way *victim = base;

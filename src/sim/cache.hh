@@ -44,6 +44,15 @@ class Cache
     bool access(uint64_t addr, bool is_write = false);
 
     /**
+     * Access by precomputed line id (`addr >> lineShiftBits()`).
+     * Equivalent to access(line << lineShiftBits(), is_write); lets
+     * batch sinks hoist the shift out of the per-rung loops.
+     *
+     * @return true on hit.
+     */
+    bool accessLine(uint64_t line, bool is_write = false);
+
+    /**
      * Access a byte range, touching every line it spans.
      *
      * @return Number of missing lines (0 = full hit).
@@ -95,14 +104,23 @@ class Cache
     uint32_t
     setIndex(uint64_t addr) const
     {
-        uint64_t line = addr >> lineShift;
+        return setOfLine(addr >> lineShift);
+    }
+
+    /** Set index for a precomputed line id. */
+    uint32_t
+    setOfLine(uint64_t line) const
+    {
         return setsPow2 ? static_cast<uint32_t>(line & (nSets - 1))
                         : static_cast<uint32_t>(line % nSets);
     }
 
+    /** log2(line size): addr >> lineShiftBits() is the line id. */
+    uint32_t lineShiftBits() const { return lineShift; }
+
   private:
     /** Lookup/fill without statistics; @return true on hit. */
-    bool touch(uint64_t addr, bool is_write);
+    bool touchLine(uint64_t line, bool is_write);
 
     struct Way
     {

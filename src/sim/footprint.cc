@@ -1,6 +1,13 @@
 #include "sim/footprint.hh"
 
+#include <bit>
+
 #include "base/logging.hh"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define WCRT_SWEEP_AVX2 1
+#endif
 
 namespace wcrt {
 
@@ -11,7 +18,8 @@ paperSweepSizesKb()
 }
 
 FootprintSweep::FootprintSweep(std::vector<uint32_t> sizes_kb,
-                               uint32_t assoc, uint32_t line_bytes)
+                               uint32_t assoc, uint32_t line_bytes,
+                               unsigned workers)
     : sizes(std::move(sizes_kb))
 {
     if (sizes.empty())
@@ -23,11 +31,24 @@ FootprintSweep::FootprintSweep(std::vector<uint32_t> sizes_kb,
         dcaches.emplace_back(cfg);
         ucaches.emplace_back(cfg);
     }
+    iFilters.resize(sizes.size());
+    dFilters.resize(sizes.size());
+    uFilters.resize(sizes.size());
+    // Every rung shares the line size, so one shift serves all of
+    // them (the Cache constructor has already validated power-of-two).
+    lineShift = icaches.front().lineShiftBits();
+    if (workers > 0)
+        pool = std::make_unique<WorkerPool>(workers);
 }
 
 void
 FootprintSweep::consume(const MicroOp &op)
 {
+    // Per-op accesses bypass the repeat memos, so any memo built by a
+    // preceding batch would go stale; forget it before touching the
+    // caches directly.
+    if (filtersLive)
+        clearFilters();
     ++ops;
     for (size_t k = 0; k < sizes.size(); ++k) {
         icaches[k].access(op.pc, false);
@@ -41,30 +62,222 @@ FootprintSweep::consume(const MicroOp &op)
 }
 
 void
+FootprintSweep::clearFilters()
+{
+    for (auto *filters : {&iFilters, &dFilters, &uFilters}) {
+        for (auto &f : *filters) {
+            f.valid[0] = 0;
+            f.valid[1] = 0;
+        }
+    }
+    filtersLive = false;
+}
+
+bool
+FootprintSweep::repeatHit(const RepeatSlots &f, uint64_t line,
+                          bool is_write)
+{
+    for (int s = 0; s < 2; ++s) {
+        if (f.valid[s] && f.line[s] == line)
+            return !is_write || f.dirty[s] != 0;
+    }
+    return false;
+}
+
+void
+FootprintSweep::noteAccess(RepeatSlots &f, uint64_t line, uint32_t set,
+                           bool is_write)
+{
+    int tgt = -1;
+    for (int s = 0; s < 2; ++s) {
+        if (f.valid[s] && f.set[s] == set) {
+            tgt = s;
+            break;
+        }
+    }
+    if (tgt < 0) {
+        tgt = !f.valid[0] ? 0 : (!f.valid[1] ? 1 : f.victim);
+    }
+    if (f.valid[tgt] && f.line[tgt] == line) {
+        // Same line walked anyway (write on a clean line): the line's
+        // dirty bit is set now.
+        f.dirty[tgt] |= is_write ? 1 : 0;
+    } else {
+        f.line[tgt] = line;
+        // Conservative: the line may have been dirty from an earlier
+        // residency, but claiming clean only costs a skip, never
+        // correctness.
+        f.dirty[tgt] = is_write ? 1 : 0;
+    }
+    f.set[tgt] = set;
+    f.valid[tgt] = 1;
+    f.victim = static_cast<uint8_t>(tgt ^ 1);
+}
+
+/**
+ * Replay one compressed stream into one cache: walk each run's head,
+ * credit the guaranteed-hit tail (count - 1 MRU re-touches) and any
+ * run the two-slot memo proves is still MRU of its set.
+ */
+void
+FootprintSweep::sweepStream(Cache &c, RepeatSlots &f,
+                            const std::vector<Run> &runs)
+{
+    uint64_t credits = 0;
+    for (const Run &r : runs) {
+        bool is_write = r.write != 0;
+        if (repeatHit(f, r.line, is_write)) {
+            credits += r.count;
+            continue;
+        }
+        c.accessLine(r.line, is_write);
+        noteAccess(f, r.line, c.setOfLine(r.line), is_write);
+        credits += r.count - 1;
+    }
+    c.creditRepeatHits(credits);
+}
+
+void
+FootprintSweep::sweepInstr(size_t k)
+{
+    sweepStream(icaches[k], iFilters[k], instrRuns);
+}
+
+void
+FootprintSweep::sweepData(size_t k)
+{
+    sweepStream(dcaches[k], dFilters[k], dataRuns);
+}
+
+void
+FootprintSweep::sweepUnified(size_t k)
+{
+    sweepStream(ucaches[k], uFilters[k], uniRuns);
+}
+
+namespace {
+
+void
+shiftLinesScalar(const uint64_t *addrs, size_t begin, size_t end,
+                 uint32_t shift, uint64_t *out)
+{
+    for (size_t i = begin; i < end; ++i)
+        out[i] = addrs[i] >> shift;
+}
+
+#ifdef WCRT_SWEEP_AVX2
+
+/**
+ * AVX2 line-id precompute: four 64-bit logical right shifts per
+ * vector. Returns the index shifted up to; the caller finishes the
+ * tail with shiftLinesScalar.
+ */
+__attribute__((target("avx2"))) size_t
+shiftLinesAvx2(const uint64_t *addrs, size_t count, uint32_t shift,
+               uint64_t *out)
+{
+    const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+    size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(addrs + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
+                            _mm256_srl_epi64(v, sh));
+    }
+    return i;
+}
+
+bool
+haveAvx2()
+{
+    static const bool have = __builtin_cpu_supports("avx2");
+    return have;
+}
+
+#endif // WCRT_SWEEP_AVX2
+
+void
+shiftLines(const uint64_t *addrs, size_t count, uint32_t shift,
+           uint64_t *out)
+{
+    size_t i = 0;
+#ifdef WCRT_SWEEP_AVX2
+    if (count >= 16 && haveAvx2())
+        i = shiftLinesAvx2(addrs, count, shift, out);
+#endif
+    shiftLinesScalar(addrs, i, count, shift, out);
+}
+
+} // namespace
+
+void
 FootprintSweep::consumeBatch(const OpBlockView &batch)
 {
     const size_t count = batch.count;
     ops += count;
-    // Rung-major: every cache instance is independent, so reordering
-    // the (rung, op) loop nest leaves each rung's access sequence —
-    // and therefore its miss counts — exactly as in the per-op path,
-    // while one rung's tag array stays resident for the whole block.
-    // The loop reads only the pc/memAddr/memSize/kind arrays.
-    for (size_t k = 0; k < sizes.size(); ++k) {
-        Cache &ic = icaches[k];
-        Cache &dc = dcaches[k];
-        Cache &uc = ucaches[k];
-        for (size_t i = 0; i < count; ++i) {
-            uint64_t pc = batch.pcs[i];
-            ic.access(pc, false);
-            uc.access(pc, false);
-            if (batch.memSizes[i] > 0) {
-                bool is_write = batch.kinds[i] == OpKind::Store;
-                uint64_t mem_addr = batch.memAddrs[i];
-                dc.access(mem_addr, is_write);
-                uc.access(mem_addr, is_write);
+    if (count == 0)
+        return;
+    filtersLive = true;
+    if (pcLines.size() < count) {
+        pcLines.resize(count);
+        memLines.resize(count);
+    }
+    shiftLines(batch.pcs, count, lineShift, pcLines.data());
+    shiftLines(batch.memAddrs, count, lineShift, memLines.data());
+
+    // Run-length compress the three reference streams once so every
+    // rung iterates runs instead of ops. The pc stream is the big
+    // winner: sequential code re-touches each line for many ops, and
+    // each re-touch is a guaranteed MRU hit in every rung.
+    instrRuns.clear();
+    dataRuns.clear();
+    uniRuns.clear();
+    auto extend = [](std::vector<Run> &runs, uint64_t line, bool w) {
+        if (!runs.empty()) {
+            Run &back = runs.back();
+            if (back.line == line && (back.write != 0) == w) {
+                ++back.count;
+                return;
             }
         }
+        runs.push_back(Run{line, 1, static_cast<uint8_t>(w ? 1 : 0)});
+    };
+    for (size_t i = 0; i < count; ++i) {
+        uint64_t pc_line = pcLines[i];
+        extend(instrRuns, pc_line, false);
+        extend(uniRuns, pc_line, false);
+        if (batch.memSizes[i] != 0) {
+            bool is_write = batch.kinds[i] == OpKind::Store;
+            uint64_t mem_line = memLines[i];
+            extend(dataRuns, mem_line, is_write);
+            extend(uniRuns, mem_line, is_write);
+        }
+    }
+
+    // Every (rung, stream) cache is independent: reordering the
+    // (rung, op) loop nest — or running the rungs concurrently —
+    // leaves each cache's access sequence, and therefore its miss
+    // counts, exactly as in the per-op path.
+    const size_t tasks = sizes.size() * 3;
+    auto rung_task = [this](size_t j) {
+        size_t k = j / 3;
+        switch (j % 3) {
+          case 0:
+            sweepInstr(k);
+            break;
+          case 1:
+            sweepData(k);
+            break;
+          default:
+            sweepUnified(k);
+            break;
+        }
+    };
+    if (pool) {
+        pool->run(tasks, rung_task);
+    } else {
+        for (size_t j = 0; j < tasks; ++j)
+            rung_task(j);
     }
 }
 

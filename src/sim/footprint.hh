@@ -8,13 +8,27 @@
  * resulting miss-ratio-vs-capacity curves expose each workload's
  * instruction and data footprint: the capacity where the curve
  * flattens is the working-set size.
+ *
+ * The sweep is the heaviest sink in any replay (3 x K tag walks per
+ * op), so the batch path works in four stages per block: the pc and
+ * memAddr arrays are shifted to line ids once up front (AVX2 where the
+ * host supports it), the three reference streams are run-length
+ * compressed once — consecutive accesses to the same (line, rw) are
+ * guaranteed MRU hits in every rung, so only the run heads reach the
+ * rung loops — each (rung, stream) pair further filters set-MRU
+ * repeats through a two-slot memo and credits them without a tag walk,
+ * and the 3 x K independent cache instances optionally spread over a
+ * persistent worker pool. All four stages are equivalence preserving:
+ * miss and access counts stay bit-identical to the per-op path.
  */
 
 #ifndef WCRT_SIM_FOOTPRINT_HH
 #define WCRT_SIM_FOOTPRINT_HH
 
+#include <memory>
 #include <vector>
 
+#include "base/worker_pool.hh"
 #include "sim/cache.hh"
 #include "trace/microop.hh"
 
@@ -33,17 +47,23 @@ class FootprintSweep : public TraceSink
      * @param sizes_kb Cache capacities to ladder (ascending).
      * @param assoc Associativity of every rung (paper: 8).
      * @param line_bytes Line size (paper: 64).
+     * @param workers Pool threads for the batch path; 0 runs every
+     *        rung on the calling thread (bit-identical either way).
      */
     explicit FootprintSweep(std::vector<uint32_t> sizes_kb,
                             uint32_t assoc = 8,
-                            uint32_t line_bytes = 64);
+                            uint32_t line_bytes = 64,
+                            unsigned workers = 0);
 
     void consume(const MicroOp &op) override;
 
     /**
-     * Batch-native path: iterates rung-major (one cache's tag array
-     * at a time over the whole block) so each rung's sets stay hot
-     * instead of being evicted by its neighbours every op.
+     * Batch-native path: precomputes line ids for the block, run-
+     * length compresses each reference stream, then walks each
+     * (rung, stream) cache over the compressed events — one tag array
+     * at a time so its sets stay hot — skipping set-MRU repeats via
+     * creditRepeatHits(). With a pool, the independent cache
+     * instances run in parallel.
      */
     void consumeBatch(const OpBlockView &ops) override;
 
@@ -57,10 +77,79 @@ class FootprintSweep : public TraceSink
     uint64_t instructions() const { return ops; }
 
   private:
+    /**
+     * Two-slot set-MRU repeat memo, one per (rung, stream) cache. A
+     * slot records a line this cache accessed and stays valid while
+     * that line is still the MRU line of its set — i.e. until a real
+     * access touches the same set. While valid, a re-access of the
+     * line is a guaranteed hit that leaves the within-set LRU order
+     * unchanged, so it can be credited without a tag walk (a write
+     * additionally requires the line already dirty). Two slots cover
+     * the common alternation between a load stream and a store stream
+     * that a single memo would thrash on.
+     */
+    struct RepeatSlots
+    {
+        uint64_t line[2] = {0, 0};
+        uint32_t set[2] = {0, 0};
+        uint8_t dirty[2] = {0, 0};
+        uint8_t valid[2] = {0, 0};
+        uint8_t victim = 0;
+    };
+
+    /**
+     * True when `line` may skip its tag walk: it matches a slot that
+     * is still the MRU line of its set, and a write finds it already
+     * dirty (a write to a clean MRU line must walk to set the bit).
+     */
+    static bool repeatHit(const RepeatSlots &f, uint64_t line,
+                          bool is_write);
+
+    /**
+     * Record a real access in the memo. The accessed line is now the
+     * MRU line of `set`, so any slot tracking that set is repointed
+     * at it; a new set evicts the older slot.
+     */
+    static void noteAccess(RepeatSlots &f, uint64_t line, uint32_t set,
+                           bool is_write);
+
+    /**
+     * One run-length-compressed reference: `count` back-to-back
+     * accesses to `line` with the same read/write sense. Accesses
+     * 2..count re-touch the line while it is necessarily still the
+     * MRU line of its set (nothing intervened in this cache's access
+     * order), so every rung walks the head once and credits the rest
+     * — independent of the rung's set mapping.
+     */
+    struct Run
+    {
+        uint64_t line;
+        uint32_t count;
+        uint8_t write;
+    };
+
+    void sweepStream(Cache &c, RepeatSlots &f,
+                     const std::vector<Run> &runs);
+    void sweepInstr(size_t k);
+    void sweepData(size_t k);
+    void sweepUnified(size_t k);
+    void clearFilters();
+
     std::vector<uint32_t> sizes;
     std::vector<Cache> icaches;
     std::vector<Cache> dcaches;
     std::vector<Cache> ucaches;
+    std::vector<RepeatSlots> iFilters;
+    std::vector<RepeatSlots> dFilters;
+    std::vector<RepeatSlots> uFilters;
+    std::unique_ptr<WorkerPool> pool;
+    std::vector<uint64_t> pcLines;   //!< per-block line-id scratch
+    std::vector<uint64_t> memLines;
+    std::vector<Run> instrRuns;      //!< per-block compressed streams
+    std::vector<Run> dataRuns;
+    std::vector<Run> uniRuns;
+    uint32_t lineShift = 6;
+    bool filtersLive = false;  //!< memo state exists from a batch
     uint64_t ops = 0;
 };
 

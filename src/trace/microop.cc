@@ -1,38 +1,73 @@
 /**
  * @file
  * Out-of-line pieces of the micro-op transport: the AoS convenience
- * packer and the parallel TeeSink fan-out.
+ * packer and the double-buffered TeeSink fan-out.
  */
 
 #include "trace/microop.hh"
+
+#include <algorithm>
+#include <cstring>
 
 namespace wcrt {
 
 void
 TraceSink::consumeOps(const MicroOp *ops, size_t count)
 {
-    OpBlock block(count);
-    for (size_t i = 0; i < count; ++i)
-        block.push(ops[i]);
-    consumeBatch(block.view());
+    // One scratch block per thread, allocated once and reused, so the
+    // compatibility path stops churning the allocator when replay
+    // loops call it per run. Capped at the default block size: longer
+    // runs arrive as several batches, which the partitioning contract
+    // makes equivalent.
+    static thread_local OpBlock scratch(defaultOpBlockOps);
+    for (size_t i = 0; i < count; i += scratch.capacity()) {
+        size_t n = std::min(scratch.capacity(), count - i);
+        scratch.clear();
+        for (size_t j = 0; j < n; ++j)
+            scratch.push(ops[i + j]);
+        consumeBatch(scratch.view());
+    }
 }
+
+namespace {
+
+/** Copy a view's arrays into a block, regrowing it if undersized. */
+void
+copyInto(OpBlock &dst, const OpBlockView &src)
+{
+    if (dst.capacity() < src.count)
+        dst = OpBlock(src.count);
+    std::memcpy(dst.rawKinds(), src.kinds, src.count * sizeof(OpKind));
+    std::memcpy(dst.rawPurposes(), src.purposes,
+                src.count * sizeof(IntPurpose));
+    std::memcpy(dst.rawPcs(), src.pcs, src.count * sizeof(uint64_t));
+    std::memcpy(dst.rawSizes(), src.sizes, src.count * sizeof(uint8_t));
+    std::memcpy(dst.rawMemAddrs(), src.memAddrs,
+                src.count * sizeof(uint64_t));
+    std::memcpy(dst.rawMemSizes(), src.memSizes,
+                src.count * sizeof(uint8_t));
+    std::memcpy(dst.rawTargets(), src.targets,
+                src.count * sizeof(uint64_t));
+    std::memcpy(dst.rawTakens(), src.takens, src.count * sizeof(uint8_t));
+    dst.setUsed(src.count);
+}
+
+} // namespace
 
 TeeSink::TeeSink(unsigned workers)
 {
-    pool.reserve(workers);
-    for (unsigned i = 0; i < workers; ++i)
-        pool.emplace_back([this] { workerLoop(); });
+    if (workers > 0)
+        pool = std::make_unique<WorkerPool>(workers);
 }
 
 TeeSink::~TeeSink()
 {
-    {
-        std::lock_guard<std::mutex> lock(mtx);
-        stopping = true;
+    // Settle in-flight batches before the pool (and the staging
+    // blocks the workers read) go away.
+    for (auto &t : inFlight) {
+        if (t)
+            pool->wait(t);
     }
-    workReady.notify_all();
-    for (auto &t : pool)
-        t.join();
 }
 
 void
@@ -44,30 +79,20 @@ TeeSink::addSink(TraceSink *sink, bool concurrentSafe)
         seqSinks.push_back(sink);
 }
 
-bool
-TeeSink::claimChild(uint64_t gen, size_t &idx)
+void
+TeeSink::consume(const MicroOp &op)
 {
-    // The claim counter carries the generation in its upper bits so a
-    // worker still spinning on the previous batch can never steal an
-    // index from the next one: a stale claimer sees either its own
-    // generation exhausted or a foreign generation, and backs off
-    // without touching the counter.
-    uint64_t v = claimState.load(std::memory_order_acquire);
-    while ((v >> claimIndexBits) == (gen & claimGenMask) &&
-           (v & claimIndexMask) < safeSinks.size()) {
-        if (claimState.compare_exchange_weak(v, v + 1,
-                                             std::memory_order_acq_rel)) {
-            idx = v & claimIndexMask;
-            return true;
-        }
-    }
-    return false;
+    drain();
+    for (auto *s : safeSinks)
+        s->consume(op);
+    for (auto *s : seqSinks)
+        s->consume(op);
 }
 
 void
 TeeSink::consumeBatch(const OpBlockView &ops)
 {
-    if (pool.empty() || safeSinks.size() <= 1) {
+    if (!pool || safeSinks.size() <= 1) {
         for (auto *s : safeSinks)
             s->consumeBatch(ops);
         for (auto *s : seqSinks)
@@ -75,60 +100,49 @@ TeeSink::consumeBatch(const OpBlockView &ops)
         return;
     }
 
-    uint64_t gen;
-    {
-        std::lock_guard<std::mutex> lock(mtx);
-        current = &ops;
-        gen = ++generation;
-        remaining.store(safeSinks.size(), std::memory_order_relaxed);
-        claimState.store((gen & claimGenMask) << claimIndexBits,
-                         std::memory_order_release);
+    // Stage the block so the emitter may reuse its storage the moment
+    // we return. Two slots alternate: reclaiming this slot waits on
+    // the batch from two calls ago, leaving the previous batch free
+    // to drain while we copy.
+    size_t slot = nextSlot;
+    nextSlot ^= 1;
+    if (inFlight[slot]) {
+        pool->wait(inFlight[slot]);
+        inFlight[slot].reset();
     }
-    workReady.notify_all();
+    copyInto(stage[slot], ops);
 
-    // The calling thread owns the non-thread-safe children and then
-    // helps drain the shared claim queue instead of idling.
+    // Per-block completion latch: every child must finish block N-1
+    // before any child sees block N, preserving each child's per-op
+    // order without serializing emission behind the slowest child.
+    size_t prev = slot ^ 1;
+    if (inFlight[prev]) {
+        pool->wait(inFlight[prev]);
+        inFlight[prev].reset();
+    }
+    inFlight[slot] = pool->submit(safeSinks.size(), [this, slot](size_t c) {
+        safeSinks[c]->consumeBatch(stage[slot].view());
+    });
+
+    // Non-thread-safe children run here, overlapping the pool's drain.
     for (auto *s : seqSinks)
         s->consumeBatch(ops);
-    size_t idx;
-    while (claimChild(gen, idx)) {
-        safeSinks[idx]->consumeBatch(ops);
-        remaining.fetch_sub(1, std::memory_order_acq_rel);
-    }
-
-    // Full barrier: the emitter reuses the block as soon as we return.
-    std::unique_lock<std::mutex> lock(mtx);
-    workDone.wait(lock, [this] {
-        return remaining.load(std::memory_order_acquire) == 0;
-    });
-    current = nullptr;
 }
 
 void
-TeeSink::workerLoop()
+TeeSink::drain()
 {
-    uint64_t seen = 0;
-    while (true) {
-        const OpBlockView *ops = nullptr;
-        {
-            std::unique_lock<std::mutex> lock(mtx);
-            workReady.wait(lock, [this, seen] {
-                return stopping || generation != seen;
-            });
-            if (stopping)
-                return;
-            seen = generation;
-            ops = current;
-        }
-        size_t idx;
-        while (claimChild(seen, idx)) {
-            safeSinks[idx]->consumeBatch(*ops);
-            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-                std::lock_guard<std::mutex> lock(mtx);
-                workDone.notify_all();
-            }
+    for (auto &t : inFlight) {
+        if (t) {
+            pool->wait(t);
+            t.reset();
         }
     }
+    // Children may themselves pipeline (nested tees): propagate.
+    for (auto *s : safeSinks)
+        s->drain();
+    for (auto *s : seqSinks)
+        s->drain();
 }
 
 } // namespace wcrt

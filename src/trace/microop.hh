@@ -13,13 +13,12 @@
 #ifndef WCRT_TRACE_MICROOP_HH
 #define WCRT_TRACE_MICROOP_HH
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
-#include <thread>
+#include <memory>
 #include <vector>
+
+#include "base/worker_pool.hh"
 
 namespace wcrt {
 
@@ -302,23 +301,44 @@ class TraceSink
     void consumeBlock(const OpBlock &block) { consumeBatch(block.view()); }
 
     /**
-     * Convenience for callers holding an array-of-structs run: packs
-     * the ops into a temporary OpBlock and delivers it through
-     * consumeBatch(). Allocates; for tests and tools, not hot paths.
+     * Convenience for callers holding an array-of-structs run: chunks
+     * the ops through a reused thread-local OpBlock and delivers them
+     * via consumeBatch(). Runs longer than the scratch capacity arrive
+     * as several batches — equivalent by the partitioning contract.
      */
     void consumeOps(const MicroOp *ops, size_t count);
+
+    /**
+     * Settle any asynchronously in-flight ops. Pipelined sinks
+     * (TeeSink with a pool) may return from consumeBatch() before
+     * their children have consumed the block; a caller that is about
+     * to read downstream state must drain() first. Sinks that wrap
+     * other sinks forward the call; synchronous sinks need nothing.
+     * Emission-side entry points (Tracer::flush, TraceReader's
+     * replayInto) drain on the caller's behalf.
+     */
+    virtual void drain() {}
 };
 
 /**
  * A sink that fans one stream out to several consumers.
  *
  * By default children are fed sequentially on the calling thread. With
- * `workers > 0` a persistent pool hands the same immutable block view
- * to thread-safe children concurrently; children registered with
- * `concurrentSafe = false` are always fed by the calling thread. A
- * consumeBatch() call returns only after every child has consumed the
- * block (the emitter reuses the block's storage immediately after), so
- * each child still observes the exact per-op sequence in order.
+ * `workers > 0` a persistent WorkerPool feeds thread-safe children
+ * concurrently, double-buffered: consumeBatch() copies the block into
+ * one of two internal staging slots, submits the fan-out, and returns
+ * while the children are still draining — the emitter fills block N+1
+ * while the pool drains block N, so slow children (SimCpu, the
+ * footprint sweep) hide behind fast ones and behind emission itself.
+ * A per-block completion ticket replaces the old full barrier: block
+ * N is only submitted after every child finished block N-1, so each
+ * child still observes the exact per-op sequence in order.
+ *
+ * Children registered with `concurrentSafe = false` are always fed
+ * synchronously by the calling thread. Because the pipelined path
+ * returns early, read downstream state only after drain() — the
+ * emission-side entry points (Tracer::flush, TraceReader::replayInto)
+ * do this automatically.
  *
  * The TeeSink itself is not re-entrant: deliver to it from one thread.
  */
@@ -338,44 +358,28 @@ class TeeSink : public TraceSink
      */
     void addSink(TraceSink *sink, bool concurrentSafe = true);
 
-    void
-    consume(const MicroOp &op) override
-    {
-        for (auto *s : safeSinks)
-            s->consume(op);
-        for (auto *s : seqSinks)
-            s->consume(op);
-    }
+    /** Per-op fan-out; settles in-flight blocks first. */
+    void consume(const MicroOp &op) override;
 
     /** Whole blocks go to each downstream sink — no per-op fan-out. */
     void consumeBatch(const OpBlockView &ops) override;
 
-  private:
-    void workerLoop();
-    bool claimChild(uint64_t gen, size_t &idx);
+    /** Wait for in-flight blocks, then drain the children. */
+    void drain() override;
 
+  private:
     std::vector<TraceSink *> safeSinks;  //!< may run on pool threads
     std::vector<TraceSink *> seqSinks;   //!< calling thread only
 
-    // Generation-tagged child-claim counter: upper bits hold the batch
-    // generation, lower bits the next unclaimed child index.
-    static constexpr unsigned claimIndexBits = 16;
-    static constexpr uint64_t claimIndexMask = (1ull << claimIndexBits) - 1;
-    static constexpr uint64_t claimGenMask =
-        (1ull << (64 - claimIndexBits)) - 1;
-
-    // Pool state: consumeBatch publishes `current` under `mtx` with a
-    // new generation, workers claim child indices from `claimState`
-    // and count completions down through `remaining`.
-    std::vector<std::thread> pool;
-    std::mutex mtx;
-    std::condition_variable workReady;
-    std::condition_variable workDone;
-    const OpBlockView *current = nullptr;
-    uint64_t generation = 0;
-    std::atomic<uint64_t> claimState{0};
-    std::atomic<size_t> remaining{0};
-    bool stopping = false;
+    // Double buffer: consumeBatch copies the incoming view into
+    // stage[nextSlot] and tracks the outstanding fan-out per slot.
+    // inFlight[s] is the ticket for the batch staged in stage[s];
+    // waiting it both releases the storage for reuse and acts as the
+    // previous block's completion latch.
+    std::unique_ptr<WorkerPool> pool;
+    OpBlock stage[2];
+    WorkerPool::Ticket inFlight[2];
+    size_t nextSlot = 0;
 };
 
 } // namespace wcrt

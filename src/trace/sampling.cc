@@ -28,6 +28,7 @@ SamplingSink::SamplingSink(TraceSink &downstream, uint64_t expected_ops,
     if (expected_ops == 0)
         wcrt_fatal("sampling needs a non-zero expected length");
     double prev_end = 0.0;
+    uint64_t prev_hi = 0;
     for (const auto &w : windows) {
         if (!(w.begin >= prev_end && w.end > w.begin && w.end <= 1.0))
             wcrt_fatal("sample windows must be sorted, disjoint and "
@@ -37,7 +38,34 @@ SamplingSink::SamplingSink(TraceSink &downstream, uint64_t expected_ops,
                                         static_cast<double>(expected_ops));
         auto hi = static_cast<uint64_t>(w.end *
                                         static_cast<double>(expected_ops));
-        ranges.emplace_back(lo, std::max(hi, lo + 1));
+        // Tiny windows or small expected_ops can collapse several
+        // windows onto the same integer index. Keep every window at
+        // least one op wide, push it past the previous window's end so
+        // the integer ranges stay disjoint, and clamp to the expected
+        // length; a window squeezed entirely past the end vanishes
+        // (it has no representable op).
+        if (hi < lo + 1)
+            hi = lo + 1;
+        if (lo < prev_hi)
+            lo = prev_hi;
+        if (hi < lo + 1)
+            hi = lo + 1;
+        if (hi > expected_ops)
+            hi = expected_ops;
+        if (lo >= hi)
+            continue;
+        ranges.emplace_back(lo, hi);
+        prev_hi = hi;
+    }
+    // Re-validate after conversion: both delivery paths assume the
+    // integer ranges are non-empty, sorted and disjoint.
+    for (size_t r = 0; r < ranges.size(); ++r) {
+        bool ordered = ranges[r].first < ranges[r].second &&
+                       ranges[r].second <= expected_ops &&
+                       (r == 0 || ranges[r - 1].second <= ranges[r].first);
+        if (!ordered)
+            wcrt_fatal("sample window conversion produced an invalid "
+                       "integer range");
     }
 }
 

@@ -56,6 +56,9 @@ class SamplingSink : public TraceSink
      */
     void consumeBatch(const OpBlockView &ops) override;
 
+    /** Wrapper sink: settling means settling the downstream sink. */
+    void drain() override { downstream.drain(); }
+
     /** Ops seen in total. */
     uint64_t totalOps() const { return seen; }
 

@@ -36,6 +36,15 @@ Tracer::~Tracer()
 void
 Tracer::flush()
 {
+    deliverBlock();
+    // flush() promises the caller may read sink state: settle any
+    // blocks a pipelined sink still has in flight.
+    sink.drain();
+}
+
+void
+Tracer::deliverBlock()
+{
     if (block.empty())
         return;
     sink.consumeBlock(block);
@@ -75,8 +84,10 @@ Tracer::emit(OpKind kind, IntPurpose purpose, uint64_t mem_addr,
     f.cursor = (f.cursor + opBytes) % f.bytes;
     ++emitted;
     block.push(op);
+    // Auto-flush hands the sink the block but does not drain it: a
+    // pipelined sink keeps filling and draining overlapped.
     if (block.full())
-        flush();
+        deliverBlock();
 }
 
 void

@@ -54,10 +54,12 @@ class Tracer
     Tracer &operator=(const Tracer &) = delete;
 
     /**
-     * Push every buffered op to the sink now. Emission flushes
-     * automatically when the block fills and when the call stack
-     * empties; use this before reading sink state while frames are
-     * still active.
+     * Push every buffered op to the sink now and drain() it, so the
+     * sink's state is safe to read on return even when the sink
+     * pipelines (TeeSink with workers). Emission flushes automatically
+     * when the block fills (without draining — that keeps the
+     * pipeline overlapped) and when the call stack empties; use this
+     * before reading sink state while frames are still active.
      */
     void flush();
 
@@ -163,6 +165,10 @@ class Tracer
     };
 
     void enter(FunctionId f, bool indirect);
+
+    /** Hand the buffered block to the sink without draining it. */
+    void deliverBlock();
+
     void emit(OpKind kind, IntPurpose purpose, uint64_t mem_addr,
               uint8_t mem_size, uint64_t target, bool taken);
     void overheadWalk(const Frame &frame, const CallProfile &profile,

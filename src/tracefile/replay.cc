@@ -84,30 +84,18 @@ replaySweepLadder(const std::string &trace_path, SweepKind kind,
     if (sizes_kb.empty())
         return {};
 
-    // One decode pass per worker, not per rung: each worker replays
-    // the trace once into a multi-capacity sweep over its contiguous
-    // share of the ladder. The rungs' caches are independent either
-    // way, so the grouping leaves every ratio bit-identical.
-    size_t groups =
-        std::min<size_t>(replayWorkers(threads), sizes_kb.size());
-    size_t per_group = (sizes_kb.size() + groups - 1) / groups;
-
-    std::vector<double> ratios(sizes_kb.size(), 0.0);
-    parallelFor(groups, [&](size_t g) {
-        size_t begin = g * per_group;
-        size_t end = std::min(begin + per_group, sizes_kb.size());
-        if (begin >= end)
-            return;
-        std::vector<uint32_t> share(sizes_kb.begin() + begin,
-                                    sizes_kb.begin() + end);
-        TraceReader reader(trace_path);
-        FootprintSweep sweep(share, assoc, line_bytes);
-        reader.replayInto(sweep);
-        auto share_ratios = sweep.missRatios(kind);
-        for (size_t i = begin; i < end; ++i)
-            ratios[i] = share_ratios[i - begin];
-    }, threads);
-    return ratios;
+    // One decode pass total: the sweep itself spreads its 3 x K
+    // independent cache rungs over a worker pool per block, so a
+    // single TraceReader feeds every rung instead of each worker
+    // re-decoding the trace for its share of the ladder. The rungs'
+    // caches are independent either way, so every ratio stays
+    // bit-identical to a sequential sweep.
+    unsigned workers = replayWorkers(threads);
+    FootprintSweep sweep(sizes_kb, assoc, line_bytes,
+                         workers > 1 ? workers : 0);
+    TraceReader reader(trace_path);
+    reader.replayInto(sweep);
+    return sweep.missRatios(kind);
 }
 
 std::vector<CpuReport>

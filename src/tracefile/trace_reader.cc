@@ -373,7 +373,11 @@ TraceReader::scanFooter()
 uint64_t
 TraceReader::replayInto(TraceSink &sink)
 {
-    return walkChunks(&sink);
+    uint64_t n = walkChunks(&sink);
+    // Pipelined sinks (TeeSink with workers) may still hold blocks in
+    // flight; settle them so the caller can read sink state.
+    sink.drain();
+    return n;
 }
 
 uint64_t

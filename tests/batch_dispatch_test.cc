@@ -341,6 +341,9 @@ TEST(BatchDispatch, ParallelTeeSinkMatchesSequential)
         tee.addSink(&c);
         tee.addSink(&seq_only, /*concurrentSafe=*/false);
         feedBlocked(tee, ops, block);
+        // The pipelined fan-out may still hold the last blocks in
+        // flight; reading child state requires settling them first.
+        tee.drain();
         EXPECT_EQ(a.total(), mix_ref.total());
         for (size_t k = 0; k < numOpKinds; ++k)
             EXPECT_EQ(a.count(static_cast<OpKind>(k)),
@@ -357,10 +360,10 @@ TEST(BatchDispatch, ParallelTeeSinkMatchesSequential)
 
 TEST(BatchDispatch, ParallelTeeSinkSurvivesManyBlocks)
 {
-    // Stress the pool's publish/claim/barrier cycle with thousands of
-    // small blocks: every block must fully drain before the (reused)
-    // block storage is refilled, so any barrier bug shows up as a
-    // count mismatch or a TSan report.
+    // Stress the double-buffer cycle with thousands of small blocks:
+    // each staging slot must fully drain before it is refilled and
+    // block N must not start before N-1 completes, so any latch bug
+    // shows up as a count mismatch or a TSan report.
     auto ops = syntheticStream(kStreamOps);
     CountingSink a, b, c, d;
     TeeSink tee(2);
@@ -369,10 +372,205 @@ TEST(BatchDispatch, ParallelTeeSinkSurvivesManyBlocks)
     tee.addSink(&c);
     tee.addSink(&d, /*concurrentSafe=*/false);
     feedBlocked(tee, ops, 3);
+    tee.drain();
     EXPECT_EQ(a.ops(), ops.size());
     EXPECT_EQ(b.ops(), ops.size());
     EXPECT_EQ(c.ops(), ops.size());
     EXPECT_EQ(d.ops(), ops.size());
+}
+
+TEST(BatchDispatch, DoubleBufferedTeeSinkOrdersBlocksPerChild)
+{
+    // A recorder observes the concatenation of every block it was
+    // handed; if the double-buffered fan-out ever reordered blocks,
+    // overlapped a child with itself, or handed out a stale staging
+    // slot, the recorded op sequence would diverge. Two recorders and
+    // a third child keep both pool slots and the latch busy.
+    auto ops = syntheticStream(kStreamOps);
+    for (size_t block : kBlockSizes) {
+        SCOPED_TRACE("block " + std::to_string(block));
+        TraceRecorder a, b;
+        CountingSink c;
+        TeeSink tee(2);
+        tee.addSink(&a);
+        tee.addSink(&b);
+        tee.addSink(&c);
+        feedBlocked(tee, ops, block);
+        tee.drain();
+        expectOpsEqual(a.trace(), ops);
+        expectOpsEqual(b.trace(), ops);
+        EXPECT_EQ(c.ops(), ops.size());
+    }
+}
+
+TEST(BatchDispatch, DrainIsIdempotentAndPerOpSettlesInFlight)
+{
+    // consume() on a pipelined tee must settle in-flight blocks first
+    // so the per-op fan-out lands after them; drain() afterwards (and
+    // repeatedly) must be harmless.
+    auto ops = syntheticStream(1000);
+    TraceRecorder a, b;
+    TeeSink tee(2);
+    tee.addSink(&a);
+    tee.addSink(&b);
+    feedBlocked(tee, ops, 64);
+    MicroOp extra;
+    extra.kind = OpKind::Other;
+    extra.pc = 0xdead0000;
+    tee.consume(extra);
+    tee.drain();
+    tee.drain();
+    auto expect = ops;
+    expect.push_back(extra);
+    expectOpsEqual(a.trace(), expect);
+    expectOpsEqual(b.trace(), expect);
+}
+
+TEST(BatchDispatch, FootprintSweepParallelMatchesScalar)
+{
+    // The rung-parallel batch path must stay bit-identical to both
+    // the scalar batch path and the per-op reference, on the random
+    // pattern and on the adversarial streaming pattern that hammers
+    // the set-MRU repeat memos.
+    std::vector<uint32_t> sizes{16, 64, 256, 1024};
+    for (bool streaming : {false, true}) {
+        SCOPED_TRACE(streaming ? "streaming" : "synthetic");
+        auto ops = streaming ? streamingStream(kStreamOps)
+                             : syntheticStream(kStreamOps);
+        FootprintSweep per_op(sizes);
+        feedPerOp(per_op, ops);
+        for (size_t block : kBlockSizes) {
+            SCOPED_TRACE("block " + std::to_string(block));
+            FootprintSweep scalar(sizes);
+            FootprintSweep parallel(sizes, 8, 64, /*workers=*/3);
+            feedBlocked(scalar, ops, block);
+            feedBlocked(parallel, ops, block);
+            EXPECT_EQ(scalar.instructions(), per_op.instructions());
+            EXPECT_EQ(parallel.instructions(), per_op.instructions());
+            for (auto kind : {SweepKind::Instruction, SweepKind::Data,
+                              SweepKind::Unified}) {
+                auto base = per_op.missRatios(kind);
+                auto scalar_got = scalar.missRatios(kind);
+                auto parallel_got = parallel.missRatios(kind);
+                for (size_t i = 0; i < sizes.size(); ++i) {
+                    EXPECT_EQ(scalar_got[i], base[i]) << sizes[i] << " KB";
+                    EXPECT_EQ(parallel_got[i], base[i])
+                        << sizes[i] << " KB";
+                }
+            }
+        }
+    }
+}
+
+TEST(BatchDispatch, FootprintSweepSurvivesMixedDelivery)
+{
+    // Alternating batch and per-op delivery: the per-op path must
+    // forget the repeat memos a preceding batch built, or the skipped
+    // recency updates would corrupt later counts.
+    auto ops = streamingStream(kStreamOps);
+    std::vector<uint32_t> sizes{16, 128};
+    FootprintSweep per_op(sizes);
+    feedPerOp(per_op, ops);
+    FootprintSweep mixed(sizes, 8, 64, /*workers=*/2);
+    OpBlock buf(64);
+    for (size_t i = 0; i < ops.size();) {
+        if ((i / 64) % 3 == 2) {
+            mixed.consume(ops[i]);
+            ++i;
+            continue;
+        }
+        size_t n = std::min<size_t>(64, ops.size() - i);
+        buf.clear();
+        for (size_t j = 0; j < n; ++j)
+            buf.push(ops[i + j]);
+        mixed.consumeBlock(buf);
+        i += n;
+    }
+    EXPECT_EQ(mixed.instructions(), per_op.instructions());
+    for (auto kind : {SweepKind::Instruction, SweepKind::Data,
+                      SweepKind::Unified}) {
+        auto base = per_op.missRatios(kind);
+        auto got = mixed.missRatios(kind);
+        for (size_t i = 0; i < sizes.size(); ++i)
+            EXPECT_EQ(got[i], base[i]) << sizes[i] << " KB";
+    }
+}
+
+TEST(BatchDispatch, SamplingWindowStraddlingBlockEdgeMatchesPerOp)
+{
+    // Window boundaries placed just around multiples of the block
+    // sizes, so forwarding starts and stops mid-block and at exact
+    // block edges; batch and per-op forwarding must agree op for op.
+    auto ops = syntheticStream(kStreamOps);
+    // One window straddling each tested block size's boundary,
+    // expressed as fractions of kStreamOps.
+    std::vector<SampleWindow> windows;
+    const double n = static_cast<double>(kStreamOps);
+    windows.push_back({698.0 / n, 705.0 / n});    // straddles 7-block edge
+    windows.push_back({4090.0 / n, 4100.0 / n});  // straddles 4096 edge
+    windows.push_back({8191.0 / n, 8193.0 / n});  // 1-block edge is any op
+    TraceRecorder per_op_rec;
+    SamplingSink per_op(per_op_rec, kStreamOps, windows);
+    feedPerOp(per_op, ops);
+    for (size_t block : kBlockSizes) {
+        SCOPED_TRACE("block " + std::to_string(block));
+        TraceRecorder rec;
+        SamplingSink batched(rec, kStreamOps, windows);
+        feedBlocked(batched, ops, block);
+        EXPECT_EQ(batched.totalOps(), per_op.totalOps());
+        EXPECT_EQ(batched.sampledOps(), per_op.sampledOps());
+        expectOpsEqual(rec.trace(), per_op_rec.trace());
+    }
+}
+
+TEST(BatchDispatch, SamplingCollapsedWindowsStayDisjointAndClamped)
+{
+    // With a tiny expected length, adjacent windows collapse onto the
+    // same integer index and the trailing window lands past the end.
+    // The converted ranges must stay disjoint and clamped, and both
+    // delivery paths must agree — also when the trace runs longer
+    // than expected.
+    constexpr uint64_t expected = 10;
+    std::vector<SampleWindow> windows{
+        {0.50, 0.51}, {0.52, 0.53}, {0.54, 0.55}, {0.99, 1.0}};
+    auto ops = syntheticStream(25);  // longer than expected
+    TraceRecorder per_op_rec;
+    SamplingSink per_op(per_op_rec, expected, windows);
+    feedPerOp(per_op, ops);
+    // Windows 0.50/0.52/0.54 all floor to index 5: disjoint
+    // conversion spreads them to ops 5, 6, 7; 0.99-1.0 claims op 9.
+    EXPECT_EQ(per_op.sampledOps(), 4u);
+    for (size_t block : kBlockSizes) {
+        SCOPED_TRACE("block " + std::to_string(block));
+        TraceRecorder rec;
+        SamplingSink batched(rec, expected, windows);
+        feedBlocked(batched, ops, block);
+        EXPECT_EQ(batched.totalOps(), per_op.totalOps());
+        EXPECT_EQ(batched.sampledOps(), per_op.sampledOps());
+        expectOpsEqual(rec.trace(), per_op_rec.trace());
+    }
+}
+
+TEST(BatchDispatch, SamplingWindowPastEndVanishesAfterClamp)
+{
+    // Both windows collapse to index 9; the second is squeezed past
+    // expected_ops by the disjointness shift and must vanish instead
+    // of forwarding out-of-range indices when the trace runs long.
+    constexpr uint64_t expected = 10;
+    std::vector<SampleWindow> windows{{0.97, 0.98}, {0.99, 1.0}};
+    auto ops = syntheticStream(30);
+    TraceRecorder per_op_rec;
+    SamplingSink per_op(per_op_rec, expected, windows);
+    feedPerOp(per_op, ops);
+    EXPECT_EQ(per_op.sampledOps(), 1u);
+    for (size_t block : kBlockSizes) {
+        SCOPED_TRACE("block " + std::to_string(block));
+        TraceRecorder rec;
+        SamplingSink batched(rec, expected, windows);
+        feedBlocked(batched, ops, block);
+        EXPECT_EQ(batched.sampledOps(), per_op.sampledOps());
+        expectOpsEqual(rec.trace(), per_op_rec.trace());
+    }
 }
 
 TEST(BatchDispatch, ConsumeOpsPacksWholeRun)
@@ -381,6 +579,20 @@ TEST(BatchDispatch, ConsumeOpsPacksWholeRun)
     TraceRecorder rec;
     rec.consumeOps(ops.data(), ops.size());
     expectOpsEqual(rec.trace(), ops);
+}
+
+TEST(BatchDispatch, ConsumeOpsChunksRunsLongerThanScratch)
+{
+    // Runs longer than the thread-local scratch block arrive as
+    // several batches; the concatenation must still be exact, and
+    // back-to-back calls must not see stale scratch contents.
+    auto ops = syntheticStream(defaultOpBlockOps * 2 + 123);
+    TraceRecorder rec;
+    rec.consumeOps(ops.data(), ops.size());
+    rec.consumeOps(ops.data(), 5);
+    auto expect = ops;
+    expect.insert(expect.end(), ops.begin(), ops.begin() + 5);
+    expectOpsEqual(rec.trace(), expect);
 }
 
 TEST(BatchDispatch, TraceWriterFilesByteIdentical)
