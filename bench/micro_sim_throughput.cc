@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -29,6 +30,19 @@
 using namespace wcrt;
 
 namespace {
+
+/**
+ * Worker cap for the threaded rows, set by `--jobs N` (0 = hardware).
+ * Maps straight onto the replay runners' `threads` argument, i.e. the
+ * executor cap on the process-wide WorkerPool.
+ */
+unsigned g_jobs = 0;
+
+unsigned
+benchJobs()
+{
+    return g_jobs;
+}
 
 /** A SimCpu-shaped synthetic op mix (30% load, 10% store, 15% branch). */
 std::vector<MicroOp>
@@ -457,6 +471,50 @@ BM_ReplaySweepParallel(benchmark::State &state)
 BENCHMARK(BM_ReplaySweepParallel)->UseRealTime();
 
 /**
+ * The sweep's batch path in isolation — no file decode — with the
+ * full worker fan-out, so the set-range rung splitting shows up
+ * directly: without it the 4-8 MB rungs serialize the ladder's tail
+ * behind a single worker.
+ */
+void
+BM_SweepRungSplit(benchmark::State &state)
+{
+    auto ops = dispatchStream(64 * 1024);
+    unsigned workers = replayWorkers(benchJobs());
+    for (auto _ : state) {
+        FootprintSweep sweep(paperSweepSizesKb(), 8, 64, workers);
+        dispatchBatched(sweep, ops);
+        benchmark::DoNotOptimize(sweep.instructions());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * ops.size()));
+}
+BENCHMARK(BM_SweepRungSplit)->UseRealTime();
+
+/**
+ * The multi-config replay runner on the shared pool: one trace, four
+ * machine configurations, each an independent decode + simulate pass
+ * fanned out with caller participation.
+ */
+void
+BM_ReplayConfigsPooled(benchmark::State &state)
+{
+    const std::string &path = replayBenchTrace();
+    std::vector<MachineConfig> configs{xeonE5645(), atomD510(),
+                                       atomInOrderSim(32),
+                                       atomInOrderSim(64)};
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        auto reports = replayOnConfigs(path, configs, benchJobs());
+        for (const auto &r : reports)
+            instructions += r.instructions;
+    }
+    benchmark::DoNotOptimize(instructions);
+    state.SetItemsProcessed(static_cast<int64_t>(instructions));
+}
+BENCHMARK(BM_ReplayConfigsPooled)->UseRealTime();
+
+/**
  * Multi-sink tee replay: one decode pass fanned out to a fast counter,
  * the mix tally, the full machine model and the capacity sweep — the
  * record-once/measure-everything pipeline the figure benches run.
@@ -541,10 +599,11 @@ BENCHMARK(BM_KMeans77x10);
 } // namespace
 
 /**
- * Standard benchmark main plus a `--json PATH` convenience flag that
- * expands to `--benchmark_out=PATH --benchmark_out_format=json`. The
+ * Standard benchmark main plus two convenience flags: `--json PATH`
+ * expands to `--benchmark_out=PATH --benchmark_out_format=json` (the
  * CI perf-regression gate and the README throughput table both
- * consume the JSON file this produces.
+ * consume that file), and `--jobs N` caps the worker count of the
+ * threaded rows (0 = hardware), mirroring the figure benches.
  */
 int
 main(int argc, char **argv)
@@ -557,6 +616,12 @@ main(int argc, char **argv)
             json_path = arg.substr(7);
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            g_jobs = static_cast<unsigned>(std::atoi(arg.c_str() + 7));
+            continue;
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            g_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+            continue;
         } else {
             args.push_back(std::move(arg));
             continue;

@@ -22,6 +22,24 @@ WorkerPool::~WorkerPool()
         t.join();
 }
 
+unsigned
+WorkerPool::hardwareWorkers()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 2 : hw;
+}
+
+WorkerPool &
+WorkerPool::shared()
+{
+    // One executor slot belongs to the thread that calls wait(), so
+    // hardware minus one pool threads saturates the machine without
+    // oversubscribing it. A single-core host gets an empty pool and
+    // every task degenerates to serial execution in wait().
+    static WorkerPool instance(hardwareWorkers() - 1);
+    return instance;
+}
+
 WorkerPool::Ticket
 WorkerPool::submit(size_t count, Job job)
 {
@@ -38,6 +56,42 @@ WorkerPool::submit(size_t count, Job job)
     if (!pool.empty())
         workReady.notify_all();
     return task;
+}
+
+WorkerPool::Ticket
+WorkerPool::submitBounded(size_t count, unsigned pool_claims, Job job)
+{
+    auto task = std::make_shared<Task>();
+    task->job = std::move(job);
+    task->count = count;
+    task->remaining.store(count, std::memory_order_relaxed);
+    task->slots.store(pool_claims, std::memory_order_relaxed);
+    if (count == 0)
+        return task;
+    if (pool_claims == 0) {
+        // Nothing for the pool threads to claim: the ticket never
+        // enters the queue and wait() runs it serially on the caller.
+        return task;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        queue.push_back(task);
+    }
+    if (!pool.empty())
+        workReady.notify_all();
+    return task;
+}
+
+bool
+WorkerPool::claimSlot(const Ticket &t)
+{
+    unsigned s = t->slots.load(std::memory_order_relaxed);
+    while (s > 0) {
+        if (t->slots.compare_exchange_weak(s, s - 1,
+                                           std::memory_order_relaxed))
+            return true;
+    }
+    return false;
 }
 
 bool
@@ -61,6 +115,10 @@ WorkerPool::helpOne(const Ticket &t)
 void
 WorkerPool::wait(const Ticket &t)
 {
+    // The submitter is exempt from the bounded-claim budget: it always
+    // participates, which both guarantees forward progress when
+    // pool_claims == 0 and makes nested waits from pool threads
+    // deadlock-free (the waiter works instead of merely sleeping).
     while (helpOne(t)) {
     }
     if (done(t))
@@ -80,12 +138,16 @@ WorkerPool::workerLoop()
         // Fully-claimed tasks stay queued until their last index
         // retires (completion prunes them), so the predicate hunts for
         // a task that still has claimable indices rather than trusting
-        // queue emptiness.
+        // queue emptiness. Bounded tickets additionally require
+        // winning a claim slot here, under the lock, so no more pool
+        // threads than the ticket's budget ever pass.
         workReady.wait(lock, [&] {
             if (stopping)
                 return true;
             for (const auto &q : queue) {
-                if (q->next.load(std::memory_order_relaxed) < q->count) {
+                if (q->next.load(std::memory_order_relaxed) <
+                        q->count &&
+                    claimSlot(q)) {
                     task = q;
                     return true;
                 }

@@ -2,10 +2,11 @@
  * @file
  * Persistent worker pool with caller-participating completion waits.
  *
- * Both parallel sinks in the transport layer need the same machinery:
+ * Every parallel path in the toolkit needs the same machinery:
  * TeeSink fans one block out to N children, FootprintSweep fans one
- * block out to 3xK independent cache rungs. Each submits a task of
- * `count` independent indices; pool threads and the waiting caller
+ * block out to rung-stream shards, and the replay runners fan N
+ * independent trace replays out over the machine. Each submits a task
+ * of `count` independent indices; pool threads and the waiting caller
  * claim indices from a shared atomic counter, so the submitter never
  * idles while work remains and a pool of zero threads degenerates to
  * plain sequential execution on the caller.
@@ -15,6 +16,21 @@
  * claimed — which is what lets users treat a ticket as a per-batch
  * completion latch (TeeSink keeps two block tickets in flight and
  * waits the older one before reusing its storage).
+ *
+ * One process-wide pool (shared(), lazily built with
+ * hardwareWorkers() - 1 threads) serves every replay entry point, so
+ * no measured path pays per-call thread spawn/join churn. Callers
+ * that must honour a user-facing worker cap (--jobs=N) submit
+ * bounded tickets: the ticket carries a budget of pool-thread claim
+ * slots, so at most `cap - 1` pool threads join the always-helping
+ * caller regardless of how wide the shared pool is.
+ *
+ * Nesting is deadlock-free by construction: wait() always helps with
+ * the awaited ticket's own indices before sleeping, so a pool thread
+ * that submits a sub-task from inside a job (a capacity sweep running
+ * inside a pooled replay) makes progress on that sub-task itself and
+ * only sleeps once every index is claimed by threads that are
+ * actively executing them.
  */
 
 #ifndef WCRT_BASE_WORKER_POOL_HH
@@ -24,6 +40,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -47,6 +64,14 @@ class WorkerPool
         size_t count = 0;
         std::atomic<size_t> next{0};       //!< next unclaimed index
         std::atomic<size_t> remaining{0};  //!< indices not yet finished
+        /**
+         * Pool-thread claim budget (the bounded-claim ticket). Every
+         * pool thread must win one slot before it may execute indices
+         * of this task; the waiting submitter is exempt and always
+         * participates. Defaults to effectively unbounded.
+         */
+        std::atomic<unsigned> slots{
+            std::numeric_limits<unsigned>::max()};
     };
 
     /** Handle for waiting on a submitted task. */
@@ -64,11 +89,38 @@ class WorkerPool
     unsigned workerCount() const { return threads; }
 
     /**
+     * Concurrency the hardware advertises, always >= 1.
+     * hardware_concurrency() is allowed to return 0 when the hardware
+     * cannot be probed; fall back to a small count so callers sizing
+     * pools or caps never see zero.
+     */
+    static unsigned hardwareWorkers();
+
+    /**
+     * The process-wide pool: lazily constructed on first use with
+     * hardwareWorkers() - 1 threads (the waiting caller is the +1
+     * executor). All replay entry points, the capacity sweep and any
+     * other index-parallel fan-out share it, so thread creation
+     * happens once per process instead of once per call.
+     */
+    static WorkerPool &shared();
+
+    /**
      * Queue `job` to run once per index in [0, count) and return
      * without waiting. The job must be safe to call concurrently for
      * distinct indices.
      */
     Ticket submit(size_t count, Job job);
+
+    /**
+     * submit() with a bounded-claim ticket: at most `pool_claims`
+     * pool threads will ever execute indices of this task, however
+     * wide the pool is. The submitting caller is expected to wait()
+     * (and thereby help), so the observed concurrency is at most
+     * `pool_claims + 1`. `pool_claims == 0` queues nothing for the
+     * pool threads; wait() runs the whole task on the caller.
+     */
+    Ticket submitBounded(size_t count, unsigned pool_claims, Job job);
 
     /** True once every index of `t` has finished executing. */
     bool
@@ -91,11 +143,27 @@ class WorkerPool
         wait(submit(count, std::move(job)));
     }
 
+    /**
+     * submitBounded() + wait() with user-facing cap semantics: the
+     * task runs on at most `cap` concurrent executors, one of which
+     * is the calling thread. `cap <= 1` therefore runs strictly
+     * serially on the caller.
+     */
+    void
+    runBounded(size_t count, unsigned cap, Job job)
+    {
+        wait(submitBounded(count, cap > 0 ? cap - 1 : 0,
+                           std::move(job)));
+    }
+
   private:
     void workerLoop();
 
     /** Claim and run one index of `t`; false when fully claimed. */
     bool helpOne(const Ticket &t);
+
+    /** Win one pool-thread claim slot of `t`; false when exhausted. */
+    static bool claimSlot(const Ticket &t);
 
     unsigned threads = 0;
     std::vector<std::thread> pool;

@@ -66,12 +66,15 @@ WorkloadRun profileWorkload(TraceReader &trace,
 
 /**
  * Replay many stored traces against one machine configuration in
- * parallel (one worker per trace, results in input order).
+ * parallel (results in input order). Fans out via parallelFor on the
+ * process-wide WorkerPool::shared(), so the cap composes with every
+ * other pooled replay path instead of spawning its own threads.
  *
  * @param trace_paths Trace files to replay.
  * @param machine Machine model to simulate.
  * @param node Node throughput model for system-behaviour analysis.
- * @param threads Worker cap (0 → hardware threads).
+ * @param threads Executor cap (0 → hardware threads, 1 → strictly
+ *        serial on the caller).
  */
 std::vector<WorkloadRun> profileTraces(
     const std::vector<std::string> &trace_paths,

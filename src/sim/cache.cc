@@ -47,9 +47,25 @@ Cache::prefetch(uint64_t addr)
 }
 
 bool
+Cache::Shard::accessLine(uint64_t line, bool is_write)
+{
+    ++accessDelta;
+    bool hit = owner->touchLineTicked(line, is_write, localTick);
+    if (!hit)
+        ++missDelta;
+    return hit;
+}
+
+bool
 Cache::touchLine(uint64_t line, bool is_write)
 {
-    ++tick;
+    return touchLineTicked(line, is_write, tick);
+}
+
+bool
+Cache::touchLineTicked(uint64_t line, bool is_write, uint64_t &tick_ref)
+{
+    ++tick_ref;
     // Non-power-of-two set counts (e.g. the E5645's 12288-set L3) use
     // modulo indexing (see setOfLine); the full line id is the tag.
     uint32_t set = setOfLine(line);
@@ -60,7 +76,7 @@ Cache::touchLine(uint64_t line, bool is_write)
     for (uint32_t w = 0; w < cfg.assoc; ++w) {
         Way &way = base[w];
         if (way.valid && way.tag == tag) {
-            way.lastUse = tick;
+            way.lastUse = tick_ref;
             way.dirty = way.dirty || is_write;
             return true;
         }
@@ -73,7 +89,7 @@ Cache::touchLine(uint64_t line, bool is_write)
 
     victim->valid = true;
     victim->tag = tag;
-    victim->lastUse = tick;
+    victim->lastUse = tick_ref;
     victim->dirty = is_write;
     return false;
 }

@@ -1,8 +1,10 @@
 #include "sim/footprint.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "base/logging.hh"
+#include "base/worker_pool.hh"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #include <immintrin.h>
@@ -10,6 +12,18 @@
 #endif
 
 namespace wcrt {
+
+namespace {
+
+/**
+ * Upper bound on set-range shards per rung walk. Splitting flattens
+ * the big-rung tail of the ladder, but every shard re-scans the full
+ * run list to filter its sets, so past a few ways the filtering
+ * overhead outgrows the tag-walk win.
+ */
+constexpr unsigned kMaxRungSplit = 4;
+
+} // namespace
 
 std::vector<uint32_t>
 paperSweepSizesKb()
@@ -31,14 +45,14 @@ FootprintSweep::FootprintSweep(std::vector<uint32_t> sizes_kb,
         dcaches.emplace_back(cfg);
         ucaches.emplace_back(cfg);
     }
-    iFilters.resize(sizes.size());
-    dFilters.resize(sizes.size());
-    uFilters.resize(sizes.size());
+    poolCap = workers;
+    splitWays = workers > 1 ? std::min(workers, kMaxRungSplit) : 1;
+    iFilters.resize(sizes.size() * splitWays);
+    dFilters.resize(sizes.size() * splitWays);
+    uFilters.resize(sizes.size() * splitWays);
     // Every rung shares the line size, so one shift serves all of
     // them (the Cache constructor has already validated power-of-two).
     lineShift = icaches.front().lineShiftBits();
-    if (workers > 0)
-        pool = std::make_unique<WorkerPool>(workers);
 }
 
 void
@@ -114,45 +128,27 @@ FootprintSweep::noteAccess(RepeatSlots &f, uint64_t line, uint32_t set,
     f.victim = static_cast<uint8_t>(tgt ^ 1);
 }
 
-/**
- * Replay one compressed stream into one cache: walk each run's head,
- * credit the guaranteed-hit tail (count - 1 MRU re-touches) and any
- * run the two-slot memo proves is still MRU of its set.
- */
 void
-FootprintSweep::sweepStream(Cache &c, RepeatSlots &f,
-                            const std::vector<Run> &runs)
+FootprintSweep::sweepStreamShard(Cache::Shard &shard, RepeatSlots &f,
+                                 const std::vector<Run> &runs,
+                                 uint32_t set_lo, uint32_t set_hi)
 {
+    const Cache &c = shard.cache();
     uint64_t credits = 0;
     for (const Run &r : runs) {
+        uint32_t set = c.setOfLine(r.line);
+        if (set < set_lo || set >= set_hi)
+            continue;
         bool is_write = r.write != 0;
         if (repeatHit(f, r.line, is_write)) {
             credits += r.count;
             continue;
         }
-        c.accessLine(r.line, is_write);
-        noteAccess(f, r.line, c.setOfLine(r.line), is_write);
+        shard.accessLine(r.line, is_write);
+        noteAccess(f, r.line, set, is_write);
         credits += r.count - 1;
     }
-    c.creditRepeatHits(credits);
-}
-
-void
-FootprintSweep::sweepInstr(size_t k)
-{
-    sweepStream(icaches[k], iFilters[k], instrRuns);
-}
-
-void
-FootprintSweep::sweepData(size_t k)
-{
-    sweepStream(dcaches[k], dFilters[k], dataRuns);
-}
-
-void
-FootprintSweep::sweepUnified(size_t k)
-{
-    sweepStream(ucaches[k], uFilters[k], uniRuns);
+    shard.creditRepeatHits(credits);
 }
 
 namespace {
@@ -254,31 +250,54 @@ FootprintSweep::consumeBatch(const OpBlockView &batch)
         }
     }
 
-    // Every (rung, stream) cache is independent: reordering the
-    // (rung, op) loop nest — or running the rungs concurrently —
-    // leaves each cache's access sequence, and therefore its miss
-    // counts, exactly as in the per-op path.
-    const size_t tasks = sizes.size() * 3;
-    auto rung_task = [this](size_t j) {
-        size_t k = j / 3;
-        switch (j % 3) {
+    // Every (rung, stream) cache is independent, and within one cache
+    // the set-range shards touch disjoint sets — so all
+    // rung x stream x shard walks can run concurrently. Task j maps
+    // to rung k = j / (3 * ways), stream (j / ways) % 3 and shard
+    // j % ways; shards are seeded serially before dispatch (each
+    // snapshots its cache's recency clock) and merged serially in task
+    // order afterwards, so the counts come out bit-identical to a
+    // sequential walk no matter how the pool schedules the middle.
+    const unsigned ways = splitWays;
+    const size_t tasks = sizes.size() * 3 * ways;
+    auto cache_at = [&](size_t j) -> Cache & {
+        size_t k = j / (3 * ways);
+        switch ((j / ways) % 3) {
           case 0:
-            sweepInstr(k);
-            break;
+            return icaches[k];
           case 1:
-            sweepData(k);
-            break;
+            return dcaches[k];
           default:
-            sweepUnified(k);
-            break;
+            return ucaches[k];
         }
     };
-    if (pool) {
-        pool->run(tasks, rung_task);
+    shardScratch.resize(tasks);
+    for (size_t j = 0; j < tasks; ++j)
+        shardScratch[j] = cache_at(j).beginShard();
+
+    auto rung_task = [&, ways](size_t j) {
+        size_t k = j / (3 * ways);
+        size_t stream = (j / ways) % 3;
+        unsigned s = static_cast<unsigned>(j % ways);
+        Cache::Shard &shard = shardScratch[j];
+        uint64_t sets = shard.cache().sets();
+        uint32_t lo = static_cast<uint32_t>(sets * s / ways);
+        uint32_t hi = static_cast<uint32_t>(sets * (s + 1) / ways);
+        const std::vector<Run> &runs =
+            stream == 0 ? instrRuns : stream == 1 ? dataRuns : uniRuns;
+        std::vector<RepeatSlots> &filters =
+            stream == 0 ? iFilters : stream == 1 ? dFilters : uFilters;
+        sweepStreamShard(shard, filters[k * ways + s], runs, lo, hi);
+    };
+    if (poolCap > 1) {
+        WorkerPool::shared().runBounded(tasks, poolCap, rung_task);
     } else {
         for (size_t j = 0; j < tasks; ++j)
             rung_task(j);
     }
+
+    for (size_t j = 0; j < tasks; ++j)
+        cache_at(j).merge(shardScratch[j]);
 }
 
 std::vector<double>

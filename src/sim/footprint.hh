@@ -15,20 +15,24 @@
  * host supports it), the three reference streams are run-length
  * compressed once — consecutive accesses to the same (line, rw) are
  * guaranteed MRU hits in every rung, so only the run heads reach the
- * rung loops — each (rung, stream) pair further filters set-MRU
- * repeats through a two-slot memo and credits them without a tag walk,
- * and the 3 x K independent cache instances optionally spread over a
- * persistent worker pool. All four stages are equivalence preserving:
- * miss and access counts stay bit-identical to the per-op path.
+ * rung loops — each (rung, stream, shard) walk further filters
+ * set-MRU repeats through a two-slot memo and credits them without a
+ * tag walk, and the walks spread over the process-wide
+ * WorkerPool::shared() under a bounded-claim cap. Each rung's run
+ * list is additionally split into disjoint set-range shards
+ * (Cache::Shard), so the largest rungs — whose tag arrays dwarf the
+ * host's caches and used to serialize the ladder's tail — are walked
+ * by several workers at once, with per-worker hit/miss/credit
+ * accumulators merged at the rung join. All stages are equivalence
+ * preserving: miss and access counts stay bit-identical to the
+ * per-op path.
  */
 
 #ifndef WCRT_SIM_FOOTPRINT_HH
 #define WCRT_SIM_FOOTPRINT_HH
 
-#include <memory>
 #include <vector>
 
-#include "base/worker_pool.hh"
 #include "sim/cache.hh"
 #include "trace/microop.hh"
 
@@ -47,8 +51,10 @@ class FootprintSweep : public TraceSink
      * @param sizes_kb Cache capacities to ladder (ascending).
      * @param assoc Associativity of every rung (paper: 8).
      * @param line_bytes Line size (paper: 64).
-     * @param workers Pool threads for the batch path; 0 runs every
-     *        rung on the calling thread (bit-identical either way).
+     * @param workers Executor cap for the batch path on the shared
+     *        worker pool (the consuming thread participates); 0 or 1
+     *        runs every walk on the calling thread (bit-identical
+     *        either way).
      */
     explicit FootprintSweep(std::vector<uint32_t> sizes_kb,
                             uint32_t assoc = 8,
@@ -60,10 +66,11 @@ class FootprintSweep : public TraceSink
     /**
      * Batch-native path: precomputes line ids for the block, run-
      * length compresses each reference stream, then walks each
-     * (rung, stream) cache over the compressed events — one tag array
-     * at a time so its sets stay hot — skipping set-MRU repeats via
-     * creditRepeatHits(). With a pool, the independent cache
-     * instances run in parallel.
+     * (rung, stream, set-range shard) over the compressed events —
+     * one tag array at a time so its sets stay hot — skipping set-MRU
+     * repeats via the shard's creditRepeatHits(). With a worker cap
+     * above 1, the independent walks run in parallel on the shared
+     * pool and each rung's shards merge at the rung join.
      */
     void consumeBatch(const OpBlockView &ops) override;
 
@@ -78,7 +85,9 @@ class FootprintSweep : public TraceSink
 
   private:
     /**
-     * Two-slot set-MRU repeat memo, one per (rung, stream) cache. A
+     * Two-slot set-MRU repeat memo, one per (rung, stream, shard)
+     * walk — each shard owns the sets in its range outright, so its
+     * memo sees every access that could invalidate a slot. A
      * slot records a line this cache accessed and stays valid while
      * that line is still the MRU line of its set — i.e. until a real
      * access touches the same set. While valid, a re-access of the
@@ -128,21 +137,29 @@ class FootprintSweep : public TraceSink
         uint8_t write;
     };
 
-    void sweepStream(Cache &c, RepeatSlots &f,
-                     const std::vector<Run> &runs);
-    void sweepInstr(size_t k);
-    void sweepData(size_t k);
-    void sweepUnified(size_t k);
+    /**
+     * Replay the runs whose lines map into [set_lo, set_hi) of the
+     * shard's cache: walk each selected run's head through the shard,
+     * credit the guaranteed-hit tail (count - 1 MRU re-touches) and
+     * any run the memo proves is still MRU of its set.
+     */
+    static void sweepStreamShard(Cache::Shard &shard, RepeatSlots &f,
+                                 const std::vector<Run> &runs,
+                                 uint32_t set_lo, uint32_t set_hi);
     void clearFilters();
 
     std::vector<uint32_t> sizes;
     std::vector<Cache> icaches;
     std::vector<Cache> dcaches;
     std::vector<Cache> ucaches;
+    //! Repeat memos, sizes.size() * splitWays each, indexed
+    //! rung * splitWays + shard.
     std::vector<RepeatSlots> iFilters;
     std::vector<RepeatSlots> dFilters;
     std::vector<RepeatSlots> uFilters;
-    std::unique_ptr<WorkerPool> pool;
+    unsigned poolCap = 0;   //!< executor cap on the shared pool
+    unsigned splitWays = 1; //!< set-range shards per rung walk
+    std::vector<Cache::Shard> shardScratch;  //!< per-batch shard state
     std::vector<uint64_t> pcLines;   //!< per-block line-id scratch
     std::vector<uint64_t> memLines;
     std::vector<Run> instrRuns;      //!< per-block compressed streams

@@ -1,9 +1,9 @@
 #include "tracefile/replay.hh"
 
-#include <atomic>
 #include <exception>
 #include <mutex>
-#include <thread>
+
+#include "base/worker_pool.hh"
 
 namespace wcrt {
 
@@ -12,13 +12,7 @@ replayWorkers(unsigned requested)
 {
     if (requested > 0)
         return requested;
-    // hardware_concurrency() is allowed to return 0 when the hardware
-    // cannot be probed; fall back to a small pool so the result is
-    // always >= 1.
-    unsigned hw = std::thread::hardware_concurrency();
-    if (hw == 0)
-        hw = 2;
-    return hw;
+    return WorkerPool::hardwareWorkers();
 }
 
 void
@@ -27,36 +21,38 @@ parallelFor(size_t count, const std::function<void(size_t)> &job,
 {
     if (count == 0)
         return;
+    // The one resolution of the worker request on this path: every
+    // runner below delegates here, so a --jobs value can never be
+    // interpreted differently by the cap and by the pool.
     size_t workers = std::min<size_t>(replayWorkers(threads), count);
     if (workers <= 1) {
+        // Strictly serial fast path: no pool, no ticket, exceptions
+        // propagate directly.
         for (size_t i = 0; i < count; ++i)
             job(i);
         return;
     }
 
-    std::atomic<size_t> next{0};
+    // Fan out over the process-wide pool with a bounded-claim ticket:
+    // at most `workers` executors (this thread plus workers - 1 pool
+    // threads) run jobs concurrently, and this thread participates
+    // until every index is claimed. Jobs may throw (replays surface
+    // TraceFormatError on corrupt files); the first exception is
+    // captured and rethrown after the ticket settles so the pool
+    // threads never unwind.
     std::exception_ptr first_error;
     std::mutex error_mutex;
-    auto worker = [&]() {
-        while (true) {
-            size_t i = next.fetch_add(1);
-            if (i >= count)
-                return;
-            try {
-                job(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
+    WorkerPool &pool = WorkerPool::shared();
+    pool.runBounded(count, static_cast<unsigned>(workers),
+                    [&](size_t i) {
+        try {
+            job(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error)
+                first_error = std::current_exception();
         }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (size_t w = 0; w < workers; ++w)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+    });
     if (first_error)
         std::rethrow_exception(first_error);
 }
@@ -84,12 +80,13 @@ replaySweepLadder(const std::string &trace_path, SweepKind kind,
     if (sizes_kb.empty())
         return {};
 
-    // One decode pass total: the sweep itself spreads its 3 x K
-    // independent cache rungs over a worker pool per block, so a
-    // single TraceReader feeds every rung instead of each worker
-    // re-decoding the trace for its share of the ladder. The rungs'
-    // caches are independent either way, so every ratio stays
-    // bit-identical to a sequential sweep.
+    // One decode pass total: the sweep itself spreads its rung-stream
+    // shards over the shared worker pool per block, so a single
+    // TraceReader feeds every rung instead of each worker re-decoding
+    // the trace for its share of the ladder. The rungs' caches are
+    // independent either way, so every ratio stays bit-identical to a
+    // sequential sweep. The worker request is resolved exactly once,
+    // here, and handed to the sweep as its executor cap.
     unsigned workers = replayWorkers(threads);
     FootprintSweep sweep(sizes_kb, assoc, line_bytes,
                          workers > 1 ? workers : 0);

@@ -5,9 +5,14 @@
  * One captured trace can feed any number of machine configurations,
  * and N traces can feed one configuration — each replay is an
  * independent read-only pass over a file, so they parallelize
- * perfectly. The helpers here fan jobs out over a small thread pool
- * (each job opens its own TraceReader) and always return results in
- * input order, so parallel runs are bit-identical to serial ones.
+ * perfectly. The helpers here fan jobs out over the process-wide
+ * WorkerPool::shared() (each job opens its own TraceReader) and
+ * always return results in input order, so parallel runs are
+ * bit-identical to serial ones. No path spawns ad-hoc threads: a
+ * `threads` request is resolved exactly once (0 = hardware,
+ * 1 = strictly serial on the caller, N = bounded-claim cap on the
+ * shared pool) and the calling thread always participates in its own
+ * fan-out.
  */
 
 #ifndef WCRT_TRACEFILE_REPLAY_HH
@@ -28,14 +33,17 @@ namespace wcrt {
 unsigned replayWorkers(unsigned requested = 0);
 
 /**
- * Run `count` independent jobs on a transient thread pool. job(i) is
- * invoked exactly once for every i in [0, count); the first exception
- * any job throws is rethrown on the caller after all workers join.
+ * Run `count` independent jobs on the shared worker pool, with the
+ * caller participating. job(i) is invoked exactly once for every i in
+ * [0, count); the first exception any job throws is rethrown on the
+ * caller after the ticket settles. A resolved worker count of 1 (or
+ * count == 1) bypasses the pool entirely and runs serially.
  *
  * @param count Number of jobs.
  * @param job Callable receiving the job index; must be thread-safe
  *        with respect to the other indices.
- * @param threads Worker cap (0 → hardware threads).
+ * @param threads Worker cap (0 → hardware threads); resolved once via
+ *        replayWorkers() — the single source of the worker count.
  */
 void parallelFor(size_t count, const std::function<void(size_t)> &job,
                  unsigned threads = 0);

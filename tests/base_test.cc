@@ -1,19 +1,23 @@
 /**
  * @file
  * Unit tests for the foundation module: rng, samplers, summaries,
- * histograms, tables and string helpers.
+ * histograms, tables, string helpers and the shared worker pool.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "base/rng.hh"
 #include "base/strings.hh"
 #include "base/summary.hh"
 #include "base/table.hh"
+#include "base/worker_pool.hh"
 
 namespace wcrt {
 namespace {
@@ -248,6 +252,80 @@ TEST(Strings, FnvIsStable)
     EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
     // Known FNV-1a vector.
     EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+}
+
+TEST(WorkerPool, HardwareWorkersIsPositive)
+{
+    // hardware_concurrency() may report 0 (unknown) or 1 (single
+    // core); the resolved count must always admit at least the
+    // calling thread as an executor.
+    EXPECT_GE(WorkerPool::hardwareWorkers(), 1u);
+}
+
+TEST(WorkerPool, SharedPoolIsOneInstance)
+{
+    EXPECT_EQ(&WorkerPool::shared(), &WorkerPool::shared());
+}
+
+TEST(WorkerPool, RunBoundedExecutesEveryIndexOnce)
+{
+    constexpr size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    WorkerPool::shared().runBounded(kCount, 4, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(WorkerPool, RunBoundedCapOneStaysOnCaller)
+{
+    // cap <= 1 must never queue a ticket: the strictly serial fast
+    // path runs every job on the calling thread, in index order.
+    std::vector<std::thread::id> seen;
+    WorkerPool::shared().runBounded(64, 1, [&](size_t i) {
+        EXPECT_EQ(seen.size(), i);
+        seen.push_back(std::this_thread::get_id());
+    });
+    ASSERT_EQ(seen.size(), 64u);
+    for (const auto &id : seen)
+        EXPECT_EQ(id, std::this_thread::get_id());
+}
+
+TEST(WorkerPool, RunBoundedRespectsExecutorCap)
+{
+    // A cap of 2 admits the caller plus at most one pool thread: the
+    // high-water mark of concurrently running jobs must not pass 2
+    // even when many more pool threads sit idle.
+    std::atomic<int> running{0};
+    std::atomic<int> high_water{0};
+    WorkerPool::shared().runBounded(256, 2, [&](size_t) {
+        int now = running.fetch_add(1, std::memory_order_acq_rel) + 1;
+        int seen = high_water.load(std::memory_order_relaxed);
+        while (now > seen &&
+               !high_water.compare_exchange_weak(seen, now)) {
+        }
+        running.fetch_sub(1, std::memory_order_acq_rel);
+    });
+    EXPECT_LE(high_water.load(), 2);
+    EXPECT_GE(high_water.load(), 1);
+}
+
+TEST(WorkerPool, NestedRunBoundedDoesNotDeadlock)
+{
+    // A job running on the shared pool may itself fan out on the
+    // shared pool (a sweep inside a pooled replay). The inner wait()
+    // helps with its own ticket's indices, so progress never depends
+    // on a free pool thread.
+    constexpr size_t kOuter = 8;
+    constexpr size_t kInner = 32;
+    std::atomic<size_t> total{0};
+    WorkerPool::shared().runBounded(kOuter, 4, [&](size_t) {
+        WorkerPool::shared().runBounded(kInner, 4, [&](size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(total.load(), kOuter * kInner);
 }
 
 } // namespace

@@ -496,6 +496,60 @@ TEST(BatchDispatch, FootprintSweepSurvivesMixedDelivery)
     }
 }
 
+TEST(SweepRungSplit, FullLadderMatchesScalarAcrossBlockSizes)
+{
+    // The set-range rung splitting targets the ladder's big-rung tail,
+    // so exercise the full paper ladder up to the 8192 KB rung with a
+    // worker cap high enough to hit the maximum split width, at block
+    // sizes 1 / 7 / 4096, on both reference patterns. Every count
+    // must stay bit-identical to the scalar (workers = 0) walk: the
+    // shards touch disjoint set ranges, carry private recency clocks
+    // and merge deterministically at the rung join.
+    auto ladder = paperSweepSizesKb();
+    for (bool streaming : {false, true}) {
+        SCOPED_TRACE(streaming ? "streaming" : "synthetic");
+        auto ops = streaming ? streamingStream(kStreamOps)
+                             : syntheticStream(kStreamOps);
+        for (size_t block : kBlockSizes) {
+            SCOPED_TRACE("block " + std::to_string(block));
+            FootprintSweep scalar(ladder);
+            FootprintSweep split(ladder, 8, 64, /*workers=*/8);
+            feedBlocked(scalar, ops, block);
+            feedBlocked(split, ops, block);
+            EXPECT_EQ(split.instructions(), scalar.instructions());
+            for (auto kind : {SweepKind::Instruction, SweepKind::Data,
+                              SweepKind::Unified}) {
+                auto base = scalar.missRatios(kind);
+                auto got = split.missRatios(kind);
+                for (size_t i = 0; i < ladder.size(); ++i)
+                    EXPECT_EQ(got[i], base[i]) << ladder[i] << " KB";
+            }
+        }
+    }
+}
+
+TEST(SweepRungSplit, OddSetCountsSplitCleanly)
+{
+    // 48 KB and 96 KB 8-way rungs have 96 and 192 sets — not powers
+    // of two, so the caches index by modulo and the set count does
+    // not divide evenly by the split width. The set-range partition
+    // must cover every set exactly once whatever the count, so the
+    // split walk still matches the scalar one.
+    std::vector<uint32_t> sizes{48, 96};
+    auto ops = syntheticStream(kStreamOps);
+    FootprintSweep scalar(sizes, 8, 64, 0);
+    FootprintSweep split(sizes, 8, 64, /*workers=*/3);
+    feedBlocked(scalar, ops, 64);
+    feedBlocked(split, ops, 64);
+    for (auto kind : {SweepKind::Instruction, SweepKind::Data,
+                      SweepKind::Unified}) {
+        auto base = scalar.missRatios(kind);
+        auto got = split.missRatios(kind);
+        for (size_t i = 0; i < sizes.size(); ++i)
+            EXPECT_EQ(got[i], base[i]) << sizes[i] << " KB";
+    }
+}
+
 TEST(BatchDispatch, SamplingWindowStraddlingBlockEdgeMatchesPerOp)
 {
     // Window boundaries placed just around multiples of the block

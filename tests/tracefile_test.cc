@@ -755,5 +755,87 @@ TEST(Replay, ProfileTracesKeepsInputOrder)
     fs::remove_all(cache.directory());
 }
 
+TEST(Replay, OnConfigsJobsOneMatchesJobsMany)
+{
+    // jobs = 1 takes the strictly serial fast path (no pool, no
+    // ticket); jobs = N fans out over the shared pool. Every report
+    // field must come out bit-identical either way.
+    const WorkloadEntry &entry = findWorkload("M-Grep");
+    std::string path = tempTracePath("jobs-identity");
+    {
+        WorkloadPtr w = entry.make(0.05);
+        captureTrace(*w, path, 0.05);
+    }
+
+    std::vector<MachineConfig> configs{xeonE5645(), atomD510(),
+                                       atomInOrderSim(32)};
+    auto serial = replayOnConfigs(path, configs, 1);
+    auto pooled = replayOnConfigs(path, configs, 4);
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(pooled[i].machine, serial[i].machine);
+        EXPECT_EQ(pooled[i].instructions, serial[i].instructions);
+        EXPECT_EQ(pooled[i].ipc, serial[i].ipc);
+        EXPECT_EQ(pooled[i].l1iMpki, serial[i].l1iMpki);
+        EXPECT_EQ(pooled[i].l1dMpki, serial[i].l1dMpki);
+        EXPECT_EQ(pooled[i].l2Mpki, serial[i].l2Mpki);
+    }
+    fs::remove(path);
+}
+
+TEST(Replay, TracesOnJobsOneMatchesJobsMany)
+{
+    std::vector<std::string> names{"M-WordCount", "M-Grep", "M-Sort"};
+    std::vector<std::string> paths;
+    for (const auto &name : names) {
+        const WorkloadEntry &entry = findWorkload(name);
+        std::string path = tempTracePath("traceson-" + name);
+        WorkloadPtr w = entry.make(0.05);
+        captureTrace(*w, path, 0.05);
+        paths.push_back(path);
+    }
+
+    auto serial = replayTracesOn(paths, xeonE5645(), 1);
+    auto pooled = replayTracesOn(paths, xeonE5645(), 4);
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (size_t i = 0; i < paths.size(); ++i) {
+        EXPECT_EQ(pooled[i].instructions, serial[i].instructions);
+        EXPECT_EQ(pooled[i].ipc, serial[i].ipc);
+        EXPECT_EQ(pooled[i].l1dMpki, serial[i].l1dMpki);
+    }
+    for (const auto &path : paths)
+        fs::remove(path);
+}
+
+TEST(Replay, SweepInsidePooledReplayDoesNotDeadlock)
+{
+    // Replay runners and the sweep share one process-wide pool, so a
+    // sweep ladder launched from inside a pooled replay job nests
+    // bounded tickets. The inner wait() participates in its own
+    // fan-out, so this must complete (and stay bit-identical) even if
+    // every pool thread is parked on an outer job.
+    const WorkloadEntry &entry = findWorkload("M-Grep");
+    std::string path = tempTracePath("nested-sweep");
+    {
+        WorkloadPtr w = entry.make(0.05);
+        captureTrace(*w, path, 0.05);
+    }
+
+    std::vector<uint32_t> ladder{16, 64, 256};
+    auto expect =
+        replaySweepLadder(path, SweepKind::Unified, ladder, 1);
+    std::vector<std::vector<double>> got(3);
+    parallelFor(got.size(), [&](size_t i) {
+        got[i] = replaySweepLadder(path, SweepKind::Unified, ladder, 4);
+    }, 3);
+    for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].size(), expect.size()) << "job " << i;
+        for (size_t k = 0; k < ladder.size(); ++k)
+            EXPECT_EQ(got[i][k], expect[k])
+                << "job " << i << ", " << ladder[k] << " KB";
+    }
+    fs::remove(path);
+}
+
 } // namespace
 } // namespace wcrt

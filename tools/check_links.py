@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation.
+
+Walks the given markdown files (and any markdown files under given
+directories), extracts inline links and images, and verifies that every
+relative target exists on disk, resolved against the file that contains
+the link. Fragments (``FILE.md#anchor``) are checked for file existence
+only; external schemes (http/https/mailto) and pure in-page anchors
+(``#section``) are skipped — this is a repo-consistency gate, not a
+network crawler.
+
+Exit status is non-zero if any link is broken, with one line per
+offender, so CI output points straight at the stale reference.
+
+Usage:
+    tools/check_links.py README.md DESIGN.md docs/
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target). Reference-style
+# definitions: [label]: target. Angle brackets around targets allowed.
+INLINE_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?[^)]*\)")
+REFDEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s*<?(\S+?)>?\s*$", re.MULTILINE)
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def collect_files(paths):
+    """Expand files/directories into a sorted list of markdown files."""
+    out = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                out.extend(os.path.join(root, n) for n in names
+                           if n.endswith(".md"))
+        else:
+            out.append(path)
+    return sorted(set(out))
+
+
+def check_file(md_path):
+    """Return a list of (target, reason) for broken links in one file."""
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    # Fenced code blocks routinely contain example paths like
+    # /tmp/wc.wtrace that are not repository links; drop them.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+    broken = []
+    targets = INLINE_RE.findall(text) + REFDEF_RE.findall(text)
+    base = os.path.dirname(md_path)
+    for target in targets:
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(os.path.join(base, path))
+        if not os.path.exists(resolved):
+            broken.append((target, resolved))
+    return broken
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="verify relative markdown link targets exist")
+    parser.add_argument("paths", nargs="+",
+                        help="markdown files or directories to scan")
+    args = parser.parse_args()
+
+    files = collect_files(args.paths)
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for md in files:
+        for target, resolved in check_file(md):
+            print(f"{md}: broken link '{target}' "
+                  f"(resolved to {resolved})", file=sys.stderr)
+            failures += 1
+    print(f"check_links: {len(files)} files scanned, "
+          f"{failures} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
