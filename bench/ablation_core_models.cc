@@ -30,7 +30,7 @@ using namespace wcrt::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv, kBenchUsesFilter | kBenchUsesTraceDir);
     double scale = benchScale() * 0.5;
     TraceCache &cache = benchTraceCache();
     auto tracePath = [&](const char *name) {

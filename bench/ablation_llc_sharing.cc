@@ -32,7 +32,7 @@ record(const char *name, double scale)
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv, kBenchUsesNone);
     double scale = benchScale() * 0.5;
     std::cout << "=== Ablation: shared-L3 co-run interference (scale "
               << scale << ") ===\n\n";

@@ -49,6 +49,21 @@ benchScale()
     return 0.5;
 }
 
+/**
+ * Which shared flags a bench binary actually consults. Passed to
+ * initBench() so a flag the binary parses but never reads draws a
+ * warning instead of silently doing nothing (a `--trace-dir` on a
+ * bench that generates live would otherwise look honoured).
+ */
+enum BenchFlagUse : unsigned {
+    kBenchUsesNone = 0,
+    kBenchUsesFilter = 1u << 0,
+    kBenchUsesTraceDir = 1u << 1,
+    kBenchUsesJobs = 1u << 2,
+    kBenchUsesAll =
+        kBenchUsesFilter | kBenchUsesTraceDir | kBenchUsesJobs,
+};
+
 /** Command-line options shared by every bench binary. */
 struct BenchOptions
 {
@@ -85,9 +100,13 @@ printRoster(std::ostream &os)
 /**
  * Parse the shared bench flags. Call first in every main();
  * `--list` and `--help` print and exit here.
+ *
+ * @param uses BenchFlagUse mask of the flags this binary reads; a
+ *        flag given on the command line but absent from the mask
+ *        warns on stderr rather than being silently ignored.
  */
 inline void
-initBench(int argc, char **argv)
+initBench(int argc, char **argv, unsigned uses = kBenchUsesAll)
 {
     BenchOptions &opt = benchOptions();
     auto value = [&](const char *arg, const char *name,
@@ -122,6 +141,16 @@ initBench(int argc, char **argv)
                        " (try --help)");
         }
     }
+    auto warn_unused = [&](const char *flag) {
+        std::cerr << "warning: " << argv[0] << " ignores " << flag
+                  << " (flag parsed but not used by this bench)\n";
+    };
+    if (!opt.filter.empty() && !(uses & kBenchUsesFilter))
+        warn_unused("--filter");
+    if (!opt.traceDir.empty() && !(uses & kBenchUsesTraceDir))
+        warn_unused("--trace-dir");
+    if (opt.jobs != 0 && !(uses & kBenchUsesJobs))
+        warn_unused("--jobs");
     if (opt.list) {
         printRoster(std::cout);
         std::exit(0);

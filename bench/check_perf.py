@@ -22,9 +22,14 @@ gate (pass --allow-new to warn instead): a benchmark that never joins
 the baseline is a benchmark the gate silently ignores forever. A row
 whose rate is zero is always a regression, not a skip.
 
+Several current files may be given (micro_sim_throughput plus
+service_latency): their rows are merged into one run before the
+comparison, with the reference row taken from whichever file carries
+it. Row names must be disjoint across files.
+
 Usage:
-    check_perf.py BASELINE.json CURRENT.json [--threshold 0.25]
-                  [--allow-new]
+    check_perf.py BASELINE.json CURRENT.json [CURRENT2.json ...]
+                  [--threshold 0.25] [--allow-new]
 """
 
 import argparse
@@ -65,7 +70,7 @@ def relative(rates):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("current", nargs="+")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression "
                              "(default 0.25 = 25%%)")
@@ -75,7 +80,14 @@ def main():
     args = parser.parse_args()
 
     base = relative(load_rates(args.baseline))
-    cur = relative(load_rates(args.current))
+    cur_rates = {}
+    for path in args.current:
+        for name, ips in load_rates(path).items():
+            if name in cur_rates:
+                sys.exit(f"error: row {name} appears in more than one "
+                         f"current file")
+            cur_rates[name] = ips
+    cur = relative(cur_rates)
 
     failures = []
     width = max(len(n) for n in base) if base else 0

@@ -22,7 +22,7 @@ using namespace wcrt::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv, kBenchUsesNone);
     double scale = benchScale() * 2.0;  // cluster shards divide this
     std::cout << "=== Extension: shared-nothing scale-out (total scale "
               << scale << ") ===\n\n";

@@ -23,7 +23,7 @@ using namespace wcrt::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv, kBenchUsesNone);
     double scale = benchScale();
     MachineConfig machine = xeonE5645();
     std::cout << "=== Section 5.5: software stack impact (scale "

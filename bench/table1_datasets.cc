@@ -17,7 +17,7 @@ using namespace wcrt;
 int
 main(int argc, char **argv)
 {
-    bench::initBench(argc, argv);
+    bench::initBench(argc, argv, bench::kBenchUsesNone);
     double scale = bench::benchScale();
     std::cout << "=== Table 1: datasets and generation tools (scale "
               << scale << ") ===\n\n";

@@ -67,7 +67,7 @@ paperRow(int table2_id)
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv, kBenchUsesNone);
     double scale = benchScale();
     MachineConfig machine = xeonE5645();
     std::cout << "=== Table 2: the 17 representative workloads (scale "

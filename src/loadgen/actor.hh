@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The actor-side abstraction of the traffic engine: what one actor
+ * thread drives (a session against a traffic target) and the private
+ * state the orchestrator keeps per actor.
+ *
+ * A TrafficTarget is the service under load — the kvstore read path,
+ * a SQL query, a whole registered workload. Sessions are the unit of
+ * isolation: every actor gets its own session (own Tracer, own
+ * RunEnv, own engine state), so request() never synchronizes with
+ * other actors and the per-op metrics path stays lock-free. Shared
+ * target state (datasets) is immutable after construction.
+ */
+
+#ifndef WCRT_LOADGEN_ACTOR_HH
+#define WCRT_LOADGEN_ACTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/rng.hh"
+#include "loadgen/histogram.hh"
+#include "trace/microop.hh"
+
+namespace wcrt {
+
+/**
+ * One actor's connection to the service under load. Not thread-safe;
+ * each session is driven by exactly one actor at a time.
+ */
+class ActorSession
+{
+  public:
+    virtual ~ActorSession() = default;
+
+    /**
+     * Serve one request. `rng` is the actor's seeded request stream
+     * (key choice, query parameters); consuming it here — and never
+     * for timing decisions — keeps the op sequence independent of
+     * scheduling.
+     */
+    virtual void request(Rng &rng) = 0;
+
+    /** Dynamic instructions this session has emitted so far. */
+    virtual uint64_t traceOps() const = 0;
+};
+
+/**
+ * Factory for per-actor sessions against one service.
+ */
+class TrafficTarget
+{
+  public:
+    virtual ~TrafficTarget() = default;
+
+    /** Target name (the loadgen roster key). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Build actor `actor_id`'s session. Called serially by the
+     * orchestrator before any phase starts.
+     *
+     * @param actor_id Dense actor index.
+     * @param seed Deterministic per-actor seed.
+     * @param record Optional sink additionally fed this session's op
+     *        stream (the co-run capture hook); may be nullptr.
+     */
+    virtual std::unique_ptr<ActorSession> startSession(
+        uint64_t actor_id, uint64_t seed, TraceSink *record) = 0;
+};
+
+/**
+ * Orchestrator-private per-actor state. Everything here is touched by
+ * exactly one executor during a phase and only by the orchestrator
+ * thread at phase barriers.
+ */
+struct ActorState
+{
+    uint64_t id = 0;
+    uint64_t arrivalSeed = 0;         //!< per-actor arrival stream seed
+    Rng requestRng{0};                //!< per-actor request stream
+    std::unique_ptr<ActorSession> session;
+    LatencyHistogram latency;         //!< current phase's recordings
+    uint64_t phaseRequests = 0;       //!< requests in the current phase
+    uint64_t phaseElapsedNs = 0;      //!< actor wall time in the phase
+};
+
+} // namespace wcrt
+
+#endif // WCRT_LOADGEN_ACTOR_HH

@@ -1,0 +1,120 @@
+#include "loadgen/histogram.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace wcrt {
+
+LatencyHistogram::LatencyHistogram(uint32_t sub_bits) : subBits(sub_bits)
+{
+    if (subBits < 1 || subBits > 16)
+        wcrt_fatal("histogram sub-bucket bits out of range: ", subBits);
+    // One unit-resolution bottom octave plus (64 - subBits) split
+    // octaves covers every uint64 value.
+    buckets.assign((64ull - subBits + 1) << subBits, 0);
+}
+
+size_t
+LatencyHistogram::bucketOf(uint64_t value) const
+{
+    // Values below 2^subBits are exact; above, the top subBits bits
+    // after the leading one select the sub-bucket within the octave.
+    const uint32_t msb =
+        static_cast<uint32_t>(std::bit_width(value | 1) - 1);
+    if (msb < subBits)
+        return static_cast<size_t>(value);
+    const uint32_t octave = msb - subBits + 1;
+    const uint64_t sub =
+        (value >> (msb - subBits)) & ((1ull << subBits) - 1);
+    return (static_cast<size_t>(octave) << subBits) +
+           static_cast<size_t>(sub);
+}
+
+uint64_t
+LatencyHistogram::bucketUpper(size_t i) const
+{
+    const uint64_t octave = i >> subBits;
+    const uint64_t sub = i & ((1ull << subBits) - 1);
+    if (octave == 0)
+        return sub;
+    // Octave o >= 1 holds values with msb == subBits + o - 1; the
+    // sub-bucket spans 2^(o-1) consecutive values ending just before
+    // the next sub-bucket's first value.
+    const uint64_t width = 1ull << (octave - 1);
+    const uint64_t base = ((1ull << subBits) + sub) * width;
+    return base + width - 1;
+}
+
+void
+LatencyHistogram::record(uint64_t value)
+{
+    ++buckets[bucketOf(value)];
+    ++total;
+    sum += value;
+    if (value < minV)
+        minV = value;
+    if (value > maxV)
+        maxV = value;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.subBits != subBits)
+        wcrt_fatal("merging histograms with different sub-bucket bits");
+    for (size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    total += other.total;
+    sum += other.sum;
+    if (other.total) {
+        if (other.minV < minV)
+            minV = other.minV;
+        if (other.maxV > maxV)
+            maxV = other.maxV;
+    }
+}
+
+void
+LatencyHistogram::clear()
+{
+    buckets.assign(buckets.size(), 0);
+    total = 0;
+    sum = 0;
+    minV = ~0ull;
+    maxV = 0;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return total ? static_cast<double>(sum) / static_cast<double>(total)
+                 : 0.0;
+}
+
+uint64_t
+LatencyHistogram::quantile(double q) const
+{
+    if (total == 0)
+        return 0;
+    if (q <= 0.0)
+        return minValue();
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > total)
+        rank = total;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= rank) {
+            uint64_t upper = bucketUpper(i);
+            return upper < maxV ? upper : maxV;
+        }
+    }
+    return maxV;
+}
+
+} // namespace wcrt

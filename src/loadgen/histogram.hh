@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Log-bucketed latency histogram (HDR-histogram idiom) for the
+ * traffic engine's per-op latency path.
+ *
+ * Each actor owns one histogram and records into it without any
+ * synchronization — the lock-free metrics path is "no sharing at
+ * all": histograms merge at phase barriers, on the orchestrator
+ * thread, after every actor of the phase has finished. record() is a
+ * handful of arithmetic ops and one array increment, cheap enough to
+ * sit inside a per-request timing loop without perturbing it.
+ *
+ * Bucketing follows the HDR scheme: values below 2^subBits land in
+ * exact unit buckets; above that, each power-of-two octave is split
+ * into 2^subBits sub-buckets, bounding the relative quantile error at
+ * 2^-subBits (3.2% for the default 5 sub-bucket bits) across the full
+ * uint64 range with a fixed, allocation-free footprint.
+ */
+
+#ifndef WCRT_LOADGEN_HISTOGRAM_HH
+#define WCRT_LOADGEN_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wcrt {
+
+/**
+ * Fixed-size logarithmic histogram of non-negative 64-bit values
+ * (nanoseconds, in the traffic engine's use).
+ */
+class LatencyHistogram
+{
+  public:
+    /** @param sub_bits Sub-bucket bits per octave (error 2^-sub_bits). */
+    explicit LatencyHistogram(uint32_t sub_bits = 5);
+
+    /** Record one value. Not thread-safe: one owner per instance. */
+    void record(uint64_t value);
+
+    /** Fold another histogram (same sub_bits) into this one. */
+    void merge(const LatencyHistogram &other);
+
+    /** Drop all recorded values, keep the configuration. */
+    void clear();
+
+    uint64_t count() const { return total; }
+    uint64_t minValue() const { return total ? minV : 0; }
+    uint64_t maxValue() const { return maxV; }
+    double mean() const;
+
+    /**
+     * Value at quantile q in [0, 1]: an upper bound of the bucket
+     * holding the ceil(q * count)-th smallest recorded value, clamped
+     * to the exact observed maximum. Within 2^-subBits relative error
+     * of the true order statistic; 0 when empty.
+     */
+    uint64_t quantile(double q) const;
+
+    uint32_t subBucketBits() const { return subBits; }
+
+  private:
+    size_t bucketOf(uint64_t value) const;
+
+    /** Inclusive upper bound of the values mapping to bucket `i`. */
+    uint64_t bucketUpper(size_t i) const;
+
+    uint32_t subBits;
+    uint64_t total = 0;
+    uint64_t sum = 0;
+    uint64_t minV = ~0ull;
+    uint64_t maxV = 0;
+    std::vector<uint64_t> buckets;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_LOADGEN_HISTOGRAM_HH

@@ -16,12 +16,35 @@ namespace wcrt {
 namespace {
 
 /**
- * Upper bound on set-range shards per rung walk. Splitting flattens
- * the big-rung tail of the ladder, but every shard re-scans the full
- * run list to filter its sets, so past a few ways the filtering
- * overhead outgrows the tag-walk win.
+ * Shard sizing for the set-range rung split. Splitting flattens the
+ * big-rung tail of the ladder, but every shard re-scans the full run
+ * list to filter its sets, so the width must earn its keep: a rung is
+ * split just enough that each shard's slice of the tag array fits a
+ * host-L2-sized budget (small rungs, whose tags are already
+ * cache-resident, stay unsplit), and a batch whose run list is short
+ * caps the width further so the per-shard re-scan never dominates.
  */
-constexpr unsigned kMaxRungSplit = 4;
+constexpr uint64_t kShardTagBudgetBytes = 256 * 1024;
+
+/** Approximate per-line tag/metadata bytes in the Cache model. */
+constexpr uint64_t kTagEntryBytes = 16;
+
+/** Minimum compressed runs per shard before another way pays off. */
+constexpr size_t kMinRunsPerShard = 512;
+
+/** Set-range shards a rung's tag-array footprint alone justifies. */
+unsigned
+waysForTagFootprint(uint64_t sets, uint32_t assoc, unsigned max_ways)
+{
+    uint64_t tag_bytes = sets * assoc * kTagEntryBytes;
+    uint64_t ways = (tag_bytes + kShardTagBudgetBytes - 1) /
+                    kShardTagBudgetBytes;
+    if (ways < 1)
+        ways = 1;
+    if (ways > max_ways)
+        ways = max_ways;
+    return static_cast<unsigned>(ways);
+}
 
 } // namespace
 
@@ -46,10 +69,25 @@ FootprintSweep::FootprintSweep(std::vector<uint32_t> sizes_kb,
         ucaches.emplace_back(cfg);
     }
     poolCap = workers;
-    splitWays = workers > 1 ? std::min(workers, kMaxRungSplit) : 1;
-    iFilters.resize(sizes.size() * splitWays);
-    dFilters.resize(sizes.size() * splitWays);
-    uFilters.resize(sizes.size() * splitWays);
+    // Per-rung static split width: a rung is sharded only as far as
+    // its tag-array footprint justifies, and never wider than the
+    // worker cap (an idle shard is pure re-scan overhead).
+    maxSplit = workers > 1 ? workers : 1;
+    rungWays.reserve(sizes.size());
+    unsigned widest = 1;
+    for (size_t k = 0; k < sizes.size(); ++k) {
+        unsigned w = workers > 1 ? waysForTagFootprint(
+                                       icaches[k].sets(), assoc,
+                                       maxSplit)
+                                 : 1;
+        rungWays.push_back(w);
+        widest = std::max(widest, w);
+    }
+    maxSplit = widest;
+    iFilters.resize(sizes.size() * maxSplit);
+    dFilters.resize(sizes.size() * maxSplit);
+    uFilters.resize(sizes.size() * maxSplit);
+    lastEffWays.assign(sizes.size() * 3, 0);
     // Every rung shares the line size, so one shift serves all of
     // them (the Cache constructor has already validated power-of-two).
     lineShift = icaches.front().lineShiftBits();
@@ -252,42 +290,83 @@ FootprintSweep::consumeBatch(const OpBlockView &batch)
 
     // Every (rung, stream) cache is independent, and within one cache
     // the set-range shards touch disjoint sets — so all
-    // rung x stream x shard walks can run concurrently. Task j maps
-    // to rung k = j / (3 * ways), stream (j / ways) % 3 and shard
-    // j % ways; shards are seeded serially before dispatch (each
-    // snapshots its cache's recency clock) and merged serially in task
-    // order afterwards, so the counts come out bit-identical to a
+    // rung x stream x shard walks can run concurrently. The width of
+    // each walk is chosen per batch: the rung's static tag-footprint
+    // width, narrowed when this batch's run list is too short to feed
+    // that many shards. A width change re-partitions the set ranges,
+    // stranding the previous batch's per-shard memos, so those memos
+    // are cleared first (conservative: clearing only costs tag walks,
+    // never correctness). Tasks are built as explicit descriptors;
+    // shards are seeded serially before dispatch (each snapshots its
+    // cache's recency clock) and merged serially in task order
+    // afterwards, so the counts come out bit-identical to a
     // sequential walk no matter how the pool schedules the middle.
-    const unsigned ways = splitWays;
-    const size_t tasks = sizes.size() * 3 * ways;
+    struct ShardTask
+    {
+        size_t k;        //!< rung
+        size_t stream;   //!< 0 = instr, 1 = data, 2 = unified
+        unsigned s;      //!< shard index within the walk
+        unsigned ways;   //!< effective split width of this walk
+    };
+    std::vector<ShardTask> taskDefs;
+    taskDefs.reserve(sizes.size() * 3 * maxSplit);
+    for (size_t k = 0; k < sizes.size(); ++k) {
+        for (size_t stream = 0; stream < 3; ++stream) {
+            const std::vector<Run> &runs = stream == 0 ? instrRuns
+                                           : stream == 1 ? dataRuns
+                                                         : uniRuns;
+            unsigned ways = rungWays[k];
+            unsigned fed = static_cast<unsigned>(std::max<size_t>(
+                1, runs.size() / kMinRunsPerShard));
+            ways = std::min(ways, fed);
+            if (lastEffWays[k * 3 + stream] != ways) {
+                std::vector<RepeatSlots> &filters =
+                    stream == 0 ? iFilters
+                    : stream == 1 ? dFilters
+                                  : uFilters;
+                for (unsigned s = 0; s < maxSplit; ++s) {
+                    RepeatSlots &f = filters[k * maxSplit + s];
+                    f.valid[0] = 0;
+                    f.valid[1] = 0;
+                }
+                lastEffWays[k * 3 + stream] = ways;
+            }
+            for (unsigned s = 0; s < ways; ++s)
+                taskDefs.push_back(ShardTask{k, stream, s, ways});
+        }
+    }
+    const size_t tasks = taskDefs.size();
     auto cache_at = [&](size_t j) -> Cache & {
-        size_t k = j / (3 * ways);
-        switch ((j / ways) % 3) {
+        const ShardTask &t = taskDefs[j];
+        switch (t.stream) {
           case 0:
-            return icaches[k];
+            return icaches[t.k];
           case 1:
-            return dcaches[k];
+            return dcaches[t.k];
           default:
-            return ucaches[k];
+            return ucaches[t.k];
         }
     };
     shardScratch.resize(tasks);
     for (size_t j = 0; j < tasks; ++j)
         shardScratch[j] = cache_at(j).beginShard();
 
-    auto rung_task = [&, ways](size_t j) {
-        size_t k = j / (3 * ways);
-        size_t stream = (j / ways) % 3;
-        unsigned s = static_cast<unsigned>(j % ways);
+    auto rung_task = [&](size_t j) {
+        const ShardTask &t = taskDefs[j];
         Cache::Shard &shard = shardScratch[j];
         uint64_t sets = shard.cache().sets();
-        uint32_t lo = static_cast<uint32_t>(sets * s / ways);
-        uint32_t hi = static_cast<uint32_t>(sets * (s + 1) / ways);
-        const std::vector<Run> &runs =
-            stream == 0 ? instrRuns : stream == 1 ? dataRuns : uniRuns;
+        uint32_t lo = static_cast<uint32_t>(sets * t.s / t.ways);
+        uint32_t hi =
+            static_cast<uint32_t>(sets * (t.s + 1) / t.ways);
+        const std::vector<Run> &runs = t.stream == 0   ? instrRuns
+                                       : t.stream == 1 ? dataRuns
+                                                       : uniRuns;
         std::vector<RepeatSlots> &filters =
-            stream == 0 ? iFilters : stream == 1 ? dFilters : uFilters;
-        sweepStreamShard(shard, filters[k * ways + s], runs, lo, hi);
+            t.stream == 0 ? iFilters
+            : t.stream == 1 ? dFilters
+                            : uFilters;
+        sweepStreamShard(shard, filters[t.k * maxSplit + t.s], runs,
+                         lo, hi);
     };
     if (poolCap > 1) {
         WorkerPool::shared().runBounded(tasks, poolCap, rung_task);

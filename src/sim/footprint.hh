@@ -23,7 +23,11 @@
  * (Cache::Shard), so the largest rungs — whose tag arrays dwarf the
  * host's caches and used to serialize the ladder's tail — are walked
  * by several workers at once, with per-worker hit/miss/credit
- * accumulators merged at the rung join. All stages are equivalence
+ * accumulators merged at the rung join. The split width is adaptive:
+ * each rung is sharded only as far as its tag-array footprint
+ * justifies (small rungs stay unsplit), and a batch with a short run
+ * list narrows the width further so the per-shard re-scan of the run
+ * list never dominates the walk itself. All stages are equivalence
  * preserving: miss and access counts stay bit-identical to the
  * per-op path.
  */
@@ -152,13 +156,19 @@ class FootprintSweep : public TraceSink
     std::vector<Cache> icaches;
     std::vector<Cache> dcaches;
     std::vector<Cache> ucaches;
-    //! Repeat memos, sizes.size() * splitWays each, indexed
-    //! rung * splitWays + shard.
+    //! Repeat memos, sizes.size() * maxSplit each, indexed
+    //! rung * maxSplit + shard.
     std::vector<RepeatSlots> iFilters;
     std::vector<RepeatSlots> dFilters;
     std::vector<RepeatSlots> uFilters;
-    unsigned poolCap = 0;   //!< executor cap on the shared pool
-    unsigned splitWays = 1; //!< set-range shards per rung walk
+    unsigned poolCap = 0;  //!< executor cap on the shared pool
+    unsigned maxSplit = 1; //!< widest split any rung may use
+    //! Static per-rung split width from the rung's tag footprint.
+    std::vector<unsigned> rungWays;
+    //! Effective ways the previous batch used, per (rung, stream)
+    //! indexed rung * 3 + stream; a width change strands the old
+    //! shards' set partition, so the memos are cleared then.
+    std::vector<unsigned> lastEffWays;
     std::vector<Cache::Shard> shardScratch;  //!< per-batch shard state
     std::vector<uint64_t> pcLines;   //!< per-block line-id scratch
     std::vector<uint64_t> memLines;

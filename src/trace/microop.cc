@@ -54,19 +54,15 @@ copyInto(OpBlock &dst, const OpBlockView &src)
 
 } // namespace
 
-TeeSink::TeeSink(unsigned workers)
-{
-    if (workers > 0)
-        pool = std::make_unique<WorkerPool>(workers);
-}
+TeeSink::TeeSink(unsigned workers) : poolClaims(workers) {}
 
 TeeSink::~TeeSink()
 {
-    // Settle in-flight batches before the pool (and the staging
-    // blocks the workers read) go away.
+    // Settle in-flight batches before the staging blocks the shared
+    // pool's workers read go away.
     for (auto &t : inFlight) {
         if (t)
-            pool->wait(t);
+            WorkerPool::shared().wait(t);
     }
 }
 
@@ -92,13 +88,15 @@ TeeSink::consume(const MicroOp &op)
 void
 TeeSink::consumeBatch(const OpBlockView &ops)
 {
-    if (!pool || safeSinks.size() <= 1) {
+    if (poolClaims == 0 || safeSinks.size() <= 1) {
         for (auto *s : safeSinks)
             s->consumeBatch(ops);
         for (auto *s : seqSinks)
             s->consumeBatch(ops);
         return;
     }
+
+    WorkerPool &pool = WorkerPool::shared();
 
     // Stage the block so the emitter may reuse its storage the moment
     // we return. Two slots alternate: reclaiming this slot waits on
@@ -107,7 +105,7 @@ TeeSink::consumeBatch(const OpBlockView &ops)
     size_t slot = nextSlot;
     nextSlot ^= 1;
     if (inFlight[slot]) {
-        pool->wait(inFlight[slot]);
+        pool.wait(inFlight[slot]);
         inFlight[slot].reset();
     }
     copyInto(stage[slot], ops);
@@ -117,12 +115,13 @@ TeeSink::consumeBatch(const OpBlockView &ops)
     // order without serializing emission behind the slowest child.
     size_t prev = slot ^ 1;
     if (inFlight[prev]) {
-        pool->wait(inFlight[prev]);
+        pool.wait(inFlight[prev]);
         inFlight[prev].reset();
     }
-    inFlight[slot] = pool->submit(safeSinks.size(), [this, slot](size_t c) {
-        safeSinks[c]->consumeBatch(stage[slot].view());
-    });
+    inFlight[slot] = pool.submitBounded(
+        safeSinks.size(), poolClaims, [this, slot](size_t c) {
+            safeSinks[c]->consumeBatch(stage[slot].view());
+        });
 
     // Non-thread-safe children run here, overlapping the pool's drain.
     for (auto *s : seqSinks)
@@ -134,7 +133,7 @@ TeeSink::drain()
 {
     for (auto &t : inFlight) {
         if (t) {
-            pool->wait(t);
+            WorkerPool::shared().wait(t);
             t.reset();
         }
     }

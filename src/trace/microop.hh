@@ -324,12 +324,14 @@ class TraceSink
  * A sink that fans one stream out to several consumers.
  *
  * By default children are fed sequentially on the calling thread. With
- * `workers > 0` a persistent WorkerPool feeds thread-safe children
- * concurrently, double-buffered: consumeBatch() copies the block into
- * one of two internal staging slots, submits the fan-out, and returns
- * while the children are still draining — the emitter fills block N+1
- * while the pool drains block N, so slow children (SimCpu, the
- * footprint sweep) hide behind fast ones and behind emission itself.
+ * `workers > 0` the fan-out runs on the process-wide
+ * WorkerPool::shared() as bounded-claim tickets (at most `workers`
+ * pool threads per block — the process owns exactly one pool),
+ * double-buffered: consumeBatch() copies the block into one of two
+ * internal staging slots, submits the fan-out, and returns while the
+ * children are still draining — the emitter fills block N+1 while the
+ * pool drains block N, so slow children (SimCpu, the footprint sweep)
+ * hide behind fast ones and behind emission itself.
  * A per-block completion ticket replaces the old full barrier: block
  * N is only submitted after every child finished block N-1, so each
  * child still observes the exact per-op sequence in order.
@@ -345,7 +347,10 @@ class TraceSink
 class TeeSink : public TraceSink
 {
   public:
-    /** `workers` = extra pool threads; 0 = fully sequential fan-out. */
+    /**
+     * `workers` = shared-pool claim budget per staged block; 0 = fully
+     * sequential fan-out on the calling thread.
+     */
     explicit TeeSink(unsigned workers = 0);
     ~TeeSink() override;
 
@@ -373,10 +378,11 @@ class TeeSink : public TraceSink
 
     // Double buffer: consumeBatch copies the incoming view into
     // stage[nextSlot] and tracks the outstanding fan-out per slot.
-    // inFlight[s] is the ticket for the batch staged in stage[s];
-    // waiting it both releases the storage for reuse and acts as the
-    // previous block's completion latch.
-    std::unique_ptr<WorkerPool> pool;
+    // inFlight[s] is the bounded-claim ticket (on the shared pool)
+    // for the batch staged in stage[s]; waiting it both releases the
+    // storage for reuse and acts as the previous block's completion
+    // latch.
+    unsigned poolClaims = 0;  //!< pool-thread budget per block
     OpBlock stage[2];
     WorkerPool::Ticket inFlight[2];
     size_t nextSlot = 0;
