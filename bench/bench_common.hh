@@ -18,6 +18,13 @@
  *     --trace-dir=DIR   trace cache directory (default: WCRT_TRACE_DIR
  *                       or <tmp>/wcrt-traces)
  *     --jobs=N          cap replay worker threads (default: hardware)
+ *
+ * The capacity-sweep figures (6-9) additionally accept:
+ *
+ *     --mrc-mode=MODE   miss-ratio-curve path: stack (single-pass
+ *                       stack-distance profile, the default), oracle
+ *                       (per-rung set-associative sweep), or verify
+ *                       (both, reporting the curve divergence)
  */
 
 #ifndef WCRT_BENCH_BENCH_COMMON_HH
@@ -36,6 +43,7 @@
 #include "baselines/baselines.hh"
 #include "core/profiler.hh"
 #include "core/trace_cache.hh"
+#include "tracefile/replay.hh"
 #include "workloads/registry.hh"
 
 namespace wcrt::bench {
@@ -60,6 +68,10 @@ enum BenchFlagUse : unsigned {
     kBenchUsesFilter = 1u << 0,
     kBenchUsesTraceDir = 1u << 1,
     kBenchUsesJobs = 1u << 2,
+    //! Deliberately outside kBenchUsesAll: only the capacity-sweep
+    //! figures compute miss-ratio curves, so every other bench keeps
+    //! warning on --mrc-mode instead of silently accepting it.
+    kBenchUsesMrcMode = 1u << 3,
     kBenchUsesAll =
         kBenchUsesFilter | kBenchUsesTraceDir | kBenchUsesJobs,
 };
@@ -71,6 +83,9 @@ struct BenchOptions
     bool list = false;     //!< print the roster and exit
     std::string traceDir;  //!< trace cache override ("" = default)
     unsigned jobs = 0;     //!< replay worker cap (0 = hardware)
+    //! Miss-ratio-curve path for the sweep figures (--mrc-mode).
+    MrcMode mrcMode = MrcMode::StackDistance;
+    bool mrcModeSet = false;  //!< --mrc-mode given on the command line
 };
 
 /** The options initBench() parsed. */
@@ -128,7 +143,10 @@ initBench(int argc, char **argv, unsigned uses = kBenchUsesAll)
                    std::strcmp(arg, "-h") == 0) {
             std::cout << "usage: " << argv[0]
                       << " [--filter=SUBSTR] [--list]"
-                         " [--trace-dir=DIR] [--jobs=N]\n";
+                         " [--trace-dir=DIR] [--jobs=N]";
+            if (uses & kBenchUsesMrcMode)
+                std::cout << " [--mrc-mode=stack|oracle|verify]";
+            std::cout << "\n";
             std::exit(0);
         } else if (const char *v = value(arg, "--filter", i)) {
             opt.filter = v;
@@ -136,6 +154,11 @@ initBench(int argc, char **argv, unsigned uses = kBenchUsesAll)
             opt.traceDir = v2;
         } else if (const char *v3 = value(arg, "--jobs", i)) {
             opt.jobs = static_cast<unsigned>(std::atoi(v3));
+        } else if (const char *v4 = value(arg, "--mrc-mode", i)) {
+            if (!parseMrcMode(v4, opt.mrcMode))
+                wcrt_fatal("unknown --mrc-mode: ", v4,
+                           " (stack, oracle or verify)");
+            opt.mrcModeSet = true;
         } else {
             wcrt_fatal("unknown bench argument: ", arg,
                        " (try --help)");
@@ -151,6 +174,8 @@ initBench(int argc, char **argv, unsigned uses = kBenchUsesAll)
         warn_unused("--trace-dir");
     if (opt.jobs != 0 && !(uses & kBenchUsesJobs))
         warn_unused("--jobs");
+    if (opt.mrcModeSet && !(uses & kBenchUsesMrcMode))
+        warn_unused("--mrc-mode");
     if (opt.list) {
         printRoster(std::cout);
         std::exit(0);

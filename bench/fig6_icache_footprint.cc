@@ -8,9 +8,16 @@
  * This bench also demonstrates the trace subsystem's record-once/
  * replay-many contract on one workload: a single captured execution
  * feeds the whole 10-point capacity ladder, the replayed miss ratios
- * are checked against a live single-pass sweep for exact equality, and
- * the wall clock of parallel replay is compared against serially
- * re-executing the workload once per capacity (the no-trace world).
+ * are checked against a live run of the same curve model for exact
+ * equality, and the wall clock of the replayed ladder is compared
+ * against serially re-executing the workload once per capacity (the
+ * no-trace world). The checks follow --mrc-mode: stack (default)
+ * checks replay-vs-live bit-identity of the single-pass profile;
+ * oracle additionally checks against the serial per-rung
+ * re-execution (all three are the same 8-way model); verify runs
+ * profile and oracle over one decode, checks both identities and
+ * enforces the documented stack-vs-oracle divergence bound — the CI
+ * equivalence gate.
  */
 
 #include <chrono>
@@ -50,36 +57,49 @@ serialReexecutionSweep(const WorkloadEntry &entry, double scale)
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv, kBenchUsesAll | kBenchUsesMrcMode);
+    MrcMode mode = benchOptions().mrcMode;
     double scale = benchScale() * 0.5;  // sweeps ladder 10 caches
-    auto hadoop = averageSweep(hadoopGroup(), SweepKind::Instruction,
-                               scale);
-    auto parsec = averageSweep(parsecGroup(), SweepKind::Instruction,
-                               scale);
+    auto hadoop = averageSweepMrc(hadoopGroup(),
+                                  SweepKind::Instruction, scale);
+    auto parsec = averageSweepMrc(parsecGroup(),
+                                  SweepKind::Instruction, scale);
 
     printSweepFigure(
         "=== Figure 6: instruction cache miss ratio vs capacity ===",
-        {"Hadoop", "PARSEC"}, {hadoop, parsec});
+        {"Hadoop", "PARSEC"}, {hadoop.curve, parsec.curve});
 
-    std::cout << "\nHadoop instruction footprint ~"
-              << kneeCapacityKb(hadoop) << " KB (paper: ~1024 KB)\n";
-    std::cout << "PARSEC instruction footprint ~"
-              << kneeCapacityKb(parsec) << " KB (paper: ~128 KB)\n";
+    std::cout << "\nmrc mode: " << toString(mode) << "\n";
+    std::cout << "Hadoop instruction footprint "
+              << kneeLabel(hadoop.curve) << " (paper: ~1024 KB)\n";
+    std::cout << "PARSEC instruction footprint "
+              << kneeLabel(parsec.curve) << " (paper: ~128 KB)\n";
+
+    bool diverged = false;
+    if (mode == MrcMode::Verify) {
+        double group_div = std::max(hadoop.maxDivergence,
+                                    parsec.maxDivergence);
+        diverged = group_div > kMrcOracleDivergenceBound;
+        std::cout << "max |stack - oracle| over both groups: "
+                  << formatFixed(group_div * 100, 3) << "% (bound "
+                  << formatFixed(kMrcOracleDivergenceBound * 100, 1)
+                  << "%): " << (diverged ? "EXCEEDED" : "ok") << "\n";
+    }
 
     auto group = hadoopGroup();
     if (group.empty())
-        return 0;
+        return diverged ? 1 : 0;
     const WorkloadEntry &demo = group.front();
     auto sizes = paperSweepSizesKb();
     std::cout << "\n--- record-once/replay-many on " << demo.name
-              << " ---\n";
+              << " (" << toString(mode) << " mode) ---\n";
 
     // The no-trace world: one live execution per capacity, serially.
     auto t0 = std::chrono::steady_clock::now();
     auto serial_curve = serialReexecutionSweep(demo, scale);
     double serial_s = seconds(t0);
 
-    // The live one-pass ladder (what the old bench did).
+    // The live one-pass ladder through the active mode's model.
     t0 = std::chrono::steady_clock::now();
     auto live_curve = liveSweep(demo, SweepKind::Instruction, scale);
     double live_s = seconds(t0);
@@ -92,23 +112,45 @@ main(int argc, char **argv)
         demo.name, scale, [&] { return demo.make(scale); }, &captured);
     double capture_s = seconds(t0);
 
-    // ...replay the whole ladder in parallel: each worker decodes the
-    // trace once and sweeps its share of the capacities.
+    // ...replay the whole ladder from the trace through the mode.
     t0 = std::chrono::steady_clock::now();
-    auto replay_curve = replaySweepLadder(
-        path, SweepKind::Instruction, sizes, benchOptions().jobs);
+    MrcResult replay = replaySweepLadder(path, SweepKind::Instruction,
+                                         sizes, mode,
+                                         benchOptions().jobs);
     double replay_s = seconds(t0);
 
+    // Replay must reproduce the live run of the same model exactly,
+    // in every mode. The serial per-rung re-execution is the 8-way
+    // oracle model, so it only enters the bit-identity check when an
+    // oracle curve exists: replay.ratios in oracle mode,
+    // replay.oracleRatios in verify mode.
     size_t mismatches = 0;
+    const std::vector<double> *oracle_curve = nullptr;
+    if (mode == MrcMode::ShardedOracle)
+        oracle_curve = &replay.ratios;
+    else if (mode == MrcMode::Verify)
+        oracle_curve = &replay.oracleRatios;
     for (size_t i = 0; i < sizes.size(); ++i) {
-        if (replay_curve[i] != live_curve[i] ||
-            replay_curve[i] != serial_curve[i])
+        if (replay.ratios[i] != live_curve[i])
+            ++mismatches;
+        if (oracle_curve && (*oracle_curve)[i] != serial_curve[i])
             ++mismatches;
     }
     std::cout << "replayed vs live miss ratios: "
               << (mismatches == 0 ? "identical at all " : "MISMATCH at ")
               << (mismatches == 0 ? sizes.size() : mismatches)
               << " capacities\n";
+    if (mode == MrcMode::Verify) {
+        bool demo_diverged =
+            replay.maxDivergence > kMrcOracleDivergenceBound;
+        diverged = diverged || demo_diverged;
+        std::cout << "demo max |stack - oracle|: "
+                  << formatFixed(replay.maxDivergence * 100, 3)
+                  << "% (bound "
+                  << formatFixed(kMrcOracleDivergenceBound * 100, 1)
+                  << "%): " << (demo_diverged ? "EXCEEDED" : "ok")
+                  << "\n";
+    }
     std::cout << "serial re-execution (" << sizes.size()
               << " live runs):  " << formatFixed(serial_s, 3) << " s\n";
     std::cout << "live one-pass ladder (1 live run): "
@@ -116,8 +158,9 @@ main(int argc, char **argv)
     std::cout << "trace capture ("
               << (captured ? "cold, 1 live run" : "cache hit")
               << "):      " << formatFixed(capture_s, 3) << " s\n";
-    std::cout << "parallel replay of the " << sizes.size()
-              << "-rung ladder: " << formatFixed(replay_s, 3) << " s\n";
+    std::cout << "replayed " << sizes.size() << "-rung ladder ("
+              << toString(mode) << "):  " << formatFixed(replay_s, 3)
+              << " s\n";
     std::cout << "speedup vs serial re-execution: "
               << formatFixed(serial_s / std::max(replay_s, 1e-9), 1)
               << "x (replay only), "
@@ -125,5 +168,5 @@ main(int argc, char **argv)
                                  std::max(capture_s + replay_s, 1e-9),
                              1)
               << "x (capture + replay)\n";
-    return mismatches == 0 ? 0 : 1;
+    return (mismatches == 0 && !diverged) ? 0 : 1;
 }

@@ -16,7 +16,7 @@ using namespace wcrt::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv, kBenchUsesAll | kBenchUsesMrcMode);
     double scale = benchScale() * 0.5;
     auto hadoop = averageSweep(hadoopGroup(), SweepKind::Unified, scale);
     auto parsec = averageSweep(parsecGroup(), SweepKind::Unified, scale);

@@ -15,7 +15,7 @@ using namespace wcrt::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv, kBenchUsesAll | kBenchUsesMrcMode);
     double scale = benchScale() * 0.5;
     auto hadoop = averageSweep(hadoopGroup(), SweepKind::Instruction,
                                scale);
@@ -27,10 +27,9 @@ main(int argc, char **argv)
         "=== Figure 9: instruction cache miss ratio vs capacity ===",
         {"Hadoop", "PARSEC", "MPI"}, {hadoop, parsec, mpi});
 
-    std::cout << "\nFootprint estimates: Hadoop ~"
-              << kneeCapacityKb(hadoop) << " KB, PARSEC ~"
-              << kneeCapacityKb(parsec) << " KB, MPI ~"
-              << kneeCapacityKb(mpi)
-              << " KB (paper: MPI tracks PARSEC, far below Hadoop)\n";
+    std::cout << "\nFootprint estimates: Hadoop "
+              << kneeLabel(hadoop) << ", PARSEC "
+              << kneeLabel(parsec) << ", MPI " << kneeLabel(mpi)
+              << " (paper: MPI tracks PARSEC, far below Hadoop)\n";
     return 0;
 }

@@ -7,15 +7,19 @@
  * paper's Atom-like in-order simulator configuration.
  *
  * The sweeps are record-once/replay-many: each workload is captured
- * into the trace cache on first use, then every capacity rung replays
- * the stored trace on its own worker thread (tracefile/replay.hh).
- * Replayed curves are identical to live single-pass sweeps — fig6
- * asserts that equivalence and reports the measured speedup.
+ * into the trace cache on first use, then the stored trace is
+ * replayed through the --mrc-mode path (tracefile/replay.hh): the
+ * default single-pass stack-distance profile, the per-rung
+ * set-associative oracle sweep, or verify (both over one decode,
+ * reporting the maximum curve divergence). Replayed curves are
+ * identical to live sweeps through the same model — fig6 asserts
+ * that equivalence and reports the measured speedup.
  */
 
 #ifndef WCRT_BENCH_FOOTPRINT_COMMON_HH
 #define WCRT_BENCH_FOOTPRINT_COMMON_HH
 
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -23,41 +27,77 @@
 #include "base/table.hh"
 #include "bench_common.hh"
 #include "sim/footprint.hh"
+#include "sim/stack_distance.hh"
 #include "tracefile/replay.hh"
 
 namespace wcrt::bench {
 
-/** Average replayed sweep curves over a set of workload factories. */
-inline std::vector<double>
-averageSweep(const std::vector<WorkloadEntry> &entries, SweepKind kind,
-             double scale)
+/** A workload group's averaged curve under the active --mrc-mode. */
+struct GroupSweep
+{
+    std::vector<double> curve;  //!< averaged over the group
+    //! Verify mode: largest per-rung |stack - oracle| any workload in
+    //! the group showed (0 in the single-model modes).
+    double maxDivergence = 0.0;
+};
+
+/**
+ * Average replayed sweep curves over a set of workload factories,
+ * through the active --mrc-mode, collecting the worst verify-mode
+ * divergence across the group.
+ */
+inline GroupSweep
+averageSweepMrc(const std::vector<WorkloadEntry> &entries,
+                SweepKind kind, double scale)
 {
     auto sizes = paperSweepSizesKb();
-    std::vector<double> acc(sizes.size(), 0.0);
+    GroupSweep out;
+    out.curve.assign(sizes.size(), 0.0);
     if (entries.empty())
-        return acc;
+        return out;
     TraceCache &cache = benchTraceCache();
     for (const auto &entry : entries) {
         std::string path = cache.ensure(
             entry.name, scale, [&] { return entry.make(scale); });
-        auto ratios = replaySweepLadder(path, kind, sizes,
+        MrcResult r = replaySweepLadder(path, kind, sizes,
+                                        benchOptions().mrcMode,
                                         benchOptions().jobs);
-        for (size_t i = 0; i < acc.size(); ++i)
-            acc[i] += ratios[i];
+        out.maxDivergence = std::max(out.maxDivergence,
+                                     r.maxDivergence);
+        for (size_t i = 0; i < out.curve.size(); ++i)
+            out.curve[i] += r.ratios[i];
     }
-    for (auto &v : acc)
+    for (auto &v : out.curve)
         v /= static_cast<double>(entries.size());
-    return acc;
+    return out;
 }
 
-/** Live (no-trace) sweep of one workload: one execution, full ladder. */
+/** averageSweepMrc() returning just the averaged curve. */
+inline std::vector<double>
+averageSweep(const std::vector<WorkloadEntry> &entries, SweepKind kind,
+             double scale)
+{
+    return averageSweepMrc(entries, kind, scale).curve;
+}
+
+/**
+ * Live (no-trace) sweep of one workload: one execution, full ladder,
+ * through the active mode's curve model — the stack-distance profile
+ * in stack and verify modes, the set-associative ladder in oracle
+ * mode — so a live curve is comparable to the replayed one.
+ */
 inline std::vector<double>
 liveSweep(const WorkloadEntry &entry, SweepKind kind, double scale)
 {
     WorkloadPtr w = entry.make(scale);
-    FootprintSweep sweep(paperSweepSizesKb());
-    runThroughSink(*w, sweep);
-    return sweep.missRatios(kind);
+    if (benchOptions().mrcMode == MrcMode::ShardedOracle) {
+        FootprintSweep sweep(paperSweepSizesKb());
+        runThroughSink(*w, sweep);
+        return sweep.missRatios(kind);
+    }
+    StackDistanceProfile profile;
+    runThroughSink(*w, profile);
+    return profile.missRatios(kind, paperSweepSizesKb());
 }
 
 /** The Hadoop-stack representatives (the paper's Section 5.4 choice). */
@@ -112,20 +152,24 @@ printSweepFigure(const std::string &title,
     t.print(std::cout);
 }
 
-/** Capacity (KB) where a curve first flattens (footprint estimate). */
-inline uint32_t
-kneeCapacityKb(const std::vector<double> &curve)
+/**
+ * Human-readable footprint estimate for a paper-ladder curve: the
+ * knee capacity ("~1024 KB"), or an explicit ">8192 KB (no knee
+ * within ladder)" when the curve is still falling at the last rung —
+ * the knee finder (sim/footprint.hh) no longer masquerades the
+ * ladder's end as a measurement.
+ */
+inline std::string
+kneeLabel(const std::vector<double> &curve)
 {
-    // The working set is the first capacity whose miss ratio is within
-    // 15% of the largest capacity's floor (compulsory misses remain at
-    // any size, so the floor is not zero).
     auto sizes = paperSweepSizesKb();
-    double floor_ratio = curve.back();
-    for (size_t i = 0; i < curve.size(); ++i) {
-        if (curve[i] <= floor_ratio * 1.15 + 1e-6)
-            return sizes[i];
-    }
-    return sizes.back();
+    char buf[64];
+    if (auto knee = kneeCapacityKb(curve, sizes))
+        std::snprintf(buf, sizeof(buf), "~%u KB", *knee);
+    else
+        std::snprintf(buf, sizeof(buf),
+                      ">%u KB (no knee within ladder)", sizes.back());
+    return buf;
 }
 
 } // namespace wcrt::bench

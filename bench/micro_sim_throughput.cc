@@ -19,6 +19,7 @@
 #include "sim/footprint.hh"
 #include "sim/prefetcher.hh"
 #include "sim/sim_cpu.hh"
+#include "sim/stack_distance.hh"
 #include "stats/kmeans.hh"
 #include "stats/pca.hh"
 #include "trace/mix_counter.hh"
@@ -469,6 +470,32 @@ BM_ReplaySweepParallel(benchmark::State &state)
                false);
 }
 BENCHMARK(BM_ReplaySweepParallel)->UseRealTime();
+
+/**
+ * The single-pass replacement for the whole ladder: one decode pass
+ * into the Mattson stack-distance profile, then every rung of the
+ * fig6 ladder is a histogram walk (sim/stack_distance.hh). Runs
+ * strictly serial (workers = 1) and is still expected to beat the
+ * rung-parallel sharded sweep above on wall clock — that is the
+ * tentpole claim, and the perf gate pins both rows.
+ */
+void
+BM_MrcSinglePass(benchmark::State &state)
+{
+    TraceReader reader(replayBenchTrace());
+    auto sizes = paperSweepSizesKb();
+    uint64_t ops_read = 0;
+    double sink = 0.0;
+    for (auto _ : state) {
+        StackDistanceProfile profile;
+        ops_read += reader.replayInto(profile);
+        auto curve = profile.missRatios(SweepKind::Instruction, sizes);
+        sink += curve.back();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<int64_t>(ops_read));
+}
+BENCHMARK(BM_MrcSinglePass)->UseRealTime();
 
 /**
  * The sweep's batch path in isolation — no file decode — with the

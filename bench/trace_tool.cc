@@ -6,14 +6,24 @@
  *     trace_tool stats  <file.wtrace>
  *     trace_tool dump   <file.wtrace> [--limit=N]
  *     trace_tool replay <file.wtrace> [--machine=LIST] [--jobs=N]
+ *     trace_tool mrc    <file.wtrace> [--kind=K] [--mode=M]
+ *                       [--sizes=CSV] [--assoc=N] [--line=N]
+ *                       [--jobs=N] [--json]
  *
  * `record` executes one roster workload and captures its op stream;
  * `stats` prints the header/footer accounting, chunk layout,
  * compression ratio and the MixCounter op-mix table from a replay;
  * `dump` prints the first N decoded ops; `replay` fans the trace
- * across machine configs in parallel and prints one report row each.
+ * across machine configs in parallel and prints one report row each;
+ * `mrc` computes the miss-ratio curve over a capacity ladder through
+ * the replay layer's MrcMode plumbing — the single-pass
+ * stack-distance profile by default, the per-rung set-associative
+ * oracle, or both (verify) with the divergence per rung — as a table
+ * or machine-readable JSON.
  */
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -44,9 +54,18 @@ usage()
            "  trace_tool dump   <file.wtrace> [--limit=N]\n"
            "  trace_tool replay <file.wtrace> [--machine=LIST]"
            " [--jobs=N]\n"
+           "  trace_tool mrc    <file.wtrace> [--kind=K] [--mode=M]\n"
+           "                    [--sizes=CSV] [--assoc=N] [--line=N]\n"
+           "                    [--jobs=N] [--json]\n"
            "\n"
            "  --machine=LIST  comma-separated subset of: xeon, atom,\n"
            "                  sim<KB> (e.g. sim32); default xeon,atom\n"
+           "  --kind=K        instr (default), data or unified\n"
+           "  --mode=M        stack (default), oracle or verify\n"
+           "  --sizes=CSV     capacity ladder in KB (default: the\n"
+           "                  paper's 16..8192 doubling ladder)\n"
+           "  --assoc=N       oracle associativity (default 8)\n"
+           "  --line=N        line bytes (default 64)\n"
            "  (run any bench binary with --list for workload names)\n";
     return 2;
 }
@@ -252,6 +271,163 @@ cmdReplay(const std::string &path, const std::string &machine_list,
     return 0;
 }
 
+/** JSON string escape for the few meta fields mrc --json emits. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** Full-precision double for JSON (tables round, JSON must not). */
+std::string
+jsonDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+int
+cmdMrc(int argc, char **argv)
+{
+    std::string path = argv[2];
+    SweepKind kind = SweepKind::Instruction;
+    std::string kind_name = "instr";
+    MrcMode mode = MrcMode::StackDistance;
+    std::vector<uint32_t> sizes = paperSweepSizesKb();
+    uint32_t assoc = 8;
+    uint32_t line_bytes = 64;
+    unsigned jobs = 0;
+    bool json = false;
+    for (int i = 3; i < argc; ++i) {
+        if (const char *v = flagValue(argv[i], "--kind", argc, argv, i)) {
+            kind_name = v;
+            if (kind_name == "instr")
+                kind = SweepKind::Instruction;
+            else if (kind_name == "data")
+                kind = SweepKind::Data;
+            else if (kind_name == "unified")
+                kind = SweepKind::Unified;
+            else
+                wcrt_fatal("unknown --kind '", v,
+                           "' (instr, data or unified)");
+        } else if (const char *v2 =
+                       flagValue(argv[i], "--mode", argc, argv, i)) {
+            if (!parseMrcMode(v2, mode))
+                wcrt_fatal("unknown --mode '", v2,
+                           "' (stack, oracle or verify)");
+        } else if (const char *v3 =
+                       flagValue(argv[i], "--sizes", argc, argv, i)) {
+            sizes.clear();
+            std::string list = v3;
+            for (size_t pos = 0; pos < list.size();) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                int kb = std::atoi(list.substr(pos, comma - pos).c_str());
+                if (kb <= 0)
+                    wcrt_fatal("bad --sizes entry in '", v3, "'");
+                sizes.push_back(static_cast<uint32_t>(kb));
+                pos = comma + 1;
+            }
+            if (sizes.empty())
+                wcrt_fatal("--sizes needs at least one capacity");
+        } else if (const char *v4 =
+                       flagValue(argv[i], "--assoc", argc, argv, i)) {
+            assoc = static_cast<uint32_t>(std::atoi(v4));
+        } else if (const char *v5 =
+                       flagValue(argv[i], "--line", argc, argv, i)) {
+            line_bytes = static_cast<uint32_t>(std::atoi(v5));
+        } else if (const char *v6 =
+                       flagValue(argv[i], "--jobs", argc, argv, i)) {
+            jobs = static_cast<unsigned>(std::atoi(v6));
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else {
+            return usage();
+        }
+    }
+
+    TraceReader probe(path);
+    std::string workload = probe.meta().workload;
+    MrcResult r = replaySweepLadder(path, kind, sizes, mode, jobs,
+                                    assoc, line_bytes);
+
+    if (json) {
+        std::cout << "{\n"
+                  << "  \"trace\": \"" << jsonEscape(path) << "\",\n"
+                  << "  \"workload\": \"" << jsonEscape(workload)
+                  << "\",\n"
+                  << "  \"kind\": \"" << kind_name << "\",\n"
+                  << "  \"mode\": \"" << toString(mode) << "\",\n"
+                  << "  \"assoc\": " << assoc << ",\n"
+                  << "  \"line_bytes\": " << line_bytes << ",\n";
+        auto emit_list = [](const char *name, auto &&fmt, size_t n,
+                            bool last = false) {
+            std::cout << "  \"" << name << "\": [";
+            for (size_t i = 0; i < n; ++i)
+                std::cout << (i ? ", " : "") << fmt(i);
+            std::cout << "]" << (last ? "\n" : ",\n");
+        };
+        emit_list("sizes_kb",
+                  [&](size_t i) { return std::to_string(sizes[i]); },
+                  sizes.size());
+        if (mode == MrcMode::Verify) {
+            emit_list("miss_ratio",
+                      [&](size_t i) { return jsonDouble(r.ratios[i]); },
+                      r.ratios.size());
+            emit_list("oracle_miss_ratio",
+                      [&](size_t i) {
+                          return jsonDouble(r.oracleRatios[i]);
+                      },
+                      r.oracleRatios.size());
+            std::cout << "  \"max_divergence\": "
+                      << jsonDouble(r.maxDivergence) << "\n";
+        } else {
+            emit_list("miss_ratio",
+                      [&](size_t i) { return jsonDouble(r.ratios[i]); },
+                      r.ratios.size(), /*last=*/true);
+        }
+        std::cout << "}\n";
+        return 0;
+    }
+
+    std::cout << "miss-ratio curve of " << workload << " (" << kind_name
+              << ", " << toString(mode) << " mode, line " << line_bytes
+              << "B"
+              << (mode == MrcMode::StackDistance
+                      ? std::string(")")
+                      : ", oracle " + std::to_string(assoc) + "-way)")
+              << "\n\n";
+    std::vector<std::string> header{"cache KB", "miss%"};
+    if (mode == MrcMode::Verify) {
+        header[1] = "stack miss%";
+        header.push_back("oracle miss%");
+        header.push_back("|gap|%");
+    }
+    Table t(header);
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        t.cell(static_cast<uint64_t>(sizes[i]));
+        t.cell(r.ratios[i] * 100.0, 3);
+        if (mode == MrcMode::Verify) {
+            t.cell(r.oracleRatios[i] * 100.0, 3);
+            t.cell(std::abs(r.ratios[i] - r.oracleRatios[i]) * 100.0, 3);
+        }
+        t.endRow();
+    }
+    t.print(std::cout);
+    if (mode == MrcMode::Verify)
+        std::cout << "max |stack - oracle| divergence: "
+                  << formatFixed(r.maxDivergence * 100, 3) << "%\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -291,6 +467,8 @@ main(int argc, char **argv)
             }
             return cmdReplay(argv[2], machines, jobs);
         }
+        if (cmd == "mrc")
+            return cmdMrc(argc, argv);
     } catch (const TraceFormatError &err) {
         std::cerr << "trace_tool: " << err.what() << "\n";
         return 1;

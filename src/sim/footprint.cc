@@ -6,11 +6,6 @@
 #include "base/logging.hh"
 #include "base/worker_pool.hh"
 
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-#include <immintrin.h>
-#define WCRT_SWEEP_AVX2 1
-#endif
-
 namespace wcrt {
 
 namespace {
@@ -52,6 +47,24 @@ std::vector<uint32_t>
 paperSweepSizesKb()
 {
     return {16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+}
+
+std::optional<uint32_t>
+kneeCapacityKb(const std::vector<double> &curve,
+               const std::vector<uint32_t> &sizes_kb)
+{
+    if (curve.empty() || curve.size() != sizes_kb.size())
+        return std::nullopt;
+    double floor_ratio = curve.back();
+    // The last rung always satisfies the predicate against its own
+    // floor, so only earlier rungs count as knees; a curve that first
+    // enters the floor band at the final rung is still falling and
+    // its knee lies beyond the ladder.
+    for (size_t i = 0; i + 1 < curve.size(); ++i) {
+        if (curve[i] <= floor_ratio * 1.15 + 1e-6)
+            return sizes_kb[i];
+    }
+    return std::nullopt;
 }
 
 FootprintSweep::FootprintSweep(std::vector<uint32_t> sizes_kb,
@@ -168,12 +181,12 @@ FootprintSweep::noteAccess(RepeatSlots &f, uint64_t line, uint32_t set,
 
 void
 FootprintSweep::sweepStreamShard(Cache::Shard &shard, RepeatSlots &f,
-                                 const std::vector<Run> &runs,
+                                 const std::vector<LineRun> &runs,
                                  uint32_t set_lo, uint32_t set_hi)
 {
     const Cache &c = shard.cache();
     uint64_t credits = 0;
-    for (const Run &r : runs) {
+    for (const LineRun &r : runs) {
         uint32_t set = c.setOfLine(r.line);
         if (set < set_lo || set >= set_hi)
             continue;
@@ -189,61 +202,6 @@ FootprintSweep::sweepStreamShard(Cache::Shard &shard, RepeatSlots &f,
     shard.creditRepeatHits(credits);
 }
 
-namespace {
-
-void
-shiftLinesScalar(const uint64_t *addrs, size_t begin, size_t end,
-                 uint32_t shift, uint64_t *out)
-{
-    for (size_t i = begin; i < end; ++i)
-        out[i] = addrs[i] >> shift;
-}
-
-#ifdef WCRT_SWEEP_AVX2
-
-/**
- * AVX2 line-id precompute: four 64-bit logical right shifts per
- * vector. Returns the index shifted up to; the caller finishes the
- * tail with shiftLinesScalar.
- */
-__attribute__((target("avx2"))) size_t
-shiftLinesAvx2(const uint64_t *addrs, size_t count, uint32_t shift,
-               uint64_t *out)
-{
-    const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
-    size_t i = 0;
-    for (; i + 4 <= count; i += 4) {
-        __m256i v = _mm256_loadu_si256(
-            reinterpret_cast<const __m256i *>(addrs + i));
-        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
-                            _mm256_srl_epi64(v, sh));
-    }
-    return i;
-}
-
-bool
-haveAvx2()
-{
-    static const bool have = __builtin_cpu_supports("avx2");
-    return have;
-}
-
-#endif // WCRT_SWEEP_AVX2
-
-void
-shiftLines(const uint64_t *addrs, size_t count, uint32_t shift,
-           uint64_t *out)
-{
-    size_t i = 0;
-#ifdef WCRT_SWEEP_AVX2
-    if (count >= 16 && haveAvx2())
-        i = shiftLinesAvx2(addrs, count, shift, out);
-#endif
-    shiftLinesScalar(addrs, i, count, shift, out);
-}
-
-} // namespace
-
 void
 FootprintSweep::consumeBatch(const OpBlockView &batch)
 {
@@ -252,41 +210,14 @@ FootprintSweep::consumeBatch(const OpBlockView &batch)
     if (count == 0)
         return;
     filtersLive = true;
-    if (pcLines.size() < count) {
-        pcLines.resize(count);
-        memLines.resize(count);
-    }
-    shiftLines(batch.pcs, count, lineShift, pcLines.data());
-    shiftLines(batch.memAddrs, count, lineShift, memLines.data());
-
-    // Run-length compress the three reference streams once so every
-    // rung iterates runs instead of ops. The pc stream is the big
-    // winner: sequential code re-touches each line for many ops, and
-    // each re-touch is a guaranteed MRU hit in every rung.
-    instrRuns.clear();
-    dataRuns.clear();
-    uniRuns.clear();
-    auto extend = [](std::vector<Run> &runs, uint64_t line, bool w) {
-        if (!runs.empty()) {
-            Run &back = runs.back();
-            if (back.line == line && (back.write != 0) == w) {
-                ++back.count;
-                return;
-            }
-        }
-        runs.push_back(Run{line, 1, static_cast<uint8_t>(w ? 1 : 0)});
-    };
-    for (size_t i = 0; i < count; ++i) {
-        uint64_t pc_line = pcLines[i];
-        extend(instrRuns, pc_line, false);
-        extend(uniRuns, pc_line, false);
-        if (batch.memSizes[i] != 0) {
-            bool is_write = batch.kinds[i] == OpKind::Store;
-            uint64_t mem_line = memLines[i];
-            extend(dataRuns, mem_line, is_write);
-            extend(uniRuns, mem_line, is_write);
-        }
-    }
+    // Line-id precompute + run-length compression of the three
+    // reference streams, shared with the stack-distance profile
+    // (sim/line_runs.hh), so every rung iterates runs instead of ops.
+    // The pc stream is the big winner: sequential code re-touches
+    // each line for many ops, and each re-touch is a guaranteed MRU
+    // hit in every rung. Runs split on write sense so the repeat
+    // memos can track dirty state per run.
+    runs.build(batch, lineShift, /*split_on_write=*/true);
 
     // Every (rung, stream) cache is independent, and within one cache
     // the set-range shards touch disjoint sets — so all
@@ -312,12 +243,9 @@ FootprintSweep::consumeBatch(const OpBlockView &batch)
     taskDefs.reserve(sizes.size() * 3 * maxSplit);
     for (size_t k = 0; k < sizes.size(); ++k) {
         for (size_t stream = 0; stream < 3; ++stream) {
-            const std::vector<Run> &runs = stream == 0 ? instrRuns
-                                           : stream == 1 ? dataRuns
-                                                         : uniRuns;
             unsigned ways = rungWays[k];
             unsigned fed = static_cast<unsigned>(std::max<size_t>(
-                1, runs.size() / kMinRunsPerShard));
+                1, runs.stream(stream).size() / kMinRunsPerShard));
             ways = std::min(ways, fed);
             if (lastEffWays[k * 3 + stream] != ways) {
                 std::vector<RepeatSlots> &filters =
@@ -358,15 +286,12 @@ FootprintSweep::consumeBatch(const OpBlockView &batch)
         uint32_t lo = static_cast<uint32_t>(sets * t.s / t.ways);
         uint32_t hi =
             static_cast<uint32_t>(sets * (t.s + 1) / t.ways);
-        const std::vector<Run> &runs = t.stream == 0   ? instrRuns
-                                       : t.stream == 1 ? dataRuns
-                                                       : uniRuns;
         std::vector<RepeatSlots> &filters =
             t.stream == 0 ? iFilters
             : t.stream == 1 ? dFilters
                             : uFilters;
-        sweepStreamShard(shard, filters[t.k * maxSplit + t.s], runs,
-                         lo, hi);
+        sweepStreamShard(shard, filters[t.k * maxSplit + t.s],
+                         runs.stream(t.stream), lo, hi);
     };
     if (poolCap > 1) {
         WorkerPool::shared().runBounded(tasks, poolCap, rung_task);

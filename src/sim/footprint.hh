@@ -35,9 +35,11 @@
 #ifndef WCRT_SIM_FOOTPRINT_HH
 #define WCRT_SIM_FOOTPRINT_HH
 
+#include <optional>
 #include <vector>
 
 #include "sim/cache.hh"
+#include "sim/line_runs.hh"
 #include "trace/microop.hh"
 
 namespace wcrt {
@@ -127,28 +129,15 @@ class FootprintSweep : public TraceSink
                            bool is_write);
 
     /**
-     * One run-length-compressed reference: `count` back-to-back
-     * accesses to `line` with the same read/write sense. Accesses
-     * 2..count re-touch the line while it is necessarily still the
-     * MRU line of its set (nothing intervened in this cache's access
-     * order), so every rung walks the head once and credits the rest
-     * — independent of the rung's set mapping.
-     */
-    struct Run
-    {
-        uint64_t line;
-        uint32_t count;
-        uint8_t write;
-    };
-
-    /**
      * Replay the runs whose lines map into [set_lo, set_hi) of the
      * shard's cache: walk each selected run's head through the shard,
      * credit the guaranteed-hit tail (count - 1 MRU re-touches) and
-     * any run the memo proves is still MRU of its set.
+     * any run the memo proves is still MRU of its set. Runs are
+     * RLE'd per (line, write sense) — see sim/line_runs.hh — so the
+     * memo's dirty tracking sees a uniform sense per run.
      */
     static void sweepStreamShard(Cache::Shard &shard, RepeatSlots &f,
-                                 const std::vector<Run> &runs,
+                                 const std::vector<LineRun> &runs,
                                  uint32_t set_lo, uint32_t set_hi);
     void clearFilters();
 
@@ -170,11 +159,7 @@ class FootprintSweep : public TraceSink
     //! shards' set partition, so the memos are cleared then.
     std::vector<unsigned> lastEffWays;
     std::vector<Cache::Shard> shardScratch;  //!< per-batch shard state
-    std::vector<uint64_t> pcLines;   //!< per-block line-id scratch
-    std::vector<uint64_t> memLines;
-    std::vector<Run> instrRuns;      //!< per-block compressed streams
-    std::vector<Run> dataRuns;
-    std::vector<Run> uniRuns;
+    LineRunStreams runs;  //!< per-block compressed streams + scratch
     uint32_t lineShift = 6;
     bool filtersLive = false;  //!< memo state exists from a batch
     uint64_t ops = 0;
@@ -182,6 +167,28 @@ class FootprintSweep : public TraceSink
 
 /** The paper's capacity ladder: 16 KB to 8192 KB, doubling. */
 std::vector<uint32_t> paperSweepSizesKb();
+
+/**
+ * Capacity where a miss-ratio curve flattens — the working-set
+ * (footprint) estimate the Figure 6-9 analyses quote. The knee is the
+ * first capacity whose miss ratio is within 15% of the largest
+ * capacity's floor (compulsory misses remain at any size, so the
+ * floor is not zero).
+ *
+ * The final rung trivially matches its own floor, so it can never be
+ * a knee: a curve that is still falling steeply into the last rung
+ * has its knee *beyond* the ladder, and this returns nullopt rather
+ * than masquerading the ladder's end as a measurement. Callers print
+ * ">LAST KB" for that case.
+ *
+ * @param curve Miss ratios, one per capacity (indexed like sizes_kb).
+ * @param sizes_kb Ascending capacity ladder.
+ * @return The knee capacity in KB, or nullopt when the curve has not
+ *         flattened within the ladder.
+ */
+std::optional<uint32_t> kneeCapacityKb(
+    const std::vector<double> &curve,
+    const std::vector<uint32_t> &sizes_kb);
 
 } // namespace wcrt
 

@@ -1,5 +1,6 @@
 #include "tracefile/replay.hh"
 
+#include <cmath>
 #include <exception>
 #include <mutex>
 
@@ -70,6 +71,89 @@ replayOnConfigs(const std::string &trace_path,
         reports[i] = cpu.report();
     }, threads);
     return reports;
+}
+
+const char *
+toString(MrcMode mode)
+{
+    switch (mode) {
+      case MrcMode::StackDistance:
+        return "stack";
+      case MrcMode::ShardedOracle:
+        return "oracle";
+      default:
+        return "verify";
+    }
+}
+
+bool
+parseMrcMode(const std::string &name, MrcMode &out)
+{
+    if (name == "stack") {
+        out = MrcMode::StackDistance;
+    } else if (name == "oracle") {
+        out = MrcMode::ShardedOracle;
+    } else if (name == "verify") {
+        out = MrcMode::Verify;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+MrcResult
+replaySweepLadder(const std::string &trace_path, SweepKind kind,
+                  const std::vector<uint32_t> &sizes_kb, MrcMode mode,
+                  unsigned threads, uint32_t assoc, uint32_t line_bytes)
+{
+    MrcResult result;
+    if (sizes_kb.empty())
+        return result;
+
+    // One decode pass total in every mode: the sink(s) spread their
+    // own internal work over the shared pool per block, so a single
+    // TraceReader feeds the whole ladder instead of each worker
+    // re-decoding the trace for its share. The worker request is
+    // resolved exactly once, here, and handed down as executor caps.
+    unsigned workers = replayWorkers(threads);
+    unsigned sink_workers = workers > 1 ? workers : 0;
+    switch (mode) {
+      case MrcMode::StackDistance: {
+        StackDistanceProfile profile(line_bytes, sink_workers);
+        TraceReader reader(trace_path);
+        reader.replayInto(profile);
+        result.ratios = profile.missRatios(kind, sizes_kb);
+        break;
+      }
+      case MrcMode::ShardedOracle: {
+        FootprintSweep sweep(sizes_kb, assoc, line_bytes, sink_workers);
+        TraceReader reader(trace_path);
+        reader.replayInto(sweep);
+        result.ratios = sweep.missRatios(kind);
+        break;
+      }
+      case MrcMode::Verify: {
+        // One decode, two sinks: a synchronous tee delivers every
+        // block to both the profile and the sweep, so the comparison
+        // can never be skewed by two decodes seeing different chunk
+        // boundaries. The sinks keep their internal parallelism.
+        StackDistanceProfile profile(line_bytes, sink_workers);
+        FootprintSweep sweep(sizes_kb, assoc, line_bytes, sink_workers);
+        TeeSink tee(0);
+        tee.addSink(&profile);
+        tee.addSink(&sweep);
+        TraceReader reader(trace_path);
+        reader.replayInto(tee);
+        result.ratios = profile.missRatios(kind, sizes_kb);
+        result.oracleRatios = sweep.missRatios(kind);
+        for (size_t i = 0; i < result.ratios.size(); ++i)
+            result.maxDivergence = std::max(
+                result.maxDivergence,
+                std::abs(result.ratios[i] - result.oracleRatios[i]));
+        break;
+      }
+    }
+    return result;
 }
 
 std::vector<double>

@@ -25,6 +25,7 @@
 #include "sim/footprint.hh"
 #include "sim/machine.hh"
 #include "sim/sim_cpu.hh"
+#include "sim/stack_distance.hh"
 #include "tracefile/trace_reader.hh"
 
 namespace wcrt {
@@ -57,10 +58,84 @@ std::vector<CpuReport> replayOnConfigs(
     const std::vector<MachineConfig> &configs, unsigned threads = 0);
 
 /**
- * Replay one trace across a cache-capacity ladder — one
- * single-capacity FootprintSweep per rung, each on its own worker —
- * and return the miss ratio per capacity (same values the one-pass
- * multi-capacity sweep produces, computed config-parallel).
+ * How a miss-ratio curve (MRC) is computed from a trace.
+ *
+ * StackDistance is the primary path: one decode pass feeds one
+ * Mattson reuse-distance profile and the whole curve — any ladder —
+ * falls out of the distance histogram (fully-associative LRU;
+ * sim/stack_distance.hh). ShardedOracle is the validation path: the
+ * set-associative FootprintSweep, bit-exact for the paper's 8-way
+ * rungs, at the cost of one tag walk per rung. Verify runs both over
+ * a single decode pass and reports the maximum divergence between
+ * the curves.
+ */
+enum class MrcMode : uint8_t { StackDistance, ShardedOracle, Verify };
+
+/** Mode name as the CLI flags spell it: stack / oracle / verify. */
+const char *toString(MrcMode mode);
+
+/**
+ * Parse a CLI mode name ("stack", "oracle", "verify").
+ * @return false when the name matches no mode (`out` untouched).
+ */
+bool parseMrcMode(const std::string &name, MrcMode &out);
+
+/**
+ * Documented divergence bound between the fully-associative
+ * stack-distance curve and the 8-way sharded oracle on the paper's
+ * ladder. The gap runs both ways: the stack curve avoids the
+ * oracle's conflict misses, but a loop slightly wider than a rung
+ * thrashes fully-associative LRU where an uneven set mapping still
+ * retains lines — so neither curve dominates. On every workload
+ * roster and synthetic stream measured the absolute gap stays under
+ * this bound (most rungs are far closer; the gap peaks at the
+ * smallest capacities). Verify-mode consumers (fig6's CI check,
+ * tests) enforce it.
+ */
+inline constexpr double kMrcOracleDivergenceBound = 0.06;
+
+/** A miss-ratio curve computed by one replaySweepLadder mode. */
+struct MrcResult
+{
+    /**
+     * Miss ratio per capacity: the stack-distance curve in
+     * StackDistance and Verify modes, the set-associative sweep's in
+     * ShardedOracle mode.
+     */
+    std::vector<double> ratios;
+    /** The oracle's curve — filled in Verify mode only. */
+    std::vector<double> oracleRatios;
+    /** max |ratios - oracleRatios| over the ladder (Verify only). */
+    double maxDivergence = 0.0;
+};
+
+/**
+ * Replay one trace across a cache-capacity ladder in the selected
+ * MrcMode: one decode pass in every mode (Verify tees the decoded
+ * blocks into both sinks), with the sinks spreading their internal
+ * work over the shared pool under the worker cap.
+ *
+ * @param trace_path Captured trace.
+ * @param kind Which reference stream to measure.
+ * @param sizes_kb Capacity ladder in KB.
+ * @param mode Curve computation path (see MrcMode).
+ * @param threads Worker cap (0 → hardware threads).
+ * @param assoc Oracle associativity (paper: 8); the stack-distance
+ *        curve is fully associative by construction.
+ * @param line_bytes Line size (paper: 64).
+ */
+MrcResult replaySweepLadder(const std::string &trace_path,
+                            SweepKind kind,
+                            const std::vector<uint32_t> &sizes_kb,
+                            MrcMode mode, unsigned threads = 0,
+                            uint32_t assoc = 8,
+                            uint32_t line_bytes = 64);
+
+/**
+ * Back-compat ladder replay: the ShardedOracle path — one
+ * multi-capacity FootprintSweep fed by one decode pass, rung-stream
+ * shards spread over the shared pool — returning just the curve.
+ * Identical to replaySweepLadder(..., MrcMode::ShardedOracle).ratios.
  *
  * @param trace_path Captured trace.
  * @param kind Which reference stream to measure.
