@@ -27,6 +27,11 @@ service_latency): their rows are merged into one run before the
 comparison, with the reference row taken from whichever file carries
 it. Row names must be disjoint across files.
 
+The gate reports *every* problem it finds — structural issues
+(unreadable files, duplicate rows, a missing reference row) and all
+regressed rows alike — in a single run, so one CI round trip shows the
+full damage instead of the first failure only.
+
 Usage:
     check_perf.py BASELINE.json CURRENT.json [CURRENT2.json ...]
                   [--threshold 0.25] [--allow-new]
@@ -39,15 +44,21 @@ import sys
 REFERENCE = "BM_CacheAccess"
 
 
-def load_rates(path):
+def load_rates(path, problems):
     """Map benchmark name -> items_per_second for rows that report it.
 
     A row reporting an explicit 0 is kept (it means the benchmark
     collapsed, which the gate must flag); only rows that do not report
     items_per_second at all (e.g. wall-time-only analyses) are skipped.
+    An unreadable or malformed file becomes a problem entry and an
+    empty map, so the remaining files are still checked.
     """
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        problems.append(f"{path}: cannot load: {err}")
+        return {}
     rates = {}
     for row in data.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev) if present.
@@ -59,10 +70,13 @@ def load_rates(path):
     return rates
 
 
-def relative(rates):
+def relative(rates, label, problems):
+    """Normalise by the reference row; None when that row is unusable."""
     ref = rates.get(REFERENCE)
     if not ref:
-        sys.exit(f"error: reference row {REFERENCE} missing or zero")
+        problems.append(
+            f"{label}: reference row {REFERENCE} missing or zero")
+        return None
     return {name: ips / ref for name, ips in rates.items()
             if name != REFERENCE}
 
@@ -79,51 +93,56 @@ def main():
                              "from the baseline")
     args = parser.parse_args()
 
-    base = relative(load_rates(args.baseline))
+    problems = []
+    base = relative(load_rates(args.baseline, problems),
+                    args.baseline, problems)
+
     cur_rates = {}
     for path in args.current:
-        for name, ips in load_rates(path).items():
+        for name, ips in load_rates(path, problems).items():
             if name in cur_rates:
-                sys.exit(f"error: row {name} appears in more than one "
-                         f"current file")
+                problems.append(
+                    f"{name}: appears in more than one current file")
+                continue
             cur_rates[name] = ips
-    cur = relative(cur_rates)
+    cur = relative(cur_rates, "current run", problems)
 
-    failures = []
-    width = max(len(n) for n in base) if base else 0
-    print(f"{'benchmark':<{width}}  base-rel  cur-rel   ratio")
-    for name in sorted(base):
-        if name not in cur:
-            failures.append(f"{name}: missing from current run")
-            continue
-        if base[name] == 0.0:
-            failures.append(
-                f"{name}: baseline rate is zero; re-record the baseline")
-            continue
-        ratio = cur[name] / base[name]
-        flag = ""
-        if cur[name] == 0.0 or ratio < 1.0 - args.threshold:
-            failures.append(
-                f"{name}: relative throughput {ratio:.2f}x of baseline "
-                f"(limit {1.0 - args.threshold:.2f}x)")
-            flag = "  << REGRESSION"
-        print(f"{name:<{width}}  {base[name]:8.3f}  {cur[name]:8.3f}"
-              f"  {ratio:5.2f}x{flag}")
+    if base is not None and cur is not None:
+        width = max(len(n) for n in base) if base else 0
+        print(f"{'benchmark':<{width}}  base-rel  cur-rel   ratio")
+        for name in sorted(base):
+            if name not in cur:
+                problems.append(f"{name}: missing from current run")
+                continue
+            if base[name] == 0.0:
+                problems.append(f"{name}: baseline rate is zero; "
+                                f"re-record the baseline")
+                continue
+            ratio = cur[name] / base[name]
+            flag = ""
+            if cur[name] == 0.0 or ratio < 1.0 - args.threshold:
+                problems.append(
+                    f"{name}: relative throughput {ratio:.2f}x of "
+                    f"baseline (limit {1.0 - args.threshold:.2f}x)")
+                flag = "  << REGRESSION"
+            print(f"{name:<{width}}  {base[name]:8.3f}  "
+                  f"{cur[name]:8.3f}  {ratio:5.2f}x{flag}")
 
-    unknown = sorted(set(cur) - set(base))
-    for name in unknown:
-        if args.allow_new:
-            print(f"warning: {name} not in baseline "
-                  f"(cur-rel {cur[name]:.3f}); add it", file=sys.stderr)
-        else:
-            failures.append(
-                f"{name}: not in baseline — re-record the baseline or "
-                f"pass --allow-new")
+        for name in sorted(set(cur) - set(base)):
+            if args.allow_new:
+                print(f"warning: {name} not in baseline "
+                      f"(cur-rel {cur[name]:.3f}); add it",
+                      file=sys.stderr)
+            else:
+                problems.append(
+                    f"{name}: not in baseline — re-record the baseline "
+                    f"or pass --allow-new")
 
-    if failures:
-        print("\nperf gate FAILED:", file=sys.stderr)
-        for f in failures:
-            print(f"  {f}", file=sys.stderr)
+    if problems:
+        print(f"\nperf gate FAILED ({len(problems)} problem"
+              f"{'s' if len(problems) != 1 else ''}):", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
         return 1
     print(f"\nperf gate passed ({len(base)} rows, "
           f"threshold {args.threshold:.0%})")

@@ -59,11 +59,15 @@ main(int argc, char **argv)
 {
     initBench(argc, argv, kBenchUsesAll | kBenchUsesMrcMode);
     MrcMode mode = benchOptions().mrcMode;
-    double scale = benchScale() * 0.5;  // sweeps ladder 10 caches
-    auto hadoop = averageSweepMrc(hadoopGroup(),
-                                  SweepKind::Instruction, scale);
-    auto parsec = averageSweepMrc(parsecGroup(),
-                                  SweepKind::Instruction, scale);
+    // Roster, sweep kind and scale factor come from the checked-in
+    // scenario — the same file scenario_tool runs, so the two paths
+    // cannot drift apart.
+    ScenarioSpec scn = loadBenchScenario("fig6_icache.scn");
+    double scale = benchScale() * scn.scaleFactor;
+    auto hadoop = averageSweepMrc(benchGroup(scn, "Hadoop"),
+                                  scn.sweepKind, scale);
+    auto parsec = averageSweepMrc(benchGroup(scn, "PARSEC"),
+                                  scn.sweepKind, scale);
 
     printSweepFigure(
         "=== Figure 6: instruction cache miss ratio vs capacity ===",
@@ -86,7 +90,7 @@ main(int argc, char **argv)
                   << "%): " << (diverged ? "EXCEEDED" : "ok") << "\n";
     }
 
-    auto group = hadoopGroup();
+    auto group = benchGroup(scn, "Hadoop");
     if (group.empty())
         return diverged ? 1 : 0;
     const WorkloadEntry &demo = group.front();

@@ -17,9 +17,12 @@ int
 main(int argc, char **argv)
 {
     initBench(argc, argv, kBenchUsesAll | kBenchUsesMrcMode);
-    double scale = benchScale() * 0.5;
-    auto hadoop = averageSweep(hadoopGroup(), SweepKind::Data, scale);
-    auto parsec = averageSweep(parsecGroup(), SweepKind::Data, scale);
+    ScenarioSpec scn = loadBenchScenario("fig7_dcache.scn");
+    double scale = benchScale() * scn.scaleFactor;
+    auto hadoop = averageSweep(benchGroup(scn, "Hadoop"),
+                               scn.sweepKind, scale);
+    auto parsec = averageSweep(benchGroup(scn, "PARSEC"),
+                               scn.sweepKind, scale);
 
     printSweepFigure(
         "=== Figure 7: data cache miss ratio vs capacity ===",

@@ -16,12 +16,14 @@ int
 main(int argc, char **argv)
 {
     initBench(argc, argv, kBenchUsesAll | kBenchUsesMrcMode);
-    double scale = benchScale() * 0.5;
-    auto hadoop = averageSweep(hadoopGroup(), SweepKind::Instruction,
-                               scale);
-    auto parsec = averageSweep(parsecGroup(), SweepKind::Instruction,
-                               scale);
-    auto mpi = averageSweep(mpiGroup(), SweepKind::Instruction, scale);
+    ScenarioSpec scn = loadBenchScenario("fig9_mpi.scn");
+    double scale = benchScale() * scn.scaleFactor;
+    auto hadoop = averageSweep(benchGroup(scn, "Hadoop"),
+                               scn.sweepKind, scale);
+    auto parsec = averageSweep(benchGroup(scn, "PARSEC"),
+                               scn.sweepKind, scale);
+    auto mpi = averageSweep(benchGroup(scn, "MPI"), scn.sweepKind,
+                            scale);
 
     printSweepFigure(
         "=== Figure 9: instruction cache miss ratio vs capacity ===",

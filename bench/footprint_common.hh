@@ -24,8 +24,10 @@
 #include <string>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/table.hh"
 #include "bench_common.hh"
+#include "scenario/scenario.hh"
 #include "sim/footprint.hh"
 #include "sim/stack_distance.hh"
 #include "tracefile/replay.hh"
@@ -98,6 +100,50 @@ liveSweep(const WorkloadEntry &entry, SweepKind kind, double scale)
     StackDistanceProfile profile;
     runThroughSink(*w, profile);
     return profile.missRatios(kind, paperSweepSizesKb());
+}
+
+/** Absolute path of a checked-in scenario file. */
+inline std::string
+scenarioFile(const std::string &name)
+{
+#ifdef WCRT_SCENARIO_DIR
+    return std::string(WCRT_SCENARIO_DIR) + "/" + name;
+#else
+    return "scenarios/" + name;
+#endif
+}
+
+/**
+ * Load a checked-in scenario, fatally reporting every parse issue:
+ * the scenarios/ files are part of the build, so a broken one is a
+ * build defect, not a user error.
+ */
+inline ScenarioSpec
+loadBenchScenario(const std::string &name)
+{
+    ScenarioParse parse = loadScenario(scenarioFile(name));
+    if (!parse.ok())
+        wcrt_fatal("bad scenario ", scenarioFile(name), ":\n",
+                   parse.formatIssues());
+    return std::move(parse.spec);
+}
+
+/**
+ * One named group of a loaded scenario as a bench roster, honouring
+ * the shared --filter flag like the hand-registered groups do.
+ */
+inline std::vector<WorkloadEntry>
+benchGroup(const ScenarioSpec &spec, const std::string &group)
+{
+    const ScenarioGroup *g = spec.findGroup(group);
+    if (!g)
+        wcrt_fatal("scenario ", spec.source, " has no group '", group,
+                   "'");
+    std::vector<WorkloadEntry> out;
+    for (const auto &e : g->entries)
+        if (filterAllows(e.name))
+            out.push_back(e);
+    return out;
 }
 
 /** The Hadoop-stack representatives (the paper's Section 5.4 choice). */

@@ -1,0 +1,240 @@
+#include "scenario/generator.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "base/strings.hh"
+
+namespace wcrt {
+
+uint64_t
+mixSeed(uint64_t a, uint64_t b)
+{
+    uint64_t x = a + 0x9e3779b97f4a7c15ull * (b + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+const char *
+toString(GenKind k)
+{
+    switch (k) {
+      case GenKind::Zipf: return "zipf";
+      case GenKind::Uniform: return "uniform";
+      case GenKind::Gauss: return "gauss";
+      case GenKind::Bytes: return "bytes";
+      case GenKind::Words: return "words";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Compact double rendering for canonical specs ("0.99", "1000"). */
+std::string
+renderNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+} // namespace
+
+bool
+ValueGen::parse(const std::string &spec, ValueGen &out,
+                std::string &err)
+{
+    size_t open = spec.find('(');
+    if (open == std::string::npos || spec.back() != ')') {
+        err = "malformed generator spec '" + spec +
+              "' (expected kind(args))";
+        return false;
+    }
+    std::string name = spec.substr(0, open);
+    std::string args_text =
+        spec.substr(open + 1, spec.size() - open - 2);
+
+    std::vector<double> args;
+    for (const std::string &tok : split(args_text, ',')) {
+        std::istringstream is(tok);
+        double v = 0.0;
+        if (!(is >> v)) {
+            err = "bad numeric argument '" + tok + "' in '" + spec +
+                  "'";
+            return false;
+        }
+        args.push_back(v);
+    }
+
+    auto want = [&](size_t count) {
+        if (args.size() == count)
+            return true;
+        err = toString(out.k) + std::string("() takes ") +
+              std::to_string(count) + " arguments, got " +
+              std::to_string(args.size());
+        return false;
+    };
+
+    if (name == "zipf") {
+        out.k = GenKind::Zipf;
+        if (!want(2))
+            return false;
+        if (args[0] < 1.0) {
+            err = "zipf needs at least 1 rank";
+            return false;
+        }
+        out.n = static_cast<uint64_t>(args[0]);
+        out.b = args[1];
+        out.zipf = std::make_shared<ZipfSampler>(
+            static_cast<size_t>(out.n), out.b);
+    } else if (name == "uniform") {
+        out.k = GenKind::Uniform;
+        if (!want(2))
+            return false;
+        if (args[1] < args[0]) {
+            err = "uniform needs hi >= lo";
+            return false;
+        }
+        out.a = args[0];
+        out.b = args[1];
+    } else if (name == "gauss") {
+        out.k = GenKind::Gauss;
+        if (!want(2))
+            return false;
+        out.a = args[0];
+        out.b = args[1];
+    } else if (name == "bytes") {
+        out.k = GenKind::Bytes;
+        if (!want(1))
+            return false;
+        if (args[0] < 1.0) {
+            err = "bytes needs a positive length";
+            return false;
+        }
+        out.n = static_cast<uint64_t>(args[0]);
+    } else if (name == "words") {
+        out.k = GenKind::Words;
+        if (!want(2))
+            return false;
+        if (args[0] < 1.0 || args[1] < 1.0) {
+            err = "words needs a positive count and vocabulary";
+            return false;
+        }
+        out.n = static_cast<uint64_t>(args[0]);
+        out.m = static_cast<uint64_t>(args[1]);
+        out.zipf = std::make_shared<ZipfSampler>(
+            static_cast<size_t>(out.m), 0.9);
+    } else {
+        err = "unknown generator kind '" + name +
+              "' (zipf, uniform, gauss, bytes or words)";
+        return false;
+    }
+    return true;
+}
+
+std::string
+ValueGen::spec() const
+{
+    std::string out = toString(k);
+    out += "(";
+    switch (k) {
+      case GenKind::Zipf:
+        out += std::to_string(n) + ", " + renderNumber(b);
+        break;
+      case GenKind::Uniform:
+      case GenKind::Gauss:
+        out += renderNumber(a) + ", " + renderNumber(b);
+        break;
+      case GenKind::Bytes:
+        out += std::to_string(n);
+        break;
+      case GenKind::Words:
+        out += std::to_string(n) + ", " + std::to_string(m);
+        break;
+    }
+    out += ")";
+    return out;
+}
+
+Rng
+ValueGen::rngAt(const GenCtx &ctx) const
+{
+    // Fold the generator's identity in as well, so two generators
+    // evaluated at the same (seed, actor, op) do not mirror each
+    // other's draws.
+    uint64_t id = mixSeed(static_cast<uint64_t>(k), n);
+    return Rng(mixSeed(mixSeed(ctx.seed, ctx.actor),
+                       mixSeed(ctx.op, id)));
+}
+
+uint64_t
+ValueGen::drawIndex(const GenCtx &ctx) const
+{
+    Rng rng = rngAt(ctx);
+    switch (k) {
+      case GenKind::Zipf:
+        return zipf->sample(rng);
+      case GenKind::Uniform:
+        return static_cast<uint64_t>(
+            rng.nextRange(static_cast<int64_t>(a),
+                          static_cast<int64_t>(b)));
+      default:
+        return static_cast<uint64_t>(drawScalar(ctx));
+    }
+}
+
+double
+ValueGen::drawScalar(const GenCtx &ctx) const
+{
+    Rng rng = rngAt(ctx);
+    switch (k) {
+      case GenKind::Zipf:
+        return static_cast<double>(zipf->sample(rng));
+      case GenKind::Uniform:
+        return a + rng.nextDouble() * (b - a);
+      case GenKind::Gauss:
+        return rng.nextGaussian(a, b);
+      case GenKind::Bytes:
+        return static_cast<double>(n);
+      case GenKind::Words:
+        return static_cast<double>(n);
+    }
+    return 0.0;
+}
+
+std::string
+ValueGen::drawText(const GenCtx &ctx) const
+{
+    Rng rng = rngAt(ctx);
+    switch (k) {
+      case GenKind::Bytes: {
+        std::string out;
+        out.reserve(n);
+        for (uint64_t i = 0; i < n; ++i)
+            out.push_back(static_cast<char>(
+                ' ' + rng.nextBelow('~' - ' ' + 1)));
+        return out;
+      }
+      case GenKind::Words: {
+        std::string out;
+        for (uint64_t i = 0; i < n; ++i) {
+            if (i > 0)
+                out += ' ';
+            out += 'w';
+            out += std::to_string(zipf->sample(rng));
+        }
+        return out;
+      }
+      default:
+        return std::to_string(drawIndex(ctx));
+    }
+}
+
+} // namespace wcrt

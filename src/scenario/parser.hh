@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The structural layer of the scenario DSL: a line-oriented
+ * section/key-value document, no external dependencies.
+ *
+ * Grammar (docs/SCENARIO_FORMAT.md is normative):
+ *
+ *     document := line*
+ *     line     := blank | comment | section | entry
+ *     comment  := '#' ...            (whole line; leading spaces ok)
+ *     section  := '[' name ']'
+ *     entry    := key '=' value      (key may contain spaces, e.g.
+ *                                     "group Hadoop"; value runs to
+ *                                     end of line, trimmed)
+ *
+ * This layer knows nothing about scenario semantics — it only yields
+ * an ordered list of sections, each an ordered list of (key, value)
+ * entries with source line numbers. scenario.hh interprets the
+ * result. Parsing never throws: structural problems are accumulated
+ * as ScenarioIssue records so a validator can report *every* mistake
+ * in a file at once instead of stopping at the first.
+ */
+
+#ifndef WCRT_SCENARIO_PARSER_HH
+#define WCRT_SCENARIO_PARSER_HH
+
+#include <string>
+#include <vector>
+
+namespace wcrt {
+
+/** One problem found while parsing or validating a scenario. */
+struct ScenarioIssue
+{
+    int line = 0;  //!< 1-based source line (0 = file-level)
+    std::string message;
+
+    /** "file:line: message" (or "file: message" for file-level). */
+    std::string format(const std::string &source) const;
+};
+
+/** One `key = value` entry of a section. */
+struct ScenarioEntry
+{
+    std::string key;    //!< trimmed text left of '='
+    std::string value;  //!< trimmed text right of '='
+    int line = 0;       //!< 1-based source line
+};
+
+/** One `[name]` section and its entries, in declaration order. */
+struct ScenarioSection
+{
+    std::string name;
+    int line = 0;
+    std::vector<ScenarioEntry> entries;
+
+    /** First entry with the key, or nullptr. */
+    const ScenarioEntry *find(const std::string &key) const;
+};
+
+/** A parsed scenario document: ordered sections plus any issues. */
+struct ScenarioDoc
+{
+    std::string source;  //!< file name (or "<string>") for messages
+    std::vector<ScenarioSection> sections;
+    std::vector<ScenarioIssue> issues;
+
+    /** First section with the name, or nullptr. */
+    const ScenarioSection *find(const std::string &name) const;
+
+    /** True when parsing produced no issues. */
+    bool ok() const { return issues.empty(); }
+
+    /**
+     * Canonical text form: re-emitting and re-parsing an issue-free
+     * document yields an equal document (comments and blank lines are
+     * not preserved; line numbers differ).
+     */
+    std::string toText() const;
+};
+
+/**
+ * Parse scenario text. Duplicate section names, duplicate keys within
+ * a section, entries before the first section header and malformed
+ * lines are all reported (and the offending line skipped); the
+ * returned document contains everything that did parse.
+ */
+ScenarioDoc parseScenarioText(const std::string &text,
+                              const std::string &source = "<string>");
+
+/**
+ * Read and parse a scenario file. An unreadable file yields a
+ * document with a single file-level issue.
+ */
+ScenarioDoc parseScenarioFile(const std::string &path);
+
+} // namespace wcrt
+
+#endif // WCRT_SCENARIO_PARSER_HH

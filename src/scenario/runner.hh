@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The scenario runner: executes expanded cells against the three
+ * engines a scenario kind names.
+ *
+ *  - sweep cells replicate the figure benches' averageSweepMrc()
+ *    arithmetic exactly — same trace-cache keys, same
+ *    replaySweepLadder() call, same sum-then-divide entry order — so a
+ *    scenario-driven curve is bit-identical to the hand-coded bench's
+ *    for the same roster, scale and MrcMode.
+ *  - traffic cells drive loadgen::Orchestrator. Phases declared with
+ *    `rate-x` are fractions of a measured per-actor capacity: the
+ *    runner probes mu1 first with a strictly serial closed loop (one
+ *    actor, jobs=1), the service_latency idiom. When the scenario
+ *    names [generators], the runner builds generator-backed targets
+ *    whose per-request draws are pure functions of (scenario seed,
+ *    actor, op index) — bit-identical at jobs=1 and jobs=N.
+ *  - replay cells replay each group member's cached trace through
+ *    SimCpu on the cell's machine config via replayTracesOn().
+ */
+
+#ifndef WCRT_SCENARIO_RUNNER_HH
+#define WCRT_SCENARIO_RUNNER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trace_cache.hh"
+#include "loadgen/orchestrator.hh"
+#include "loadgen/targets.hh"
+#include "scenario/scenario.hh"
+#include "sim/sim_cpu.hh"
+
+namespace wcrt {
+
+/** Engine-level knobs a scenario file does not decide. */
+struct RunnerOptions
+{
+    unsigned jobs = 0;      //!< worker cap (0 = hardware threads)
+    std::string traceDir;   //!< trace cache ("" = TraceCache default)
+    double baseScale = 0.5; //!< WCRT_SCALE-style base dataset scale
+};
+
+/** One sweep cell's averaged miss-ratio curve. */
+struct SweepCellResult
+{
+    std::vector<double> curve;   //!< averaged over the cell's group
+    double maxDivergence = 0.0;  //!< verify mode: worst |stack-oracle|
+};
+
+/** One traffic cell's measured phases. */
+struct TrafficCellResult
+{
+    double capacityHz = 0.0;  //!< probed mu1 (0 when no rate-x phase)
+    TrafficResult result;
+};
+
+/** One replay cell: a report per group member, in group order. */
+struct ReplayCellResult
+{
+    std::vector<std::string> names;
+    std::vector<CpuReport> reports;
+};
+
+/** The union of the three engines' outcomes for one cell. */
+struct CellResult
+{
+    ScenarioCell cell;
+    SweepCellResult sweep;
+    TrafficCellResult traffic;
+    ReplayCellResult replay;
+};
+
+/**
+ * Build the traffic target a scenario describes: the named loadgen
+ * target, swapped for a generator-backed implementation when the
+ * scenario references [generators] entries (key-gen / query-gen /
+ * doc-gen).
+ */
+std::unique_ptr<TrafficTarget> makeScenarioTarget(
+    const ScenarioSpec &spec, double scale);
+
+/**
+ * Executes one scenario's cells. Owns the trace cache, so a multi-cell
+ * run pays one capture per (workload, scale) like the benches do.
+ */
+class ScenarioRunner
+{
+  public:
+    explicit ScenarioRunner(const ScenarioSpec &spec,
+                            RunnerOptions opt = {});
+
+    /** Expand the run list (see expandScenario()). */
+    std::vector<ScenarioCell> cells(
+        std::vector<ScenarioIssue> &issues) const;
+
+    /** Execute one cell through its kind's engine. */
+    CellResult runCell(const ScenarioCell &cell);
+
+    const ScenarioSpec &scenario() const { return spec; }
+    const RunnerOptions &options() const { return opt; }
+
+  private:
+    SweepCellResult runSweepCell(const ScenarioCell &cell);
+    TrafficCellResult runTrafficCell(const ScenarioCell &cell);
+    ReplayCellResult runReplayCell(const ScenarioCell &cell);
+
+    const ScenarioSpec &spec;
+    RunnerOptions opt;
+    TraceCache cache;
+};
+
+} // namespace wcrt
+
+#endif // WCRT_SCENARIO_RUNNER_HH
