@@ -351,7 +351,9 @@ BM_TraceRead(benchmark::State &state)
     uint64_t payload_bytes = 0;
     uint64_t ops_read = 0;
     for (auto _ : state) {
-        TraceReader reader(path);
+        // Pin the transport: this row is the buffered-ifstream
+        // reference the BM_ReplayMmap* rows are compared against.
+        TraceReader reader(path, {TraceIo::Stream, CrcMode::Always});
         CountingSink counter;
         reader.replayInto(counter);
         payload_bytes += reader.payloadBytes();
@@ -366,6 +368,83 @@ BM_TraceRead(benchmark::State &state)
     std::filesystem::remove(path);
 }
 BENCHMARK(BM_TraceRead);
+
+/**
+ * Repeat-replay rows: one persistent reader, timed replays only.
+ * This is the shape of the actual hot loop (sweep ladders and config
+ * fans replay the same trace many times), and it is what the
+ * transport choice affects: the stream path re-reads and re-copies
+ * every chunk payload per replay, the mmap path decodes in place.
+ * BM_ReplayStream / BM_ReplayMmap / BM_ReplayMmapCrcOnce differ only
+ * in ReaderOptions — same trace, same counting sink.
+ */
+void
+replayTransportRow(benchmark::State &state, const ReaderOptions &opts,
+                   const char *tag)
+{
+    if ((opts.io == TraceIo::Mmap || opts.io == TraceIo::Auto) &&
+        !mmapAvailable()) {
+        state.SkipWithError("mmap unavailable on this platform");
+        return;
+    }
+    auto ops = syntheticOps(64 * 1024);
+    std::string path = benchTracePath(
+        (std::string("wcrt-bench-") + tag + ".wtrace").c_str());
+    CodeLayout layout;
+    layout.addFunction("bench", CodeLayer::Application, 8192);
+    TraceMeta meta;
+    meta.workload = "bench";
+    {
+        TraceWriter writer(path, meta, layout);
+        for (const auto &op : ops)
+            writer.consume(op);
+        writer.finish();
+    }
+    TraceReader reader(path, opts);
+    {
+        // Warm-up replay: touches every page of the mapping (or warms
+        // the stream buffer) and, under CrcMode::Once, performs the
+        // one full CRC pass that promotes the file to trusted.
+        CountingSink counter;
+        reader.replayInto(counter);
+    }
+    uint64_t payload_bytes = 0;
+    uint64_t ops_read = 0;
+    for (auto _ : state) {
+        CountingSink counter;
+        reader.replayInto(counter);
+        payload_bytes += reader.payloadBytes();
+        ops_read += counter.ops();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(ops_read));
+    state.SetBytesProcessed(static_cast<int64_t>(payload_bytes));
+    std::filesystem::remove(path);
+}
+
+void
+BM_ReplayStream(benchmark::State &state)
+{
+    replayTransportRow(state, {TraceIo::Stream, CrcMode::Always},
+                       "replay-stream");
+}
+BENCHMARK(BM_ReplayStream);
+
+void
+BM_ReplayMmap(benchmark::State &state)
+{
+    replayTransportRow(state, {TraceIo::Mmap, CrcMode::Always},
+                       "replay-mmap");
+}
+BENCHMARK(BM_ReplayMmap);
+
+/** Steady state of the CRC trust ladder: chunk CRC passes elided. */
+void
+BM_ReplayMmapCrcOnce(benchmark::State &state)
+{
+    replayTransportRow(state, {TraceIo::Mmap, CrcMode::Once},
+                       "replay-mmap-once");
+}
+BENCHMARK(BM_ReplayMmapCrcOnce);
 
 /** Write one shared trace for the replay-to-sink rows. */
 const std::string &

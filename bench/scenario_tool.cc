@@ -6,6 +6,7 @@
  *     scenario_tool expand   <file.scn> [--scale=S]
  *     scenario_tool run      <file.scn> [--json=FILE] [--jobs=N]
  *                            [--trace-dir=D] [--cell=I] [--scale=S]
+ *                            [--io=M] [--verify-crc=M]
  *
  * `validate` parses, resolves and expands every named file, printing
  * every problem found (the parser accumulates issues instead of
@@ -33,6 +34,7 @@
 #include "base/table.hh"
 #include "scenario/runner.hh"
 #include "scenario/scenario.hh"
+#include "tracefile/trace_source.hh"
 
 using namespace wcrt;
 
@@ -57,7 +59,11 @@ usage()
            "  --jobs=N       worker cap (0 = hardware threads)\n"
            "  --trace-dir=D  trace cache directory (default:\n"
            "                 WCRT_TRACE_DIR or the system temp dir)\n"
-           "  --cell=I       run only the cell with index I\n";
+           "  --cell=I       run only the cell with index I\n"
+           "  --io=M         trace transport: auto (default; mmap\n"
+           "                 when available), stream, mmap\n"
+           "  --verify-crc=M chunk CRC policy on replay: always\n"
+           "                 (default), once, never\n";
     return 2;
 }
 
@@ -354,7 +360,21 @@ cmdRun(int argc, char **argv)
         else if (const char *v5 =
                      flagValue(argv[i], "--scale", argc, argv, i))
             opt.baseScale = std::atof(v5);
-        else
+        else if (const char *v6 =
+                     flagValue(argv[i], "--io", argc, argv, i)) {
+            ReaderOptions ropts = defaultReaderOptions();
+            if (!parseTraceIo(v6, ropts.io))
+                wcrt_fatal("unknown --io '", v6,
+                           "' (auto, stream or mmap)");
+            setDefaultReaderOptions(ropts);
+        } else if (const char *v7 = flagValue(argv[i], "--verify-crc",
+                                              argc, argv, i)) {
+            ReaderOptions ropts = defaultReaderOptions();
+            if (!parseCrcMode(v7, ropts.crc))
+                wcrt_fatal("unknown --verify-crc '", v7,
+                           "' (always, once or never)");
+            setDefaultReaderOptions(ropts);
+        } else
             return usage();
     }
 

@@ -10,6 +10,11 @@
  *                       [--sizes=CSV] [--assoc=N] [--line=N]
  *                       [--jobs=N] [--json]
  *
+ * Every command also accepts `--io=auto|stream|mmap` and
+ * `--verify-crc=always|once|never`, which set the process-wide
+ * ReaderOptions before any trace is opened (see
+ * tracefile/trace_source.hh for the trust ladder).
+ *
  * `record` executes one roster workload and captures its op stream;
  * `stats` prints the header/footer accounting, chunk layout,
  * compression ratio and the MixCounter op-mix table from a replay;
@@ -38,6 +43,7 @@
 #include "tracefile/capture.hh"
 #include "tracefile/replay.hh"
 #include "tracefile/trace_reader.hh"
+#include "tracefile/trace_source.hh"
 #include "workloads/registry.hh"
 
 using namespace wcrt;
@@ -66,6 +72,12 @@ usage()
            "                  paper's 16..8192 doubling ladder)\n"
            "  --assoc=N       oracle associativity (default 8)\n"
            "  --line=N        line bytes (default 64)\n"
+           "  --io=M          trace transport for any command: auto\n"
+           "                  (default; mmap when available), stream,\n"
+           "                  mmap\n"
+           "  --verify-crc=M  chunk CRC policy: always (default), once\n"
+           "                  (skip re-verifying traces this process\n"
+           "                  already validated), never\n"
            "  (run any bench binary with --list for workload names)\n";
     return 2;
 }
@@ -136,6 +148,9 @@ cmdStats(const std::string &path)
     std::cout << "ops:            " << reader.opCount() << "\n";
     std::cout << "file size:      " << reader.fileBytes() << " bytes ("
               << reader.chunkCount() << " chunks)\n";
+    std::cout << "io:             " << reader.ioName()
+              << ", verify-crc "
+              << toString(reader.options().crc) << "\n";
     std::cout << "payload:        " << reader.payloadBytes()
               << " bytes, " << formatFixed(reader.bytesPerOp(), 3)
               << " bytes/op\n";
@@ -433,6 +448,34 @@ cmdMrc(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
+    // Peel off the reader-policy flags before command dispatch: they
+    // apply to every command, so they set the process-wide defaults
+    // that TraceReader and the replay runners pick up.
+    std::vector<char *> args;
+    args.reserve(static_cast<size_t>(argc));
+    ReaderOptions opts = defaultReaderOptions();
+    for (int i = 0; i < argc; ++i) {
+        if (i == 0) {
+            args.push_back(argv[i]);
+            continue;
+        }
+        if (const char *v = flagValue(argv[i], "--io", argc, argv, i)) {
+            if (!parseTraceIo(v, opts.io))
+                wcrt_fatal("unknown --io '", v,
+                           "' (auto, stream or mmap)");
+        } else if (const char *v2 = flagValue(argv[i], "--verify-crc",
+                                              argc, argv, i)) {
+            if (!parseCrcMode(v2, opts.crc))
+                wcrt_fatal("unknown --verify-crc '", v2,
+                           "' (always, once or never)");
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    setDefaultReaderOptions(opts);
+    argc = static_cast<int>(args.size());
+    argv = args.data();
+
     if (argc < 3)
         return usage();
     std::string cmd = argv[1];

@@ -26,17 +26,25 @@ captureTrace(Workload &workload, const std::string &path, double scale)
 
     std::string tmp = path + ".tmp-" + std::to_string(::getpid());
     CaptureResult result;
-    {
-        TraceWriter writer(tmp, meta, env.layout);
-        Tracer tracer(env.layout, writer);
-        tracer.call(driver);
-        workload.execute(env, tracer);
-        tracer.ret();
-        writer.finish(env.io, env.data);
-        result.ops = writer.opsWritten();
-        result.fileBytes = writer.bytesWritten();
+    try {
+        {
+            TraceWriter writer(tmp, meta, env.layout);
+            Tracer tracer(env.layout, writer);
+            tracer.call(driver);
+            workload.execute(env, tracer);
+            tracer.ret();
+            writer.finish(env.io, env.data);
+            result.ops = writer.opsWritten();
+            result.fileBytes = writer.bytesWritten();
+        }
+        std::filesystem::rename(tmp, path);
+    } catch (...) {
+        // A failed capture must not leave its half-written tmp file
+        // polluting the trace-cache directory.
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        throw;
     }
-    std::filesystem::rename(tmp, path);
     return result;
 }
 

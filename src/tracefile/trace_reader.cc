@@ -197,13 +197,16 @@ decodeOp(Cursor &cur, uint64_t &prev_pc, uint64_t &prev_mem,
 } // namespace
 
 TraceReader::TraceReader(const std::string &path)
-    : filePath(path), in(path, std::ios::binary)
+    : TraceReader(path, defaultReaderOptions())
 {
-    if (!in)
-        throw TraceFormatError("cannot open trace file: " + path);
-    in.seekg(0, std::ios::end);
-    fileSize = static_cast<uint64_t>(in.tellg());
-    in.seekg(0, std::ios::beg);
+}
+
+TraceReader::TraceReader(const std::string &path,
+                         const ReaderOptions &options)
+    : filePath(path), readerOpts(options),
+      src(openTraceSource(path, options.io))
+{
+    fileSize = src->size();
     readHeader();
     scanFooter();
 }
@@ -211,9 +214,9 @@ TraceReader::TraceReader(const std::string &path)
 void
 TraceReader::readHeader()
 {
-    uint8_t fixed[16];
-    if (!in.read(reinterpret_cast<char *>(fixed), sizeof(fixed)))
+    if (src->remaining() < 16)
         throw TraceFormatError("trace header truncated: " + filePath);
+    const uint8_t *fixed = src->view(16);
     if (getU32(fixed) != magic)
         throw TraceFormatError("not a wtrace file (bad magic): " +
                                filePath);
@@ -225,14 +228,17 @@ TraceReader::readHeader()
     uint32_t payload_bytes = getU32(fixed + 8);
     uint32_t crc = getU32(fixed + 12);
 
-    std::vector<uint8_t> payload(payload_bytes);
-    if (!in.read(reinterpret_cast<char *>(payload.data()),
-                 static_cast<std::streamsize>(payload.size())))
+    // Bound the declared length against the file before asking the
+    // source for it: a corrupt header claiming ~4 GB must fail here,
+    // not after a matching allocation (chunk payloads get the same
+    // treatment in walkChunks).
+    if (payload_bytes > src->remaining())
         throw TraceFormatError("trace header truncated: " + filePath);
-    if (crc32(payload.data(), payload.size()) != crc)
+    const uint8_t *payload = src->view(payload_bytes);
+    if (crc32(payload, payload_bytes) != crc)
         throw TraceFormatError("trace header CRC mismatch: " + filePath);
 
-    Decoder dec(payload.data(), payload.size());
+    Decoder dec(payload, payload_bytes);
     fileMeta.workload = dec.string();
     fileMeta.stackKind = static_cast<StackKind>(dec.u8());
     fileMeta.category = static_cast<AppCategory>(dec.u8());
@@ -253,47 +259,47 @@ TraceReader::readHeader()
     if (dec.remaining() != 0)
         throw TraceFormatError("trailing bytes in trace header: " +
                                filePath);
-    firstChunk = in.tellg();
+    firstChunk = src->offset();
 }
 
 uint64_t
 TraceReader::walkChunks(TraceSink *sink)
 {
-    in.clear();
-    in.seekg(firstChunk);
+    src->seek(firstChunk);
+    // The CrcMode trust ladder applies to op-chunk payloads only;
+    // header and footer CRCs are always verified. Under Once, a full
+    // checked replay promotes the file into the process-wide registry
+    // so later replays (this reader or any other) skip the CRC pass.
+    bool check_crc =
+        readerOpts.crc == CrcMode::Always ||
+        (readerOpts.crc == CrcMode::Once &&
+         !traceVerifiedInProcess(filePath));
     uint64_t ops_seen = 0;
     uint64_t chunks_seen = 0;
     uint64_t payload_seen = 0;
-    std::vector<uint8_t> payload;
     while (true) {
-        uint8_t fixed[12];
-        if (!in.read(reinterpret_cast<char *>(fixed), sizeof(fixed)))
+        if (src->remaining() < 12)
             throw TraceFormatError(
                 "trace truncated (missing footer): " + filePath);
+        const uint8_t *fixed = src->view(12);
         ChunkHeader hdr{getU32(fixed), getU32(fixed + 4),
                         getU32(fixed + 8)};
-        if (static_cast<uint64_t>(in.tellg()) + hdr.payloadBytes >
-            fileSize)
+        if (hdr.payloadBytes > src->remaining())
             throw TraceFormatError("trace chunk truncated: " + filePath);
-        if (sink || hdr.opCount == 0) {
-            payload.resize(hdr.payloadBytes);
-            if (hdr.payloadBytes > 0 &&
-                !in.read(reinterpret_cast<char *>(payload.data()),
-                         static_cast<std::streamsize>(payload.size())))
-                throw TraceFormatError("trace chunk truncated: " +
-                                       filePath);
-        } else {
-            // Validation scan: chunk bounds are checked above and the
-            // payload CRC is verified on decode, so just skip ahead.
-            in.seekg(hdr.payloadBytes, std::ios::cur);
-        }
+        // A valid op encodes to at least 2 bytes, so an opCount above
+        // payloadBytes is structurally impossible; reject it before
+        // sizing the decode block off an untrusted u32.
+        if (hdr.opCount > hdr.payloadBytes)
+            throw TraceFormatError(
+                "trace chunk op count exceeds payload: " + filePath);
 
         if (hdr.opCount == 0) {
             // Footer chunk ends the file.
-            if (crc32(payload.data(), payload.size()) != hdr.crc)
+            const uint8_t *payload = src->view(hdr.payloadBytes);
+            if (crc32(payload, hdr.payloadBytes) != hdr.crc)
                 throw TraceFormatError("trace footer CRC mismatch: " +
                                        filePath);
-            Decoder dec(payload.data(), payload.size());
+            Decoder dec(payload, hdr.payloadBytes);
             footerOps = dec.varint();
             footerIo.diskReadBytes = dec.varint();
             footerIo.diskWriteBytes = dec.varint();
@@ -304,7 +310,7 @@ TraceReader::walkChunks(TraceSink *sink)
             if (dec.remaining() != 0)
                 throw TraceFormatError(
                     "trailing bytes in trace footer: " + filePath);
-            if (in.peek() != std::ifstream::traits_type::eof())
+            if (src->remaining() != 0)
                 throw TraceFormatError(
                     "trailing data after trace footer: " + filePath);
             if (footerOps != ops_seen)
@@ -314,32 +320,38 @@ TraceReader::walkChunks(TraceSink *sink)
                     std::to_string(ops_seen) + "): " + filePath);
             chunks = chunks_seen;
             payloadTotal = payload_seen;
+            if (sink && check_crc)
+                markTraceVerified(filePath);
             return ops_seen;
         }
 
         ++chunks_seen;
         payload_seen += hdr.payloadBytes;
         if (sink) {
-            if (crc32(payload.data(), payload.size()) != hdr.crc)
-                throw TraceFormatError("trace chunk CRC mismatch: " +
-                                       filePath);
+            const uint8_t *pay = src->view(hdr.payloadBytes);
+            if (check_crc) {
+                if (crc32(pay, hdr.payloadBytes) != hdr.crc)
+                    throw TraceFormatError(
+                        "trace chunk CRC mismatch: " + filePath);
+                ++crcChecks;
+            }
             // Decode the whole chunk straight into the reusable SoA
             // block, then hand its view to the sink in one
             // consumeBatch call — no per-op virtual dispatch and no
-            // intermediate MicroOp on the replay path. The chunk
-            // interior decodes through the unchecked SWAR fast cursor
-            // (maxEncodedOpBytes guarantees every read, including the
-            // 8-byte varint loads, stays in bounds); the tail falls
-            // back to the checked Decoder, so truncation still
-            // surfaces as a clean error.
+            // intermediate MicroOp on the replay path. With MmapSource
+            // `pay` points into the mapping, so decode is zero-copy.
+            // The chunk interior decodes through the unchecked SWAR
+            // fast cursor (maxEncodedOpBytes guarantees every read,
+            // including the 8-byte varint loads, stays in bounds); the
+            // tail falls back to the checked Decoder, so truncation
+            // still surfaces as a clean error.
             if (block.capacity() < hdr.opCount)
                 block = OpBlock(hdr.opCount);
             block.clear();
             BlockArrays arrays(block);
             uint64_t prev_pc = 0;
             uint64_t prev_mem = 0;
-            const uint8_t *pay = payload.data();
-            const uint8_t *pay_end = pay + payload.size();
+            const uint8_t *pay_end = pay + hdr.payloadBytes;
             FastCursor fast{pay};
             uint32_t i = 0;
             while (i < hdr.opCount &&
@@ -359,6 +371,10 @@ TraceReader::walkChunks(TraceSink *sink)
                     "trailing bytes in trace chunk: " + filePath);
             block.setUsed(hdr.opCount);
             sink->consumeBatch(block.view());
+        } else {
+            // Validation scan: chunk bounds are checked above and the
+            // payload CRC is verified on decode, so just skip ahead.
+            src->skip(hdr.payloadBytes);
         }
         ops_seen += hdr.opCount;
     }

@@ -12,18 +12,26 @@
  * boundary per virtual dispatch instead of a single op. A reader can
  * replay its file any number of times; for parallel replay open one
  * reader per thread (see tracefile/replay.hh).
+ *
+ * File bytes arrive through a TraceSource (tracefile/trace_source.hh):
+ * by default the file is memory-mapped and chunk payloads are decoded
+ * straight out of the mapping with zero intermediate copies, with the
+ * original buffered-ifstream path kept as the portable fallback.
+ * ReaderOptions also selects how much per-chunk CRC work replay does
+ * (the CrcMode trust ladder); the default verifies everything.
  */
 
 #ifndef WCRT_TRACEFILE_TRACE_READER_HH
 #define WCRT_TRACEFILE_TRACE_READER_HH
 
-#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sysmon/sysmon.hh"
 #include "trace/code_layout.hh"
 #include "tracefile/format.hh"
+#include "tracefile/trace_source.hh"
 
 namespace wcrt {
 
@@ -32,11 +40,14 @@ class TraceReader
 {
   public:
     /**
-     * Open `path` and validate the header. Throws TraceFormatError on
-     * a missing file, bad magic, unsupported version or header
-     * corruption.
+     * Open `path` with the process-wide defaultReaderOptions() and
+     * validate the header. Throws TraceFormatError on a missing file,
+     * bad magic, unsupported version or header corruption.
      */
     explicit TraceReader(const std::string &path);
+
+    /** Open `path` with explicit io/CRC policy. */
+    TraceReader(const std::string &path, const ReaderOptions &options);
 
     /** Run identity stored in the header. */
     const TraceMeta &meta() const { return fileMeta; }
@@ -81,6 +92,19 @@ class TraceReader
     /** Path this reader reads from. */
     const std::string &path() const { return filePath; }
 
+    /** The policy this reader was opened with. */
+    const ReaderOptions &options() const { return readerOpts; }
+
+    /** Transport actually in use: "stream" or "mmap". */
+    const char *ioName() const { return src->name(); }
+
+    /**
+     * Cumulative chunk-payload CRC computations this reader has
+     * performed across all replays — the observable of the CrcMode
+     * trust ladder (tests and `trace_tool stats` read it).
+     */
+    uint64_t chunkCrcChecks() const { return crcChecks; }
+
   private:
     void readHeader();
     void scanFooter();
@@ -92,9 +116,11 @@ class TraceReader
     uint64_t walkChunks(TraceSink *sink);
 
     std::string filePath;
-    std::ifstream in;
+    ReaderOptions readerOpts;
+    std::unique_ptr<TraceSource> src;
     OpBlock block;  //!< reusable decode target, one chunk at a time
-    std::streamoff firstChunk = 0;
+    uint64_t firstChunk = 0;
+    uint64_t crcChecks = 0;
     TraceMeta fileMeta;
     std::vector<CodeLayout::Function> regionTable;
     IoCounters footerIo;

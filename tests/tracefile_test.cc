@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/profiler.hh"
@@ -19,8 +23,10 @@
 #include "tracefile/capture.hh"
 #include "tracefile/replay.hh"
 #include "tracefile/trace_reader.hh"
+#include "tracefile/trace_source.hh"
 #include "tracefile/trace_writer.hh"
 #include "trace/mix_counter.hh"
+#include "trace/sampling.hh"
 #include "workloads/registry.hh"
 
 namespace wcrt {
@@ -596,6 +602,394 @@ TEST(TraceFile, PayloadExceedingOpCountThrows)
     RecordingSink sink;
     EXPECT_THROW(reader.replayInto(sink), TraceFormatError);
     fs::remove(path);
+}
+
+TEST(TraceFile, OversizedHeaderPayloadThrows)
+{
+    // A corrupt header claiming ~4 GB of payload must be rejected by
+    // the bounds check against the file size, not by attempting to
+    // allocate (or map past) that much.
+    std::string path = tempTracePath("huge-header");
+    writeSample(path, awkwardOps());
+
+    std::fstream f(path, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    f.seekp(8);  // header payloadBytes field
+    const char huge[4] = {'\xf0', '\xff', '\xff', '\xff'};
+    f.write(huge, 4);
+    f.close();
+
+    for (TraceIo io : {TraceIo::Stream, TraceIo::Mmap}) {
+        if (io == TraceIo::Mmap && !mmapAvailable())
+            continue;
+        try {
+            TraceReader reader(path, {io, CrcMode::Always});
+            FAIL() << "oversized header accepted via " << toString(io);
+        } catch (const TraceFormatError &err) {
+            EXPECT_NE(std::string(err.what())
+                          .find("trace header truncated"),
+                      std::string::npos)
+                << err.what();
+        }
+    }
+    fs::remove(path);
+}
+
+// ------------------------------------------------------- source parity
+
+/** Whole-file read into memory. */
+std::vector<uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    return std::vector<uint8_t>((std::istreambuf_iterator<char>(f)),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeFileBytes(const std::string &path,
+               const std::vector<uint8_t> &bytes, size_t len)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(len));
+}
+
+/**
+ * Open + full replay through one transport; returns the error text,
+ * or empty when the file replayed cleanly.
+ */
+std::string
+replayErrorMessage(const std::string &path, TraceIo io)
+{
+    try {
+        TraceReader reader(path, {io, CrcMode::Always});
+        RecordingSink sink;
+        reader.replayInto(sink);
+    } catch (const TraceFormatError &err) {
+        return err.what();
+    }
+    return {};
+}
+
+TEST(TraceSourceParity, MmapMatchesStreamOnValidTrace)
+{
+    if (!mmapAvailable())
+        GTEST_SKIP() << "no mmap on this platform";
+    std::string path = tempTracePath("parity-valid");
+    std::vector<MicroOp> ops;
+    auto sample = awkwardOps();
+    for (int rep = 0; rep < 40; ++rep)
+        for (const auto &op : sample)
+            ops.push_back(op);
+    writeSample(path, ops, 7);  // many chunks
+
+    TraceReader stream(path, {TraceIo::Stream, CrcMode::Always});
+    TraceReader mmap(path, {TraceIo::Mmap, CrcMode::Always});
+    EXPECT_STREQ(stream.ioName(), "stream");
+    EXPECT_STREQ(mmap.ioName(), "mmap");
+    EXPECT_EQ(stream.opCount(), mmap.opCount());
+    EXPECT_EQ(stream.chunkCount(), mmap.chunkCount());
+    EXPECT_EQ(stream.payloadBytes(), mmap.payloadBytes());
+    EXPECT_EQ(stream.meta().workload, mmap.meta().workload);
+
+    RecordingSink via_stream;
+    stream.replayInto(via_stream);
+    RecordingSink via_mmap;
+    mmap.replayInto(via_mmap);
+    expectOpsEqual(via_stream.ops, via_mmap.ops);
+    expectOpsEqual(ops, via_mmap.ops);
+    fs::remove(path);
+}
+
+TEST(TraceSourceParity, TruncationAtEveryLengthFailsIdentically)
+{
+    if (!mmapAvailable())
+        GTEST_SKIP() << "no mmap on this platform";
+    std::string full = tempTracePath("parity-trunc-src");
+    writeSample(full, awkwardOps(), 3);
+    std::vector<uint8_t> bytes = readFileBytes(full);
+    fs::remove(full);
+    ASSERT_GT(bytes.size(), 0u);
+
+    // Every proper prefix must be rejected (the mandatory footer means
+    // truncation anywhere is detectable), and the stream and mmap
+    // transports must report the exact same error.
+    std::string path = tempTracePath("parity-trunc");
+    for (size_t len = 0; len < bytes.size(); ++len) {
+        SCOPED_TRACE("prefix length " + std::to_string(len));
+        writeFileBytes(path, bytes, len);
+        std::string via_stream =
+            replayErrorMessage(path, TraceIo::Stream);
+        std::string via_mmap = replayErrorMessage(path, TraceIo::Mmap);
+        ASSERT_FALSE(via_stream.empty());
+        ASSERT_FALSE(via_mmap.empty());
+        EXPECT_EQ(via_stream, via_mmap);
+    }
+    fs::remove(path);
+}
+
+TEST(TraceSourceParity, CorruptFixturesFailIdentically)
+{
+    if (!mmapAvailable())
+        GTEST_SKIP() << "no mmap on this platform";
+    std::string path = tempTracePath("parity-corrupt");
+    std::vector<MicroOp> ops;
+    auto sample = awkwardOps();
+    for (int rep = 0; rep < 40; ++rep)
+        for (const auto &op : sample)
+            ops.push_back(op);
+    writeSample(path, ops, 7);
+    std::vector<uint8_t> pristine = readFileBytes(path);
+
+    // Flip every byte of the file in turn would be slow; flip a spread
+    // of offsets covering header fields, chunk framing and payload.
+    for (size_t off = 0; off < pristine.size();
+         off += 1 + pristine.size() / 97) {
+        SCOPED_TRACE("corrupt byte at offset " + std::to_string(off));
+        std::vector<uint8_t> bytes = pristine;
+        bytes[off] ^= 0x5a;
+        writeFileBytes(path, bytes, bytes.size());
+        std::string via_stream =
+            replayErrorMessage(path, TraceIo::Stream);
+        std::string via_mmap = replayErrorMessage(path, TraceIo::Mmap);
+        EXPECT_EQ(via_stream, via_mmap);
+        // With full verification on, every single-byte corruption in
+        // this fixture is caught (CRCs cover header, chunks, footer;
+        // framing fields are bounds- and consistency-checked).
+        EXPECT_FALSE(via_stream.empty());
+    }
+    fs::remove(path);
+}
+
+// --------------------------------------------------- CRC trust ladder
+
+TEST(CrcElision, OnceVerifiesThenElides)
+{
+    std::string path = tempTracePath("crc-once");
+    std::vector<MicroOp> ops;
+    auto sample = awkwardOps();
+    for (int rep = 0; rep < 40; ++rep)
+        for (const auto &op : sample)
+            ops.push_back(op);
+    writeSample(path, ops, 7);
+
+    ReaderOptions once{TraceIo::Auto, CrcMode::Once};
+    TraceReader first(path, once);
+    ASSERT_GT(first.chunkCount(), 1u);
+    RecordingSink s1;
+    first.replayInto(s1);
+    // Untrusted file: the first replay pays the full CRC pass...
+    EXPECT_EQ(first.chunkCrcChecks(), first.chunkCount());
+
+    // ...which promotes it, so a second reader elides every chunk CRC.
+    TraceReader second(path, once);
+    RecordingSink s2;
+    second.replayInto(s2);
+    EXPECT_EQ(second.chunkCrcChecks(), 0u);
+    expectOpsEqual(s1.ops, s2.ops);
+    fs::remove(path);
+}
+
+TEST(CrcElision, AlwaysChecksEveryReplay)
+{
+    std::string path = tempTracePath("crc-always");
+    writeSample(path, awkwardOps(), 3);
+
+    TraceReader reader(path, {TraceIo::Auto, CrcMode::Always});
+    RecordingSink s1;
+    reader.replayInto(s1);
+    RecordingSink s2;
+    reader.replayInto(s2);
+    // Always ignores the verified-trace registry entirely.
+    EXPECT_EQ(reader.chunkCrcChecks(), 2 * reader.chunkCount());
+    fs::remove(path);
+}
+
+TEST(CrcElision, OnceStillRejectsCorruptUntrustedFile)
+{
+    std::string path = tempTracePath("crc-once-corrupt");
+    std::vector<MicroOp> ops;
+    auto sample = awkwardOps();
+    for (int rep = 0; rep < 40; ++rep)
+        for (const auto &op : sample)
+            ops.push_back(op);
+    writeSample(path, ops, 7);
+
+    // Corrupt a byte inside the first chunk's op payload (framing
+    // stays valid, so the file opens and only the CRC pass can catch
+    // it). This process has never verified this file, so Once behaves
+    // exactly like Always.
+    std::vector<uint8_t> bytes = readFileBytes(path);
+    uint32_t header_payload = static_cast<uint32_t>(bytes[8]) |
+                              static_cast<uint32_t>(bytes[9]) << 8 |
+                              static_cast<uint32_t>(bytes[10]) << 16 |
+                              static_cast<uint32_t>(bytes[11]) << 24;
+    bytes[16 + header_payload + 12 + 1] ^= 0x5a;
+    writeFileBytes(path, bytes, bytes.size());
+
+    TraceReader reader(path, {TraceIo::Auto, CrcMode::Once});
+    RecordingSink sink;
+    EXPECT_THROW(reader.replayInto(sink), TraceFormatError);
+    fs::remove(path);
+}
+
+TEST(CrcElision, NeverSkipsChunkCrcButKeepsStructuralChecks)
+{
+    std::string path = tempTracePath("crc-never");
+    std::vector<MicroOp> ops;
+    auto sample = awkwardOps();
+    for (int rep = 0; rep < 10; ++rep)
+        for (const auto &op : sample)
+            ops.push_back(op);
+    writeSample(path, ops, 7);
+
+    // Flip only the *stored CRC field* of the first op chunk — the
+    // payload bytes stay intact, so skipping the CRC pass must still
+    // decode the original ops.
+    std::vector<uint8_t> bytes = readFileBytes(path);
+    uint32_t header_payload = static_cast<uint32_t>(bytes[8]) |
+                              static_cast<uint32_t>(bytes[9]) << 8 |
+                              static_cast<uint32_t>(bytes[10]) << 16 |
+                              static_cast<uint32_t>(bytes[11]) << 24;
+    size_t chunk_crc_off = 16 + header_payload + 8;
+    bytes[chunk_crc_off] ^= 0xff;
+    writeFileBytes(path, bytes, bytes.size());
+
+    TraceReader strict(path, {TraceIo::Auto, CrcMode::Always});
+    RecordingSink rejected;
+    EXPECT_THROW(strict.replayInto(rejected), TraceFormatError);
+
+    TraceReader trusting(path, {TraceIo::Auto, CrcMode::Never});
+    RecordingSink sink;
+    trusting.replayInto(sink);
+    EXPECT_EQ(trusting.chunkCrcChecks(), 0u);
+    expectOpsEqual(ops, sink.ops);
+
+    // Never elides op-chunk CRCs only: header corruption still fails
+    // at open (the 16-byte fixed prefix is followed by the CRC'd
+    // header payload).
+    bytes = readFileBytes(path);
+    bytes[chunk_crc_off] ^= 0xff;  // restore the chunk CRC
+    bytes[17] ^= 0x5a;             // corrupt the header payload
+    writeFileBytes(path, bytes, bytes.size());
+    EXPECT_THROW(TraceReader(path, {TraceIo::Auto, CrcMode::Never}),
+                 TraceFormatError);
+    fs::remove(path);
+}
+
+TEST(CrcElision, TrustDoesNotOutliveRewrite)
+{
+    std::string path = tempTracePath("crc-rewrite");
+    writeSample(path, awkwardOps(), 3);
+
+    ReaderOptions once{TraceIo::Auto, CrcMode::Once};
+    {
+        TraceReader reader(path, once);
+        RecordingSink sink;
+        reader.replayInto(sink);  // marks this (path, size, mtime)
+    }
+
+    // Rewrite the file with different (and then corrupted) contents;
+    // the registry key changes with the bytes, so the stale trust
+    // must not let the corruption through.
+    std::vector<MicroOp> bigger;
+    auto sample = awkwardOps();
+    for (int rep = 0; rep < 10; ++rep)
+        for (const auto &op : sample)
+            bigger.push_back(op);
+    writeSample(path, bigger, 7);
+    std::vector<uint8_t> bytes = readFileBytes(path);
+    uint32_t header_payload = static_cast<uint32_t>(bytes[8]) |
+                              static_cast<uint32_t>(bytes[9]) << 8 |
+                              static_cast<uint32_t>(bytes[10]) << 16 |
+                              static_cast<uint32_t>(bytes[11]) << 24;
+    bytes[16 + header_payload + 12 + 1] ^= 0x5a;
+    writeFileBytes(path, bytes, bytes.size());
+
+    TraceReader reader(path, once);
+    RecordingSink sink;
+    EXPECT_THROW(reader.replayInto(sink), TraceFormatError);
+    fs::remove(path);
+}
+
+TEST(CrcElision, FreshCaptureIsBornTrusted)
+{
+    std::string dir =
+        (fs::temp_directory_path() / "wcrt-test-crc-capture").string();
+    fs::remove_all(dir);
+    TraceCache cache(dir);
+    const WorkloadEntry &entry = findWorkload("M-Grep");
+    std::string path =
+        cache.ensure(entry.name, 0.05, [&] { return entry.make(0.05); });
+
+    // The cache just wrote these bytes itself, so a CrcMode::Once
+    // replay may skip the verification pass from the start.
+    TraceReader reader(path, {TraceIo::Auto, CrcMode::Once});
+    CountingSink sink;
+    reader.replayInto(sink);
+    EXPECT_EQ(reader.chunkCrcChecks(), 0u);
+    EXPECT_EQ(sink.ops(), reader.opCount());
+    fs::remove_all(dir);
+}
+
+TEST(TraceSourceFlags, ParseAndFormatRoundTrip)
+{
+    TraceIo io = TraceIo::Auto;
+    EXPECT_TRUE(parseTraceIo("stream", io));
+    EXPECT_EQ(io, TraceIo::Stream);
+    EXPECT_TRUE(parseTraceIo("mmap", io));
+    EXPECT_EQ(io, TraceIo::Mmap);
+    EXPECT_TRUE(parseTraceIo("auto", io));
+    EXPECT_EQ(io, TraceIo::Auto);
+    EXPECT_FALSE(parseTraceIo("pread", io));
+    EXPECT_EQ(io, TraceIo::Auto);  // untouched on failure
+
+    CrcMode crc = CrcMode::Always;
+    EXPECT_TRUE(parseCrcMode("once", crc));
+    EXPECT_EQ(crc, CrcMode::Once);
+    EXPECT_TRUE(parseCrcMode("never", crc));
+    EXPECT_EQ(crc, CrcMode::Never);
+    EXPECT_TRUE(parseCrcMode("always", crc));
+    EXPECT_EQ(crc, CrcMode::Always);
+    EXPECT_FALSE(parseCrcMode("sometimes", crc));
+    EXPECT_EQ(crc, CrcMode::Always);
+
+    EXPECT_STREQ(toString(TraceIo::Auto), "auto");
+    EXPECT_STREQ(toString(TraceIo::Stream), "stream");
+    EXPECT_STREQ(toString(TraceIo::Mmap), "mmap");
+    EXPECT_STREQ(toString(CrcMode::Always), "always");
+    EXPECT_STREQ(toString(CrcMode::Once), "once");
+    EXPECT_STREQ(toString(CrcMode::Never), "never");
+}
+
+/** Workload whose execute() dies mid-capture. */
+class ThrowingWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "T-Throwing"; }
+    AppCategory category() const override
+    {
+        return AppCategory::Service;
+    }
+    StackKind stack() const override { return StackKind::Mpi; }
+    void setup(RunEnv &) override {}
+    void
+    execute(RunEnv &, Tracer &) override
+    {
+        throw std::runtime_error("workload failed mid-capture");
+    }
+};
+
+TEST(TraceCapture, FailedCaptureRemovesTmpFile)
+{
+    std::string path = tempTracePath("failed-capture");
+    std::string tmp = path + ".tmp-" + std::to_string(::getpid());
+    ThrowingWorkload workload;
+    EXPECT_THROW(captureTrace(workload, path, 1.0),
+                 std::runtime_error);
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_FALSE(fs::exists(tmp));
 }
 
 TEST(TraceCacheTest, CapturesOnceThenHits)
