@@ -9,6 +9,12 @@
  *     trace_tool mrc    <file.wtrace> [--kind=K] [--mode=M]
  *                       [--sizes=CSV] [--assoc=N] [--line=N]
  *                       [--jobs=N] [--json]
+ *     trace_tool serve  <workload>[,<workload>...] --ring=NAME
+ *                       [--scale=S] [--ring-kb=KB] [--policy=P]
+ *                       [--timeout-ms=T]
+ *     trace_tool attach --ring=NAME [--producers=N] [--machine=LIST]
+ *                       [--mrc] [--kind=K] [--sizes=CSV] [--line=N]
+ *                       [--jobs=N] [--timeout-ms=T]
  *
  * Every command also accepts `--io=auto|stream|mmap` and
  * `--verify-crc=always|once|never`, which set the process-wide
@@ -25,6 +31,15 @@
  * stack-distance profile by default, the per-rung set-associative
  * oracle, or both (verify) with the divergence per rung — as a table
  * or machine-readable JSON.
+ *
+ * `serve` and `attach` are the cross-process pair (the shm ring
+ * transport, docs/SHM_TRANSPORT.md): `serve` executes workloads and
+ * streams their encoded ops into per-workload shared-memory rings
+ * (NAME for one workload, NAME.0..NAME.N-1 for N), and `attach` —
+ * run in another shell, in any order relative to serve — drains each
+ * ring and analyzes the stream with the same replay machinery the
+ * file commands use: the machine-config table by default, the
+ * stack-distance MRC under `--mrc`.
  */
 
 #include <cmath>
@@ -39,9 +54,11 @@
 #include "base/logging.hh"
 #include "base/table.hh"
 #include "core/profiler.hh"
+#include "sim/stack_distance.hh"
 #include "trace/mix_counter.hh"
 #include "tracefile/capture.hh"
 #include "tracefile/replay.hh"
+#include "tracefile/shm_ring.hh"
 #include "tracefile/trace_reader.hh"
 #include "tracefile/trace_source.hh"
 #include "workloads/registry.hh"
@@ -63,9 +80,25 @@ usage()
            "  trace_tool mrc    <file.wtrace> [--kind=K] [--mode=M]\n"
            "                    [--sizes=CSV] [--assoc=N] [--line=N]\n"
            "                    [--jobs=N] [--json]\n"
+           "  trace_tool serve  <workload>[,<workload>...] --ring=NAME\n"
+           "                    [--scale=S] [--ring-kb=KB] [--policy=P]\n"
+           "                    [--timeout-ms=T]\n"
+           "  trace_tool attach --ring=NAME [--producers=N]\n"
+           "                    [--machine=LIST] [--mrc] [--kind=K]\n"
+           "                    [--sizes=CSV] [--line=N] [--jobs=N]\n"
+           "                    [--timeout-ms=T]\n"
            "\n"
            "  --machine=LIST  comma-separated subset of: xeon, atom,\n"
            "                  sim<KB> (e.g. sim32); default xeon,atom\n"
+           "  --ring=NAME     shm ring name; N workloads/producers use\n"
+           "                  NAME.0 .. NAME.N-1\n"
+           "  --ring-kb=KB    ring data capacity per producer\n"
+           "                  (default 1024, rounded to a power of 2)\n"
+           "  --policy=P      producer backpressure: block (default,\n"
+           "                  lossless) or drop (lossy, non-blocking)\n"
+           "  --producers=N   rings to drain (default 1)\n"
+           "  --timeout-ms=T  serve: heartbeat/drain timeout; attach:\n"
+           "                  ring-appearance timeout (default 10000)\n"
            "  --kind=K        instr (default), data or unified\n"
            "  --mode=M        stack (default), oracle or verify\n"
            "  --sizes=CSV     capacity ladder in KB (default: the\n"
@@ -240,18 +273,29 @@ cmdDump(const std::string &path, uint64_t limit)
     return 0;
 }
 
-int
-cmdReplay(const std::string &path, const std::string &machine_list,
-          unsigned jobs)
+/** Split "a,b,c" into tokens (no empties for trailing commas). */
+std::vector<std::string>
+splitList(const std::string &list)
 {
-    std::vector<MachineConfig> configs;
-    std::string list = machine_list.empty() ? "xeon,atom" : machine_list;
+    std::vector<std::string> out;
     for (size_t pos = 0; pos < list.size();) {
         size_t comma = list.find(',', pos);
         if (comma == std::string::npos)
             comma = list.size();
-        std::string tok = list.substr(pos, comma - pos);
+        if (comma > pos)
+            out.push_back(list.substr(pos, comma - pos));
         pos = comma + 1;
+    }
+    return out;
+}
+
+/** Parse a --machine list ("" means the xeon,atom default). */
+std::vector<MachineConfig>
+parseMachineList(const std::string &machine_list)
+{
+    std::vector<MachineConfig> configs;
+    std::string list = machine_list.empty() ? "xeon,atom" : machine_list;
+    for (const std::string &tok : splitList(list)) {
         if (tok == "xeon")
             configs.push_back(xeonE5645());
         else if (tok == "atom")
@@ -263,13 +307,13 @@ cmdReplay(const std::string &path, const std::string &machine_list,
             wcrt_fatal("unknown machine '", tok,
                        "' (expected xeon, atom or sim<KB>)");
     }
+    return configs;
+}
 
-    TraceReader probe(path);
-    std::cout << "replaying " << probe.meta().workload << " ("
-              << probe.opCount() << " ops) on " << configs.size()
-              << " configs, " << replayWorkers(jobs) << " workers\n\n";
-
-    auto reports = replayOnConfigs(path, configs, jobs);
+/** Print the per-machine CpuReport table replay and attach share. */
+void
+printReplayTable(const std::vector<CpuReport> &reports)
+{
     Table t({"machine", "IPC", "CPI", "L1I MPKI", "L1D MPKI", "L2 MPKI",
              "branch miss%"});
     for (const auto &r : reports) {
@@ -283,6 +327,21 @@ cmdReplay(const std::string &path, const std::string &machine_list,
         t.endRow();
     }
     t.print(std::cout);
+}
+
+int
+cmdReplay(const std::string &path, const std::string &machine_list,
+          unsigned jobs)
+{
+    std::vector<MachineConfig> configs = parseMachineList(machine_list);
+
+    TraceReader probe(path);
+    std::cout << "replaying " << probe.meta().workload << " ("
+              << probe.opCount() << " ops) on " << configs.size()
+              << " configs, " << replayWorkers(jobs) << " workers\n\n";
+
+    auto reports = replayOnConfigs(path, configs, jobs);
+    printReplayTable(reports);
     return 0;
 }
 
@@ -443,6 +502,236 @@ cmdMrc(int argc, char **argv)
     return 0;
 }
 
+/** Per-producer ring name: NAME for one producer, NAME.i for many. */
+std::string
+ringNameAt(const std::string &base, size_t i, size_t n)
+{
+    return n == 1 ? base : base + "." + std::to_string(i);
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    std::vector<std::string> workloads = splitList(argv[2]);
+    if (workloads.empty())
+        return usage();
+    std::string ring_base;
+    double scale = 1.0;
+    uint64_t ring_kb = 1024;
+    ShmPolicy policy = ShmPolicy::Block;
+    uint64_t timeout_ms = 10000;
+    for (int i = 3; i < argc; ++i) {
+        if (const char *v = flagValue(argv[i], "--ring", argc, argv, i))
+            ring_base = v;
+        else if (const char *v2 =
+                     flagValue(argv[i], "--scale", argc, argv, i))
+            scale = std::atof(v2);
+        else if (const char *v3 =
+                     flagValue(argv[i], "--ring-kb", argc, argv, i))
+            ring_kb = std::strtoull(v3, nullptr, 10);
+        else if (const char *v4 =
+                     flagValue(argv[i], "--policy", argc, argv, i)) {
+            if (!parseShmPolicy(v4, policy))
+                wcrt_fatal("unknown --policy '", v4,
+                           "' (block or drop)");
+        } else if (const char *v5 = flagValue(argv[i], "--timeout-ms",
+                                              argc, argv, i)) {
+            timeout_ms = std::strtoull(v5, nullptr, 10);
+        } else {
+            return usage();
+        }
+    }
+    if (ring_base.empty())
+        wcrt_fatal("serve needs --ring=NAME");
+    if (!shmAvailable())
+        wcrt_fatal("shm rings are not supported on this platform");
+
+    // Create every ring before running anything, so an analyzer that
+    // attaches while the first workload is still executing finds all
+    // of them. A leftover ring from a crashed serve is replaced.
+    size_t n = workloads.size();
+    std::vector<ShmRing> rings;
+    rings.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        std::string name = ringNameAt(ring_base, i, n);
+        ShmRing::unlink(name);
+        rings.push_back(ShmRing::create(name, ShmRing::Role::Producer,
+                                        ring_kb * 1024));
+        std::cout << "serving " << workloads[i] << " on shm ring "
+                  << name << " (" << ring_kb << " KB, "
+                  << toString(policy) << ")\n";
+    }
+    std::cout << "waiting for an analyzer: trace_tool attach --ring="
+              << ring_base << (n > 1 ? " --producers=" +
+                                           std::to_string(n)
+                                     : std::string())
+              << "\n\n";
+
+    std::vector<ServeResult> results(n);
+    parallelFor(n, [&](size_t i) {
+        const WorkloadEntry &entry = findWorkload(workloads[i]);
+        WorkloadPtr w = entry.make(scale);
+        results[i] = serveTrace(*w, rings[i], scale, policy);
+        rings[i].awaitDrained(timeout_ms);
+    });
+
+    for (size_t i = 0; i < n; ++i) {
+        std::cout << "streamed " << workloads[i] << ": "
+                  << results[i].ops << " ops, "
+                  << results[i].streamBytes << " bytes";
+        if (results[i].droppedChunks)
+            std::cout << " (" << results[i].droppedChunks
+                      << " chunks / " << results[i].droppedOps
+                      << " ops dropped)";
+        std::cout << " -> " << ringNameAt(ring_base, i, n) << "\n";
+        ShmRing::unlink(ringNameAt(ring_base, i, n));
+    }
+    return 0;
+}
+
+int
+cmdAttach(int argc, char **argv)
+{
+    std::string ring_base;
+    size_t producers = 1;
+    std::string machines;
+    bool mrc = false;
+    SweepKind kind = SweepKind::Instruction;
+    std::string kind_name = "instr";
+    std::vector<uint32_t> sizes = paperSweepSizesKb();
+    uint32_t line_bytes = 64;
+    unsigned jobs = 0;
+    uint64_t timeout_ms = 10000;
+    for (int i = 2; i < argc; ++i) {
+        if (const char *v = flagValue(argv[i], "--ring", argc, argv, i))
+            ring_base = v;
+        else if (const char *v2 =
+                     flagValue(argv[i], "--producers", argc, argv, i))
+            producers = static_cast<size_t>(std::atoi(v2));
+        else if (const char *v3 =
+                     flagValue(argv[i], "--machine", argc, argv, i))
+            machines = v3;
+        else if (std::strcmp(argv[i], "--mrc") == 0)
+            mrc = true;
+        else if (const char *v4 =
+                     flagValue(argv[i], "--kind", argc, argv, i)) {
+            kind_name = v4;
+            if (kind_name == "instr")
+                kind = SweepKind::Instruction;
+            else if (kind_name == "data")
+                kind = SweepKind::Data;
+            else if (kind_name == "unified")
+                kind = SweepKind::Unified;
+            else
+                wcrt_fatal("unknown --kind '", v4,
+                           "' (instr, data or unified)");
+        } else if (const char *v5 =
+                       flagValue(argv[i], "--sizes", argc, argv, i)) {
+            sizes.clear();
+            for (const std::string &tok : splitList(v5)) {
+                int kb = std::atoi(tok.c_str());
+                if (kb <= 0)
+                    wcrt_fatal("bad --sizes entry in '", v5, "'");
+                sizes.push_back(static_cast<uint32_t>(kb));
+            }
+            if (sizes.empty())
+                wcrt_fatal("--sizes needs at least one capacity");
+        } else if (const char *v6 =
+                       flagValue(argv[i], "--line", argc, argv, i)) {
+            line_bytes = static_cast<uint32_t>(std::atoi(v6));
+        } else if (const char *v7 =
+                       flagValue(argv[i], "--jobs", argc, argv, i)) {
+            jobs = static_cast<unsigned>(std::atoi(v7));
+        } else if (const char *v8 = flagValue(argv[i], "--timeout-ms",
+                                              argc, argv, i)) {
+            timeout_ms = std::strtoull(v8, nullptr, 10);
+        } else {
+            return usage();
+        }
+    }
+    if (ring_base.empty() || producers == 0)
+        wcrt_fatal("attach needs --ring=NAME (and --producers >= 1)");
+    if (!shmAvailable())
+        wcrt_fatal("shm rings are not supported on this platform");
+
+    std::vector<MachineConfig> configs = parseMachineList(machines);
+
+    // Drain every ring first (rings in parallel — each drain is one
+    // cheap memcpy loop), then analyze the buffered streams: analysis
+    // replays must not stall a producer on a full ring.
+    std::vector<std::shared_ptr<const std::vector<uint8_t>>> streams(
+        producers);
+    std::vector<bool> peer_died(producers);
+    parallelFor(producers, [&](size_t i) {
+        ShmRing ring =
+            ShmRing::open(ringNameAt(ring_base, i, producers),
+                          ShmRing::Role::Consumer, timeout_ms);
+        ShmSource drained(ring);
+        streams[i] = drained.payload();
+        peer_died[i] = drained.peerDied();
+    }, jobs);
+
+    int rc = 0;
+    for (size_t i = 0; i < producers; ++i) {
+        std::string name = ringNameAt(ring_base, i, producers);
+        std::string display = "shm:" + name;
+        std::cout << "=== " << display << " ===\n";
+        if (peer_died[i])
+            std::cout << "warning: producer died mid-stream; analyzing "
+                         "the received prefix\n";
+        try {
+            // The probe validates the whole drained stream (including
+            // the truncation a dead producer leaves behind) exactly
+            // like the file reader would.
+            TraceReader probe(
+                std::make_unique<ShmSource>(streams[i]), display);
+            std::cout << probe.meta().workload << ": "
+                      << probe.opCount() << " ops, "
+                      << streams[i]->size() << " bytes via "
+                      << probe.ioName() << "\n";
+
+            if (mrc) {
+                // Mirror replaySweepLadder's StackDistance mode so
+                // the curve is bit-identical to `trace_tool mrc` on
+                // the equivalent file.
+                unsigned workers = replayWorkers(jobs);
+                StackDistanceProfile profile(
+                    line_bytes, workers > 1 ? workers : 0);
+                TraceReader reader(
+                    std::make_unique<ShmSource>(streams[i]), display);
+                reader.replayInto(profile);
+                std::vector<double> ratios =
+                    profile.missRatios(kind, sizes);
+                Table t({"cache KB", "miss%"});
+                for (size_t j = 0; j < sizes.size(); ++j) {
+                    t.cell(static_cast<uint64_t>(sizes[j]));
+                    t.cell(ratios[j] * 100.0, 3);
+                    t.endRow();
+                }
+                t.print(std::cout);
+            } else {
+                std::vector<CpuReport> reports(configs.size());
+                parallelFor(configs.size(), [&](size_t j) {
+                    TraceReader reader(
+                        std::make_unique<ShmSource>(streams[i]),
+                        display);
+                    SimCpu cpu(configs[j]);
+                    reader.replayInto(cpu);
+                    reports[j] = cpu.report();
+                }, jobs);
+                printReplayTable(reports);
+            }
+        } catch (const TraceFormatError &err) {
+            std::cerr << "trace_tool: " << err.what() << "\n";
+            rc = 1;
+        }
+        ShmRing::unlink(name);
+        if (i + 1 < producers)
+            std::cout << "\n";
+    }
+    return rc;
+}
+
 } // namespace
 
 int
@@ -512,6 +801,13 @@ main(int argc, char **argv)
         }
         if (cmd == "mrc")
             return cmdMrc(argc, argv);
+        if (cmd == "serve")
+            return cmdServe(argc, argv);
+        if (cmd == "attach") {
+            // attach has no positional argument, so the argc >= 3
+            // gate above already held (--ring counts as argv[2]).
+            return cmdAttach(argc, argv);
+        }
     } catch (const TraceFormatError &err) {
         std::cerr << "trace_tool: " << err.what() << "\n";
         return 1;

@@ -48,4 +48,36 @@ captureTrace(Workload &workload, const std::string &path, double scale)
     return result;
 }
 
+ServeResult
+serveTrace(Workload &workload, ShmRing &ring, double scale,
+           ShmPolicy policy)
+{
+    RunEnv env;
+    workload.setup(env);
+    // Same driver frame as captureTrace(): the streamed bytes must
+    // match what the file path would have recorded.
+    FunctionId driver = env.layout.addFunction(
+        "driver.main", CodeLayer::Application, 512);
+
+    TraceMeta meta;
+    meta.workload = workload.name();
+    meta.category = workload.category();
+    meta.stackKind = workload.stack();
+    meta.scale = scale;
+
+    ShmChunkSink sink(ring, meta, env.layout, policy);
+    Tracer tracer(env.layout, sink);
+    tracer.call(driver);
+    workload.execute(env, tracer);
+    tracer.ret();
+    sink.finish(env.io, env.data);
+
+    ServeResult result;
+    result.ops = sink.opsStreamed();
+    result.streamBytes = sink.bytesStreamed();
+    result.droppedOps = sink.opsDropped();
+    result.droppedChunks = sink.chunksDropped();
+    return result;
+}
+
 } // namespace wcrt

@@ -211,6 +211,18 @@ TraceReader::TraceReader(const std::string &path,
     scanFooter();
 }
 
+TraceReader::TraceReader(std::unique_ptr<TraceSource> source,
+                         const std::string &display_name,
+                         const ReaderOptions &options)
+    : filePath(display_name), readerOpts(options),
+      src(std::move(source)), fileBacked(false)
+{
+    src->seek(0);
+    fileSize = src->size();
+    readHeader();
+    scanFooter();
+}
+
 void
 TraceReader::readHeader()
 {
@@ -273,7 +285,7 @@ TraceReader::walkChunks(TraceSink *sink)
     bool check_crc =
         readerOpts.crc == CrcMode::Always ||
         (readerOpts.crc == CrcMode::Once &&
-         !traceVerifiedInProcess(filePath));
+         !(fileBacked && traceVerifiedInProcess(filePath)));
     uint64_t ops_seen = 0;
     uint64_t chunks_seen = 0;
     uint64_t payload_seen = 0;
@@ -320,7 +332,7 @@ TraceReader::walkChunks(TraceSink *sink)
                     std::to_string(ops_seen) + "): " + filePath);
             chunks = chunks_seen;
             payloadTotal = payload_seen;
-            if (sink && check_crc)
+            if (sink && check_crc && fileBacked)
                 markTraceVerified(filePath);
             return ops_seen;
         }

@@ -49,6 +49,19 @@ class TraceReader
     /** Open `path` with explicit io/CRC policy. */
     TraceReader(const std::string &path, const ReaderOptions &options);
 
+    /**
+     * Read from an already-open source — e.g. a drained ShmSource —
+     * labelled `display_name` in every error message and by path().
+     * The io policy does not apply (the transport is the source), and
+     * the verified-trace registry is never consulted or updated:
+     * trust is keyed by file identity, which a non-file source does
+     * not have, so CrcMode::Once checks every replay here exactly
+     * like Always.
+     */
+    TraceReader(std::unique_ptr<TraceSource> source,
+                const std::string &display_name,
+                const ReaderOptions &options = defaultReaderOptions());
+
     /** Run identity stored in the header. */
     const TraceMeta &meta() const { return fileMeta; }
 
@@ -118,6 +131,7 @@ class TraceReader
     std::string filePath;
     ReaderOptions readerOpts;
     std::unique_ptr<TraceSource> src;
+    bool fileBacked = true;  //!< false bars the CRC trust registry
     OpBlock block;  //!< reusable decode target, one chunk at a time
     uint64_t firstChunk = 0;
     uint64_t crcChecks = 0;

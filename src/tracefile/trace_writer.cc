@@ -29,33 +29,25 @@ putF64(std::vector<uint8_t> &out, double v)
         out.push_back(static_cast<uint8_t>(bits >> (8 * i)));
 }
 
+/** Prefix `payload` with a (first, length, crc) frame header. */
+std::vector<uint8_t>
+framePayload(uint32_t first, const std::vector<uint8_t> &payload)
+{
+    std::vector<uint8_t> frame;
+    frame.reserve(12 + payload.size());
+    putU32(frame, first);
+    putU32(frame, static_cast<uint32_t>(payload.size()));
+    putU32(frame, crc32(payload.data(), payload.size()));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    return frame;
+}
+
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path_, const TraceMeta &meta,
-                         const CodeLayout &layout, uint32_t chunk_ops)
-    : out(path_, std::ios::binary | std::ios::trunc), path(path_),
-      chunkOps(chunk_ops ? chunk_ops : defaultChunkOps)
-{
-    if (!out)
-        throw TraceFormatError("cannot open trace file for writing: " +
-                               path);
-    writeHeader(meta, layout);
-}
+namespace tracefile {
 
-TraceWriter::~TraceWriter()
-{
-    if (!finished && out.is_open()) {
-        try {
-            finish();
-        } catch (const TraceFormatError &e) {
-            warn("trace writer teardown failed for ", path, ": ",
-                 e.what());
-        }
-    }
-}
-
-void
-TraceWriter::writeHeader(const TraceMeta &meta, const CodeLayout &layout)
+std::vector<uint8_t>
+encodeHeaderFrame(const TraceMeta &meta, const CodeLayout &layout)
 {
     std::vector<uint8_t> payload;
     putString(payload, meta.workload);
@@ -74,20 +66,36 @@ TraceWriter::writeHeader(const TraceMeta &meta, const CodeLayout &layout)
         putVarint(payload, fn.profile.rotationBytes);
     }
 
-    std::vector<uint8_t> header;
-    putU32(header, magic);
-    putU32(header, version);
-    putU32(header, static_cast<uint32_t>(payload.size()));
-    putU32(header, crc32(payload.data(), payload.size()));
-    out.write(reinterpret_cast<const char *>(header.data()),
-              static_cast<std::streamsize>(header.size()));
-    out.write(reinterpret_cast<const char *>(payload.data()),
-              static_cast<std::streamsize>(payload.size()));
-    fileBytes += header.size() + payload.size();
+    // The file header's fixed prefix carries (magic, version) where a
+    // chunk carries (opCount, payloadBytes) — same 16-vs-12 byte shape
+    // TraceReader::readHeader expects.
+    std::vector<uint8_t> frame;
+    frame.reserve(16 + payload.size());
+    putU32(frame, magic);
+    putU32(frame, version);
+    putU32(frame, static_cast<uint32_t>(payload.size()));
+    putU32(frame, crc32(payload.data(), payload.size()));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    return frame;
 }
 
-void
-TraceWriter::encodeOp(const MicroOp &op)
+std::vector<uint8_t>
+encodeFooterFrame(uint64_t total_ops, const IoCounters &io,
+                  const DataBehavior &data)
+{
+    std::vector<uint8_t> payload;
+    putVarint(payload, total_ops);
+    putVarint(payload, io.diskReadBytes);
+    putVarint(payload, io.diskWriteBytes);
+    putVarint(payload, io.networkBytes);
+    putVarint(payload, data.inputBytes);
+    putVarint(payload, data.intermediateBytes);
+    putVarint(payload, data.outputBytes);
+    return framePayload(0, payload);  // opCount 0 marks the footer
+}
+
+bool
+ChunkEncoder::add(const MicroOp &op)
 {
     uint8_t flags = static_cast<uint8_t>(op.kind) & kindMask;
     flags |= static_cast<uint8_t>(static_cast<uint8_t>(op.purpose)
@@ -124,6 +132,58 @@ TraceWriter::encodeOp(const MicroOp &op)
     }
     if (has_target)
         putVarintSigned(buf, static_cast<int64_t>(op.target - op.pc));
+
+    return ++bufOps >= chunkOps;
+}
+
+void
+ChunkEncoder::takeFrame(std::vector<uint8_t> &frame)
+{
+    if (bufOps == 0)
+        wcrt_panic("ChunkEncoder::takeFrame with no pending ops");
+    frame.clear();
+    frame.reserve(12 + buf.size());
+    putU32(frame, bufOps);
+    putU32(frame, static_cast<uint32_t>(buf.size()));
+    putU32(frame, crc32(buf.data(), buf.size()));
+    frame.insert(frame.end(), buf.begin(), buf.end());
+    buf.clear();
+    bufOps = 0;
+    prevPc = 0;
+    prevMem = 0;
+}
+
+} // namespace tracefile
+
+TraceWriter::TraceWriter(const std::string &path_, const TraceMeta &meta,
+                         const CodeLayout &layout, uint32_t chunk_ops)
+    : out(path_, std::ios::binary | std::ios::trunc), path(path_),
+      encoder(chunk_ops)
+{
+    if (!out)
+        throw TraceFormatError("cannot open trace file for writing: " +
+                               path);
+    writeFrame(encodeHeaderFrame(meta, layout));
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!finished && out.is_open()) {
+        try {
+            finish();
+        } catch (const TraceFormatError &e) {
+            warn("trace writer teardown failed for ", path, ": ",
+                 e.what());
+        }
+    }
+}
+
+void
+TraceWriter::writeFrame(const std::vector<uint8_t> &f)
+{
+    out.write(reinterpret_cast<const char *>(f.data()),
+              static_cast<std::streamsize>(f.size()));
+    fileBytes += f.size();
 }
 
 void
@@ -131,11 +191,9 @@ TraceWriter::consume(const MicroOp &op)
 {
     if (finished)
         wcrt_panic("TraceWriter::consume after finish");
-    encodeOp(op);
-    ++bufOps;
-    ++totalOps;
-    if (bufOps >= chunkOps)
+    if (encoder.add(op))
         flushChunk();
+    ++totalOps;
 }
 
 void
@@ -144,8 +202,7 @@ TraceWriter::consumeBatch(const OpBlockView &ops)
     if (finished)
         wcrt_panic("TraceWriter::consumeBatch after finish");
     for (size_t i = 0; i < ops.count; ++i) {
-        encodeOp(ops[i]);
-        if (++bufOps >= chunkOps)
+        if (encoder.add(ops[i]))
             flushChunk();
     }
     totalOps += ops.count;
@@ -154,22 +211,11 @@ TraceWriter::consumeBatch(const OpBlockView &ops)
 void
 TraceWriter::flushChunk()
 {
-    if (bufOps == 0)
+    if (encoder.pendingOps() == 0)
         return;
-    std::vector<uint8_t> header;
-    putU32(header, bufOps);
-    putU32(header, static_cast<uint32_t>(buf.size()));
-    putU32(header, crc32(buf.data(), buf.size()));
-    out.write(reinterpret_cast<const char *>(header.data()),
-              static_cast<std::streamsize>(header.size()));
-    out.write(reinterpret_cast<const char *>(buf.data()),
-              static_cast<std::streamsize>(buf.size()));
-    fileBytes += header.size() + buf.size();
-    payloadTotal += buf.size();
-    buf.clear();
-    bufOps = 0;
-    prevPc = 0;
-    prevMem = 0;
+    encoder.takeFrame(frame);
+    writeFrame(frame);
+    payloadTotal += frame.size() - 12;
 }
 
 void
@@ -178,25 +224,7 @@ TraceWriter::finish(const IoCounters &io, const DataBehavior &data)
     if (finished)
         return;
     flushChunk();
-
-    std::vector<uint8_t> payload;
-    putVarint(payload, totalOps);
-    putVarint(payload, io.diskReadBytes);
-    putVarint(payload, io.diskWriteBytes);
-    putVarint(payload, io.networkBytes);
-    putVarint(payload, data.inputBytes);
-    putVarint(payload, data.intermediateBytes);
-    putVarint(payload, data.outputBytes);
-
-    std::vector<uint8_t> header;
-    putU32(header, 0);  // opCount 0 marks the footer
-    putU32(header, static_cast<uint32_t>(payload.size()));
-    putU32(header, crc32(payload.data(), payload.size()));
-    out.write(reinterpret_cast<const char *>(header.data()),
-              static_cast<std::streamsize>(header.size()));
-    out.write(reinterpret_cast<const char *>(payload.data()),
-              static_cast<std::streamsize>(payload.size()));
-    fileBytes += header.size() + payload.size();
+    writeFrame(encodeFooterFrame(totalOps, io, data));
     out.flush();
     if (!out)
         throw TraceFormatError("short write on trace file: " + path);

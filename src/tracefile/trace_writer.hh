@@ -1,14 +1,24 @@
 /**
  * @file
- * TraceWriter: a TraceSink that records the op stream to a `.wtrace`
- * file instead of (or while) simulating it.
+ * Writer-side `.wtrace` encoding: the shared frame encoders and the
+ * file-backed TraceWriter sink.
  *
- * Attach it wherever a SimCpu or FootprintSweep would go — directly,
- * or behind a TeeSink to capture and simulate in one pass. The file
- * header snapshots the run's CodeLayout region table; the footer adds
- * the I/O and data-behaviour accounting once execute() finishes, so a
- * replayed profile reproduces the full WorkloadRun, not just the
- * micro-architecture counters.
+ * The encoding lives in three transport-agnostic pieces —
+ * encodeHeaderFrame(), ChunkEncoder and encodeFooterFrame() — each
+ * producing one complete frame (fixed prefix + payload) as a byte
+ * vector. TraceWriter appends those frames to a file; ShmChunkSink
+ * (tracefile/shm_ring.hh) pushes the very same frames into a
+ * shared-memory ring. Because both transports run the one encoder,
+ * the byte stream a consumer sees is identical whichever carried it,
+ * and TraceReader needs no transport-specific parsing.
+ *
+ * TraceWriter is a TraceSink: attach it wherever a SimCpu or
+ * FootprintSweep would go — directly, or behind a TeeSink to capture
+ * and simulate in one pass. The file header snapshots the run's
+ * CodeLayout region table; the footer adds the I/O and data-behaviour
+ * accounting once execute() finishes, so a replayed profile
+ * reproduces the full WorkloadRun, not just the micro-architecture
+ * counters.
  */
 
 #ifndef WCRT_TRACEFILE_TRACE_WRITER_HH
@@ -23,6 +33,69 @@
 #include "tracefile/format.hh"
 
 namespace wcrt {
+
+namespace tracefile {
+
+/**
+ * Encode the complete file-header frame: the 16-byte fixed prefix
+ * (magic, version, payload length, payload CRC) followed by the
+ * header payload (run identity + region table).
+ */
+std::vector<uint8_t> encodeHeaderFrame(const TraceMeta &meta,
+                                       const CodeLayout &layout);
+
+/**
+ * Encode the complete footer frame: the 12-byte chunk prefix with
+ * opCount 0 followed by the accounting payload. `total_ops` must
+ * equal the op count actually framed into the stream ahead of it —
+ * readers reject the stream otherwise.
+ */
+std::vector<uint8_t> encodeFooterFrame(uint64_t total_ops,
+                                       const IoCounters &io,
+                                       const DataBehavior &data);
+
+/**
+ * Stateful op-to-chunk encoder: packs MicroOps into the format's
+ * delta/varint encoding and frames them as complete chunks. One
+ * instance encodes one stream; the pc/memAddr delta state resets at
+ * every chunk boundary (takeFrame), matching the format rule that
+ * chunks decode independently.
+ */
+class ChunkEncoder
+{
+  public:
+    explicit ChunkEncoder(uint32_t chunk_ops = defaultChunkOps)
+        : chunkOps(chunk_ops ? chunk_ops : defaultChunkOps)
+    {
+    }
+
+    /**
+     * Encode one op into the pending chunk.
+     * @return true when the chunk reached its op budget and should be
+     *         framed with takeFrame() before the next add().
+     */
+    bool add(const MicroOp &op);
+
+    /** Ops encoded into the pending (unframed) chunk. */
+    uint32_t pendingOps() const { return bufOps; }
+
+    /**
+     * Frame the pending ops as one complete chunk (12-byte prefix +
+     * payload) into `frame` (replacing its contents), and reset the
+     * chunk state for the next one. Must not be called with zero
+     * pending ops — an opCount of 0 is the footer marker.
+     */
+    void takeFrame(std::vector<uint8_t> &frame);
+
+  private:
+    uint32_t chunkOps;
+    std::vector<uint8_t> buf;  //!< current chunk's encoded payload
+    uint32_t bufOps = 0;
+    uint64_t prevPc = 0;
+    uint64_t prevMem = 0;
+};
+
+} // namespace tracefile
 
 /** Streaming encoder for one trace file. */
 class TraceWriter : public TraceSink
@@ -75,17 +148,13 @@ class TraceWriter : public TraceSink
     uint64_t payloadBytes() const { return payloadTotal; }
 
   private:
-    void writeHeader(const TraceMeta &meta, const CodeLayout &layout);
     void flushChunk();
-    void encodeOp(const MicroOp &op);
+    void writeFrame(const std::vector<uint8_t> &frame);
 
     std::ofstream out;
     std::string path;
-    uint32_t chunkOps;
-    std::vector<uint8_t> buf;     //!< current chunk's encoded payload
-    uint32_t bufOps = 0;
-    uint64_t prevPc = 0;
-    uint64_t prevMem = 0;
+    tracefile::ChunkEncoder encoder;
+    std::vector<uint8_t> frame;  //!< reusable framed-chunk buffer
     uint64_t totalOps = 0;
     uint64_t fileBytes = 0;
     uint64_t payloadTotal = 0;

@@ -2,12 +2,17 @@
 """Markdown link checker for the repo's documentation.
 
 Walks the given markdown files (and any markdown files under given
-directories), extracts inline links and images, and verifies that every
-relative target exists on disk, resolved against the file that contains
-the link. Fragments (``FILE.md#anchor``) are checked for file existence
-only; external schemes (http/https/mailto) and pure in-page anchors
-(``#section``) are skipped — this is a repo-consistency gate, not a
-network crawler.
+directories), extracts inline links and images, and verifies that
+
+* every relative target exists on disk, resolved against the file
+  that contains the link, and
+* every fragment pointing into a markdown file (``FILE.md#anchor`` or
+  an in-page ``#anchor``) names a real heading there, using GitHub's
+  anchor slugging rules (lowercase, punctuation stripped, spaces to
+  hyphens, ``-N`` suffixes for duplicate headings).
+
+External schemes (http/https/mailto) are skipped — this is a
+repo-consistency gate, not a network crawler.
 
 Exit status is non-zero if any link is broken, with one line per
 offender, so CI output points straight at the stale reference.
@@ -25,8 +30,62 @@ import sys
 # definitions: [label]: target. Angle brackets around targets allowed.
 INLINE_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?[^)]*\)")
 REFDEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s*<?(\S+?)>?\s*$", re.MULTILINE)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+CODE_SPAN_RE = re.compile(r"`([^`]*)`")
+INLINE_TEXT_RE = re.compile(r"!?\[([^\]]*)\]\([^)]*\)")
 
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_fences(text):
+    """Drop fenced code blocks: example paths inside them are not
+    repository links, and commented-out headings are not anchors."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def slugify(heading):
+    """GitHub's anchor slug for one heading's text."""
+    text = CODE_SPAN_RE.sub(r"\1", heading)       # `code` keeps its text
+    text = INLINE_TEXT_RE.sub(r"\1", text)        # [text](url) keeps text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)          # strip punctuation
+    return text.replace(" ", "-")
+
+
+def heading_anchors(text):
+    """All anchors a markdown body defines, duplicate-suffixed the way
+    GitHub does (second "Setup" heading becomes setup-1)."""
+    anchors = set()
+    counts = {}
+    for match in HEADING_RE.finditer(text):
+        slug = slugify(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    # Explicit HTML anchors (<a name=...> / id=...) also resolve.
+    for match in re.finditer(r"<a\s+(?:name|id)=[\"']([^\"']+)[\"']",
+                             text):
+        anchors.add(match.group(1).lower())
+    return anchors
+
+
+class AnchorIndex:
+    """Lazy per-file cache of defined anchors."""
+
+    def __init__(self):
+        self.cache = {}
+
+    def anchors(self, md_path):
+        key = os.path.normpath(md_path)
+        if key not in self.cache:
+            try:
+                with open(key, encoding="utf-8") as f:
+                    text = f.read()
+            except OSError:
+                self.cache[key] = set()
+            else:
+                self.cache[key] = heading_anchors(strip_fences(text))
+        return self.cache[key]
 
 
 def collect_files(paths):
@@ -42,32 +101,36 @@ def collect_files(paths):
     return sorted(set(out))
 
 
-def check_file(md_path):
+def check_file(md_path, index):
     """Return a list of (target, reason) for broken links in one file."""
     with open(md_path, encoding="utf-8") as f:
-        text = f.read()
-    # Fenced code blocks routinely contain example paths like
-    # /tmp/wc.wtrace that are not repository links; drop them.
-    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        text = strip_fences(f.read())
 
     broken = []
     targets = INLINE_RE.findall(text) + REFDEF_RE.findall(text)
     base = os.path.dirname(md_path)
     for target in targets:
-        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+        if target.startswith(SKIP_SCHEMES):
             continue
-        path = target.split("#", 1)[0]
-        if not path:
-            continue
-        resolved = os.path.normpath(os.path.join(base, path))
-        if not os.path.exists(resolved):
-            broken.append((target, resolved))
+        path, _, fragment = target.partition("#")
+        if path:
+            resolved = os.path.normpath(os.path.join(base, path))
+            if not os.path.exists(resolved):
+                broken.append((target, f"resolved to {resolved}"))
+                continue
+        else:
+            resolved = md_path  # in-page anchor
+        if fragment and resolved.endswith(".md"):
+            if fragment.lower() not in index.anchors(resolved):
+                broken.append(
+                    (target, f"no heading '#{fragment}' in {resolved}"))
     return broken
 
 
 def main():
     parser = argparse.ArgumentParser(
-        description="verify relative markdown link targets exist")
+        description="verify relative markdown link targets and "
+                    "anchors exist")
     parser.add_argument("paths", nargs="+",
                         help="markdown files or directories to scan")
     args = parser.parse_args()
@@ -77,11 +140,12 @@ def main():
         print("check_links: no markdown files found", file=sys.stderr)
         return 1
 
+    index = AnchorIndex()
     failures = 0
     for md in files:
-        for target, resolved in check_file(md):
-            print(f"{md}: broken link '{target}' "
-                  f"(resolved to {resolved})", file=sys.stderr)
+        for target, reason in check_file(md, index):
+            print(f"{md}: broken link '{target}' ({reason})",
+                  file=sys.stderr)
             failures += 1
     print(f"check_links: {len(files)} files scanned, "
           f"{failures} broken links")
