@@ -11,7 +11,8 @@
  *                       [--jobs=N] [--json]
  *     trace_tool serve  <workload>[,<workload>...] --ring=NAME
  *                       [--scale=S] [--ring-kb=KB] [--policy=P]
- *                       [--timeout-ms=T]
+ *                       [--timeout-ms=T] [--wait-ms=T]
+ *                       [--heartbeat-ms=T]
  *     trace_tool attach --ring=NAME [--producers=N] [--machine=LIST]
  *                       [--mrc] [--kind=K] [--sizes=CSV] [--line=N]
  *                       [--jobs=N] [--timeout-ms=T]
@@ -42,6 +43,7 @@
  * stack-distance MRC under `--mrc`.
  */
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -82,7 +84,8 @@ usage()
            "                    [--jobs=N] [--json]\n"
            "  trace_tool serve  <workload>[,<workload>...] --ring=NAME\n"
            "                    [--scale=S] [--ring-kb=KB] [--policy=P]\n"
-           "                    [--timeout-ms=T]\n"
+           "                    [--timeout-ms=T] [--wait-ms=T]\n"
+           "                    [--heartbeat-ms=T]\n"
            "  trace_tool attach --ring=NAME [--producers=N]\n"
            "                    [--machine=LIST] [--mrc] [--kind=K]\n"
            "                    [--sizes=CSV] [--line=N] [--jobs=N]\n"
@@ -97,8 +100,14 @@ usage()
            "  --policy=P      producer backpressure: block (default,\n"
            "                  lossless) or drop (lossy, non-blocking)\n"
            "  --producers=N   rings to drain (default 1)\n"
-           "  --timeout-ms=T  serve: heartbeat/drain timeout; attach:\n"
-           "                  ring-appearance timeout (default 10000)\n"
+           "  --timeout-ms=T  serve: drain timeout after streaming;\n"
+           "                  attach: ring-appearance timeout\n"
+           "                  (default 10000)\n"
+           "  --wait-ms=T     serve: max wait for the first analyzer\n"
+           "                  when a full ring blocks capture before\n"
+           "                  anyone has attached (default 120000)\n"
+           "  --heartbeat-ms=T serve: peer-death threshold stored in\n"
+           "                  the ring superblock (default 2000)\n"
            "  --kind=K        instr (default), data or unified\n"
            "  --mode=M        stack (default), oracle or verify\n"
            "  --sizes=CSV     capacity ladder in KB (default: the\n"
@@ -128,6 +137,25 @@ flagValue(const char *arg, const char *name, int argc, char **argv,
     if (arg[n] == '\0' && i + 1 < argc)
         return argv[++i];
     return nullptr;
+}
+
+/**
+ * Strictly parse a numeric flag value into [min, max], fatal on
+ * anything else — strtoull would silently wrap "--producers=-1" into
+ * ~1.8e19 and drive allocations with it.
+ */
+uint64_t
+parseCount(const char *flag, const char *value, uint64_t min,
+           uint64_t max)
+{
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(value, &end, 10);
+    if (*value == '\0' || *end != '\0' || value[0] == '-' ||
+        errno == ERANGE || v < min || v > max)
+        wcrt_fatal("bad ", flag, " '", value, "' (expected ", min,
+                   "..", max, ")");
+    return v;
 }
 
 const char *
@@ -520,6 +548,8 @@ cmdServe(int argc, char **argv)
     uint64_t ring_kb = 1024;
     ShmPolicy policy = ShmPolicy::Block;
     uint64_t timeout_ms = 10000;
+    uint64_t wait_ms = 120000;
+    uint64_t heartbeat_ms = ShmRing::defaultHeartbeatTimeoutMs;
     for (int i = 3; i < argc; ++i) {
         if (const char *v = flagValue(argv[i], "--ring", argc, argv, i))
             ring_base = v;
@@ -528,7 +558,7 @@ cmdServe(int argc, char **argv)
             scale = std::atof(v2);
         else if (const char *v3 =
                      flagValue(argv[i], "--ring-kb", argc, argv, i))
-            ring_kb = std::strtoull(v3, nullptr, 10);
+            ring_kb = parseCount("--ring-kb", v3, 1, 1 << 20);
         else if (const char *v4 =
                      flagValue(argv[i], "--policy", argc, argv, i)) {
             if (!parseShmPolicy(v4, policy))
@@ -536,7 +566,14 @@ cmdServe(int argc, char **argv)
                            "' (block or drop)");
         } else if (const char *v5 = flagValue(argv[i], "--timeout-ms",
                                               argc, argv, i)) {
-            timeout_ms = std::strtoull(v5, nullptr, 10);
+            timeout_ms = parseCount("--timeout-ms", v5, 1, 86400000);
+        } else if (const char *v6 = flagValue(argv[i], "--wait-ms",
+                                              argc, argv, i)) {
+            wait_ms = parseCount("--wait-ms", v6, 1, 86400000);
+        } else if (const char *v7 = flagValue(argv[i], "--heartbeat-ms",
+                                              argc, argv, i)) {
+            heartbeat_ms =
+                parseCount("--heartbeat-ms", v7, 1, 86400000);
         } else {
             return usage();
         }
@@ -556,7 +593,14 @@ cmdServe(int argc, char **argv)
         std::string name = ringNameAt(ring_base, i, n);
         ShmRing::unlink(name);
         rings.push_back(ShmRing::create(name, ShmRing::Role::Producer,
-                                        ring_kb * 1024));
+                                        ring_kb * 1024, heartbeat_ms));
+        // Beat from ring creation, not first push: parallelFor can
+        // queue a workload behind busy pool workers (and setup alone
+        // can outlast the timeout) — an attached analyzer must not
+        // read the wait as producer death. And bound how long a full
+        // ring may block capture while no analyzer has ever attached.
+        rings.back().startHeartbeat();
+        rings.back().setNoConsumerTimeout(wait_ms);
         std::cout << "serving " << workloads[i] << " on shm ring "
                   << name << " (" << ring_kb << " KB, "
                   << toString(policy) << ")\n";
@@ -568,25 +612,40 @@ cmdServe(int argc, char **argv)
               << "\n\n";
 
     std::vector<ServeResult> results(n);
+    std::vector<std::string> errors(n);
     parallelFor(n, [&](size_t i) {
-        const WorkloadEntry &entry = findWorkload(workloads[i]);
-        WorkloadPtr w = entry.make(scale);
-        results[i] = serveTrace(*w, rings[i], scale, policy);
-        rings[i].awaitDrained(timeout_ms);
+        // Catch per workload: one ring erroring out (e.g. its
+        // analyzer never attached within --wait-ms) must not take
+        // down the siblings still streaming.
+        try {
+            const WorkloadEntry &entry = findWorkload(workloads[i]);
+            WorkloadPtr w = entry.make(scale);
+            results[i] = serveTrace(*w, rings[i], scale, policy);
+            rings[i].awaitDrained(timeout_ms);
+        } catch (const TraceFormatError &err) {
+            errors[i] = err.what();
+        }
     });
 
+    int rc = 0;
     for (size_t i = 0; i < n; ++i) {
-        std::cout << "streamed " << workloads[i] << ": "
-                  << results[i].ops << " ops, "
-                  << results[i].streamBytes << " bytes";
-        if (results[i].droppedChunks)
-            std::cout << " (" << results[i].droppedChunks
-                      << " chunks / " << results[i].droppedOps
-                      << " ops dropped)";
-        std::cout << " -> " << ringNameAt(ring_base, i, n) << "\n";
+        if (!errors[i].empty()) {
+            std::cerr << "trace_tool: serve " << workloads[i] << ": "
+                      << errors[i] << "\n";
+            rc = 1;
+        } else {
+            std::cout << "streamed " << workloads[i] << ": "
+                      << results[i].ops << " ops, "
+                      << results[i].streamBytes << " bytes";
+            if (results[i].droppedChunks)
+                std::cout << " (" << results[i].droppedChunks
+                          << " chunks / " << results[i].droppedOps
+                          << " ops dropped)";
+            std::cout << " -> " << ringNameAt(ring_base, i, n) << "\n";
+        }
         ShmRing::unlink(ringNameAt(ring_base, i, n));
     }
-    return 0;
+    return rc;
 }
 
 int
@@ -607,7 +666,9 @@ cmdAttach(int argc, char **argv)
             ring_base = v;
         else if (const char *v2 =
                      flagValue(argv[i], "--producers", argc, argv, i))
-            producers = static_cast<size_t>(std::atoi(v2));
+            producers =
+                static_cast<size_t>(parseCount("--producers", v2, 1,
+                                               4096));
         else if (const char *v3 =
                      flagValue(argv[i], "--machine", argc, argv, i))
             machines = v3;
@@ -644,7 +705,7 @@ cmdAttach(int argc, char **argv)
             jobs = static_cast<unsigned>(std::atoi(v7));
         } else if (const char *v8 = flagValue(argv[i], "--timeout-ms",
                                               argc, argv, i)) {
-            timeout_ms = std::strtoull(v8, nullptr, 10);
+            timeout_ms = parseCount("--timeout-ms", v8, 1, 86400000);
         } else {
             return usage();
         }

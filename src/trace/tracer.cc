@@ -30,7 +30,15 @@ Tracer::Tracer(const CodeLayout &layout, TraceSink &sink)
 
 Tracer::~Tracer()
 {
-    flush();
+    // Best-effort: delivering buffered ops to a sink that is already
+    // broken (a shm ring whose analyzer died or never attached) must
+    // not throw out of a destructor — during exception unwinding that
+    // would be std::terminate, not an error report.
+    try {
+        flush();
+    } catch (const std::exception &e) {
+        warn("tracer teardown lost buffered ops: ", e.what());
+    }
 }
 
 void
@@ -47,7 +55,24 @@ Tracer::deliverBlock()
 {
     if (block.empty())
         return;
-    sink.consumeBlock(block);
+    if (sinkFailed) {
+        // The stream already failed; discard instead of re-poking a
+        // dead sink so ops emitted while the original exception
+        // unwinds (Scope destructors ret()) stay harmless.
+        block.clear();
+        return;
+    }
+    try {
+        sink.consumeBlock(block);
+    } catch (...) {
+        // The block must come back empty either way: leaving it full
+        // would make the next emit() write past the fixed-capacity
+        // arrays (push is unchecked by contract, and full() can never
+        // fire again once used passes cap).
+        sinkFailed = true;
+        block.clear();
+        throw;
+    }
     block.clear();
 }
 

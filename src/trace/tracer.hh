@@ -47,7 +47,8 @@ class Tracer
      */
     Tracer(const CodeLayout &layout, TraceSink &sink);
 
-    /** Delivers any buffered ops to the sink. */
+    /** Delivers any buffered ops to the sink (best-effort: a sink
+     * that throws loses the tail with a warning — never terminate). */
     ~Tracer();
 
     Tracer(const Tracer &) = delete;
@@ -185,6 +186,15 @@ class Tracer
     std::vector<uint64_t> scratchBase;   //!< per-function scratch data
     VirtualHeap scratchHeap;
     uint64_t emitted = 0;
+
+    /**
+     * Sticky: set when the sink throws out of a block delivery. The
+     * stream is dead from that point, so later deliveries discard
+     * their ops instead of re-poking the sink — emission that happens
+     * while the original exception unwinds (Scope destructors calling
+     * ret()) must neither overflow the block nor throw a second time.
+     */
+    bool sinkFailed = false;
 
     static constexpr uint32_t opBytes = 4;
     static constexpr uint64_t scratchBytes = 2048;

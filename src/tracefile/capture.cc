@@ -52,6 +52,13 @@ ServeResult
 serveTrace(Workload &workload, ShmRing &ring, double scale,
            ShmPolicy policy)
 {
+    // Liveness must not depend on data flow: workload setup and the
+    // gaps between chunk flushes can easily outlast the heartbeat
+    // timeout, and an attached analyzer would wrongly truncate a
+    // healthy stream. The background beater keeps the producer fresh
+    // whenever this process is alive (idempotent if already started).
+    ring.startHeartbeat();
+
     RunEnv env;
     workload.setup(env);
     // Same driver frame as captureTrace(): the streamed bytes must

@@ -1,11 +1,16 @@
 #include "tracefile/shm_ring.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstring>
+#include <mutex>
 #include <new>
+#include <thread>
 
 #include "base/logging.hh"
 
@@ -54,6 +59,7 @@ struct ShmSuperblock
     alignas(64) std::atomic<uint64_t> head;  //!< bytes read, free-running
     std::atomic<uint64_t> consumerBeat;
     std::atomic<uint32_t> consumerAttached;
+    std::atomic<uint32_t> consumerEverAttached;  //!< sticky, never cleared
 
     // line 3 — reserved for future versions (zero)
     alignas(64) uint8_t reserved[64];
@@ -163,6 +169,44 @@ ShmRing::data() const
 
 #if WCRT_HAS_SHM
 
+/**
+ * Background beater for one side's heartbeat slot (startHeartbeat()).
+ * Holds the slot pointer, not the ShmRing — the mapping's address is
+ * stable across ShmRing moves, so the thread never chases a moved
+ * handle. Stopped (joined) before the owning handle unmaps.
+ */
+struct ShmRing::Heartbeat
+{
+    Heartbeat(std::atomic<uint64_t> &slot_, uint64_t period_ns)
+        : slot(slot_), period(period_ns)
+    {
+        worker = std::thread([this] {
+            std::unique_lock<std::mutex> lock(m);
+            while (!stop) {
+                slot.store(nowNs(), std::memory_order_release);
+                cv.wait_for(lock, std::chrono::nanoseconds(period));
+            }
+        });
+    }
+
+    ~Heartbeat()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            stop = true;
+        }
+        cv.notify_one();
+        worker.join();
+    }
+
+    std::atomic<uint64_t> &slot;
+    uint64_t period;
+    std::mutex m;
+    std::condition_variable cv;
+    bool stop = false;
+    std::thread worker;
+};
+
 ShmRing
 ShmRing::create(const std::string &name, Role role,
                 uint64_t capacity_bytes, uint64_t heartbeat_timeout_ms)
@@ -204,10 +248,12 @@ ShmRing::create(const std::string &name, Role role,
     ring.ringRole = role;
     ring.map = m;
     ring.mapBytes = total;
-    if (role == Role::Producer)
+    if (role == Role::Producer) {
         s->producerAttached.store(1, std::memory_order_release);
-    else
+    } else {
+        s->consumerEverAttached.store(1, std::memory_order_release);
         s->consumerAttached.store(1, std::memory_order_release);
+    }
     ring.beat();
     return ring;
 }
@@ -219,23 +265,32 @@ ShmRing::open(const std::string &name, Role role,
     validateRingName(name);
     uint64_t deadline = nowNs() + attach_timeout_ms * 1000000ull;
     int fd = -1;
+    struct stat st{};
     while (true) {
         fd = ::shm_open(shmPath(name).c_str(), O_RDWR, 0);
-        if (fd >= 0)
-            break;
-        if (errno != ENOENT)
+        if (fd >= 0) {
+            if (::fstat(fd, &st) != 0) {
+                int e = errno;
+                ::close(fd);
+                errno = e;
+                throwErrno("stat", name);
+            }
+            if (st.st_size >= static_cast<off_t>(kDataOffset))
+                break;
+            // A creator sits between shm_open(O_CREAT|O_EXCL) and
+            // ftruncate for a moment, during which the object exists
+            // with size 0. That is "not there yet", not corruption:
+            // drop the fd and re-open by name (the stub may even be
+            // unlinked and replaced wholesale) until the deadline.
+            ::close(fd);
+            fd = -1;
+        } else if (errno != ENOENT) {
             throwErrno("open", name);
+        }
         if (nowNs() >= deadline)
             throw TraceFormatError(
                 "timed out waiting for shm ring to appear: " + name);
         sleepBriefly();
-    }
-    struct stat st;
-    if (::fstat(fd, &st) != 0 ||
-        st.st_size < static_cast<off_t>(kDataOffset)) {
-        ::close(fd);
-        throw TraceFormatError("shm ring too small for superblock: " +
-                               name);
     }
     uint64_t total = static_cast<uint64_t>(st.st_size);
     void *m = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
@@ -277,10 +332,12 @@ ShmRing::open(const std::string &name, Role role,
     ring.ringRole = role;
     ring.map = m;
     ring.mapBytes = total;
-    if (role == Role::Producer)
+    if (role == Role::Producer) {
         s->producerAttached.store(1, std::memory_order_release);
-    else
+    } else {
+        s->consumerEverAttached.store(1, std::memory_order_release);
         s->consumerAttached.store(1, std::memory_order_release);
+    }
     ring.beat();
     return ring;
 }
@@ -297,6 +354,7 @@ ShmRing::~ShmRing()
 {
     if (!map)
         return;
+    heart.reset();  // stop beating into the mapping before unmapping
     // A consumer detaching cleanly hands the ring back to "waiting
     // for an analyzer": the producer must not mistake a deliberate
     // detach (restart/re-attach is supported) for a death. A producer
@@ -309,6 +367,10 @@ ShmRing::~ShmRing()
 }
 
 #else // !WCRT_HAS_SHM
+
+struct ShmRing::Heartbeat
+{
+};
 
 ShmRing
 ShmRing::create(const std::string &name, Role, uint64_t, uint64_t)
@@ -340,8 +402,10 @@ ShmRing::~ShmRing() = default;
 
 ShmRing::ShmRing(ShmRing &&other) noexcept
     : ringName(std::move(other.ringName)), ringRole(other.ringRole),
-      map(other.map), mapBytes(other.mapBytes), sawEof(other.sawEof),
-      sawPeerDeath(other.sawPeerDeath)
+      map(other.map), mapBytes(other.mapBytes),
+      noConsumerWaitNs(other.noConsumerWaitNs),
+      heart(std::move(other.heart)), peerGone(other.peerGone),
+      sawEof(other.sawEof), sawPeerDeath(other.sawPeerDeath)
 {
     other.map = nullptr;
     other.mapBytes = 0;
@@ -389,6 +453,12 @@ ShmRing::noteDropped(uint64_t frames, uint64_t ops)
     sb()->droppedOps.fetch_add(ops, std::memory_order_relaxed);
 }
 
+void
+ShmRing::setNoConsumerTimeout(uint64_t timeout_ms)
+{
+    noConsumerWaitNs = timeout_ms * 1000000ull;
+}
+
 #if WCRT_HAS_SHM
 
 void
@@ -397,6 +467,22 @@ ShmRing::beat()
     auto &slot = ringRole == Role::Producer ? sb()->producerBeat
                                             : sb()->consumerBeat;
     slot.store(nowNs(), std::memory_order_release);
+}
+
+void
+ShmRing::startHeartbeat()
+{
+    if (heart)
+        return;
+    ShmSuperblock *s = sb();
+    auto &slot = ringRole == Role::Producer ? s->producerBeat
+                                            : s->consumerBeat;
+    // A quarter of the timeout keeps a healthy peer far from the
+    // staleness edge; the 100 ms cap bounds detach latency on huge
+    // timeouts, the 100 µs floor bounds spin on absurdly small ones.
+    uint64_t period = std::clamp<uint64_t>(s->heartbeatTimeoutNs / 4,
+                                           100'000ull, 100'000'000ull);
+    heart = std::make_unique<Heartbeat>(slot, period);
 }
 
 /**
@@ -434,8 +520,17 @@ ShmRing::push(const uint8_t *src, size_t len, ShmPolicy policy)
             "frame (" + std::to_string(len) +
             " bytes) exceeds shm ring capacity (" + std::to_string(cap) +
             "): " + ringName);
+    // A push that already gave up on the peer failed the stream (a
+    // Block frame was lost); fail every later push immediately so
+    // teardown — footer frame, destructor flushes — does not stack
+    // more full-length waits on a ring nobody is reading.
+    if (peerGone)
+        throw TraceFormatError(
+            "shm ring stream already failed (consumer dead or never "
+            "attached): " + ringName);
 
     uint64_t tail = s->tail.load(std::memory_order_relaxed);
+    uint64_t wait_start = 0;
     while (cap - (tail - s->head.load(std::memory_order_acquire)) <
            len) {
         if (policy == ShmPolicy::Drop)
@@ -443,10 +538,30 @@ ShmRing::push(const uint8_t *src, size_t len, ShmPolicy policy)
         // Block: wait for the consumer to free space — but never on a
         // consumer that attached and then stopped beating. A consumer
         // that has not attached yet (serve starts before attach) is
-        // waited for indefinitely.
-        if (!peerAlive(nowNs()))
+        // waited for, but only within the configured no-consumer
+        // bound: an analyzer that never shows up must produce an
+        // error, not wedge capture forever. Once any consumer has
+        // attached (sticky flag), a full ring is legitimate
+        // backpressure — including across a clean detach/re-attach —
+        // and is waited out indefinitely.
+        uint64_t now = nowNs();
+        if (!peerAlive(now)) {
+            peerGone = true;
             throw TraceFormatError(
                 "shm ring consumer stopped responding: " + ringName);
+        }
+        if (noConsumerWaitNs != 0 &&
+            !s->consumerEverAttached.load(std::memory_order_acquire)) {
+            if (wait_start == 0)
+                wait_start = now;
+            else if (now - wait_start > noConsumerWaitNs) {
+                peerGone = true;
+                throw TraceFormatError(
+                    "no analyzer attached to shm ring within " +
+                    std::to_string(noConsumerWaitNs / 1000000) +
+                    " ms: " + ringName);
+            }
+        }
         beat();
         sleepBriefly();
     }
@@ -542,6 +657,7 @@ ShmRing::pullWait(uint8_t *out, size_t max)
 #else // !WCRT_HAS_SHM
 
 void ShmRing::beat() {}
+void ShmRing::startHeartbeat() {}
 bool ShmRing::peerAlive(uint64_t) const { return false; }
 
 bool

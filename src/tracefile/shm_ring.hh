@@ -144,8 +144,12 @@ class ShmRing
      * fully in the ring when this returns true, or (Drop policy, ring
      * too full) not at all. Block policy waits for space, heartbeating
      * while it waits, and throws TraceFormatError if an attached
-     * consumer stops beating. A frame larger than the ring capacity
-     * always throws.
+     * consumer stops beating or no consumer ever attaches within the
+     * setNoConsumerTimeout() bound. Once a push has given up on the
+     * peer, every later push on this handle fails fast — the stream
+     * is missing a frame, so teardown (footer, flushes) must not
+     * stack further full-length waits. A frame larger than the ring
+     * capacity always throws.
      *
      * @return true when the frame was written, false when Drop policy
      *         discarded it (ring-level drop accounting is the
@@ -206,8 +210,31 @@ class ShmRing
     /** Refresh this side's heartbeat. push/pull do this implicitly. */
     void beat();
 
+    /**
+     * Start a background thread that refreshes this side's heartbeat
+     * on a timer (a quarter of the ring's timeout), decoupling
+     * liveness from data flow: a producer stuck in workload setup or
+     * between sparse chunk flushes must not look dead to its
+     * consumer. The thread dies with the process, so a SIGKILLed peer
+     * still goes stale as usual. Idempotent; stops on destruction.
+     * Forked children do not inherit the thread — they must beat()
+     * themselves (or start their own).
+     */
+    void startHeartbeat();
+
+    /**
+     * Bound how long a Block push waits while no consumer has *ever*
+     * attached (producer side; 0 = wait forever, the default). Once
+     * any consumer has attached, legitimate backpressure — including
+     * across a clean detach/re-attach — is waited out indefinitely;
+     * only the "analyzer never showed up" case throws.
+     */
+    void setNoConsumerTimeout(uint64_t timeout_ms);
+
   private:
     ShmRing() = default;
+
+    struct Heartbeat;
 
     ShmSuperblock *sb() const;
     uint8_t *data() const;
@@ -217,6 +244,9 @@ class ShmRing
     Role ringRole = Role::Consumer;
     void *map = nullptr;
     uint64_t mapBytes = 0;
+    uint64_t noConsumerWaitNs = 0;
+    std::unique_ptr<Heartbeat> heart;
+    bool peerGone = false;
     bool sawEof = false;
     bool sawPeerDeath = false;
 };

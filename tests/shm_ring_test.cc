@@ -32,7 +32,9 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define WCRT_TEST_HAS_FORK 1
+#include <fcntl.h>
 #include <signal.h>
+#include <sys/mman.h>
 #include <sys/wait.h>
 #include <time.h>
 #include <unistd.h>
@@ -409,6 +411,141 @@ TEST(ShmRing, SilentProducerYieldsPeerDeathNotHang)
     EXPECT_FALSE(cons.endOfStream());
     ShmRing::unlink(name);
 }
+
+TEST(ShmRing, HeartbeatThreadKeepsSlowProducerAlive)
+{
+    if (!shmAvailable())
+        GTEST_SKIP() << "no shm on this platform";
+    std::string name = testRing("slowprod");
+    ShmRing prod = ShmRing::create(name, ShmRing::Role::Producer, 1024,
+                                   /*heartbeat_timeout_ms=*/100);
+    // Liveness decoupled from data flow: with the background beater
+    // running, a producer that pushes nothing for several timeouts
+    // (slow workload setup, sparse chunk flushes) must not be
+    // declared dead by a waiting consumer.
+    prod.startHeartbeat();
+    ShmRing cons = ShmRing::open(name, ShmRing::Role::Consumer);
+
+    uint8_t frame[16];
+    for (size_t i = 0; i < sizeof(frame); ++i)
+        frame[i] = static_cast<uint8_t>(i);
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        ASSERT_TRUE(prod.push(frame, sizeof(frame), ShmPolicy::Block));
+        prod.finishProducer();
+    });
+
+    std::vector<uint8_t> got;
+    uint8_t buf[64];
+    size_t n;
+    while ((n = cons.pullWait(buf, sizeof(buf))) != 0)
+        got.insert(got.end(), buf, buf + n);
+    producer.join();
+
+    EXPECT_FALSE(cons.peerDied());
+    EXPECT_TRUE(cons.endOfStream());
+    EXPECT_EQ(got, std::vector<uint8_t>(frame, frame + sizeof(frame)));
+    ShmRing::unlink(name);
+}
+
+TEST(ShmRing, BlockPushBoundsNeverAttachedConsumerWait)
+{
+    if (!shmAvailable())
+        GTEST_SKIP() << "no shm on this platform";
+    std::string name = testRing("noconsumer");
+    ShmRing prod = ShmRing::create(name, ShmRing::Role::Producer, 64);
+    prod.setNoConsumerTimeout(100);
+
+    uint8_t frame[32] = {};
+    ASSERT_TRUE(prod.push(frame, sizeof(frame), ShmPolicy::Block));
+    ASSERT_TRUE(prod.push(frame, sizeof(frame), ShmPolicy::Block));
+    // Ring full, nobody has ever attached: the bound must turn the
+    // would-be-forever wait into an error.
+    EXPECT_THROW(prod.push(frame, sizeof(frame), ShmPolicy::Block),
+                 TraceFormatError);
+    // ... and once a push gave up, later pushes on the same handle
+    // fail fast (the stream lost a frame) instead of stacking
+    // another full-length wait — sink teardown pushes a footer.
+    auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(prod.push(frame, sizeof(frame), ShmPolicy::Block),
+                 TraceFormatError);
+    auto retry = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+    EXPECT_LT(retry.count(), 50);
+    ShmRing::unlink(name);
+
+    // Once any consumer has attached the bound is disarmed for good:
+    // a full ring behind a slow analyzer — or across a clean
+    // detach/re-attach — is legitimate backpressure, not absence.
+    std::string name2 = testRing("noconsumer2");
+    ShmRing prod2 = ShmRing::create(name2, ShmRing::Role::Producer, 64);
+    prod2.setNoConsumerTimeout(100);
+    {
+        ShmRing cons = ShmRing::open(name2, ShmRing::Role::Consumer);
+    }
+    ASSERT_TRUE(prod2.push(frame, sizeof(frame), ShmPolicy::Block));
+    ASSERT_TRUE(prod2.push(frame, sizeof(frame), ShmPolicy::Block));
+    std::thread late([&] {
+        // Well past the 100 ms no-consumer bound before re-attaching.
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        ShmRing cons = ShmRing::open(name2, ShmRing::Role::Consumer);
+        uint8_t buf[64];
+        size_t drained = 0;
+        while (drained < 64) {
+            size_t n = cons.pullWait(buf, sizeof(buf));
+            ASSERT_GT(n, 0u);
+            drained += n;
+        }
+    });
+    EXPECT_TRUE(prod2.push(frame, sizeof(frame), ShmPolicy::Block));
+    late.join();
+    ShmRing::unlink(name2);
+}
+
+#if WCRT_TEST_HAS_FORK
+
+TEST(ShmRing, OpenWaitsOutAnUnsizedRing)
+{
+    if (!shmAvailable())
+        GTEST_SKIP() << "no shm on this platform";
+    std::string name = testRing("unsized");
+    // Freeze a creator mid-create: the object exists but has not been
+    // ftruncate'd yet, exactly what a racing open() can observe
+    // between shm_open(O_CREAT|O_EXCL) and ftruncate.
+    int fd = ::shm_open(("/" + name).c_str(), O_CREAT | O_RDWR, 0600);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+
+    // open() must keep polling — not reject the stub as "too small"
+    // — and only throw the appearance timeout at the deadline.
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        ShmRing::open(name, ShmRing::Role::Consumer, 150);
+        FAIL() << "open of an unsized ring must time out";
+    } catch (const TraceFormatError &err) {
+        EXPECT_NE(std::string(err.what()).find("timed out"),
+                  std::string::npos)
+            << err.what();
+    }
+    auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+    EXPECT_GE(waited.count(), 100);
+
+    // And when the stub becomes a real ring mid-wait (here replaced
+    // wholesale, as a recovering serve would), the same open attaches.
+    std::thread creator([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        ShmRing::unlink(name);
+        ShmRing keep =
+            ShmRing::create(name, ShmRing::Role::Producer, 256);
+    });
+    ShmRing cons = ShmRing::open(name, ShmRing::Role::Consumer, 2000);
+    creator.join();
+    EXPECT_EQ(cons.capacity(), 256u);
+    ShmRing::unlink(name);
+}
+
+#endif // WCRT_TEST_HAS_FORK
 
 TEST(ShmRing, ConsumerRestartReattachesMidStream)
 {

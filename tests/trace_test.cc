@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "trace/code_layout.hh"
@@ -456,6 +457,62 @@ TEST(Tracer, FlushDeliversBufferedOpsAndDestructorDrains)
         // Destructor drains whatever is still buffered.
     }
     EXPECT_EQ(sink.ops.size(), 4u);
+}
+
+// A sink that wedges (throws on every delivery) after accepting a
+// fixed number of batches — the shape of a shm ring whose analyzer
+// died or never attached.
+class WedgedSink : public TraceSink
+{
+  public:
+    explicit WedgedSink(size_t accept) : accept(accept) {}
+
+    void consume(const MicroOp &) override {}
+
+    void
+    consumeBatch(const OpBlockView &ops) override
+    {
+        if (delivered >= accept)
+            throw std::runtime_error("sink wedged");
+        delivered += ops.count;
+    }
+
+    size_t accept;
+    size_t delivered = 0;
+};
+
+// Once the sink throws out of a delivery, the tracer's stream is dead:
+// emission must stay memory-safe (the failed block is discarded, not
+// left full so the next emit writes past the fixed-capacity arrays)
+// and later deliveries must not throw a second time — ops keep
+// arriving while the original exception unwinds Scope destructors.
+TEST(Tracer, EmissionSurvivesSinkFailureMidStream)
+{
+    CodeLayout layout;
+    auto f = layout.addFunction("f", CodeLayer::Application, 1024);
+    WedgedSink sink(0);
+    Tracer t(layout, sink);
+    t.call(f);
+
+    bool threw = false;
+    try {
+        {
+            Tracer::Scope scope(t, f);
+            // Fill well past one block so the auto-flush hits the
+            // wedged sink mid-emission, inside the scope.
+            t.intAlu(IntPurpose::Compute, 2 * defaultOpBlockOps);
+        }
+    } catch (const std::runtime_error &) {
+        threw = true;
+    }
+    EXPECT_TRUE(threw);
+
+    // Emission after the failure (what unwinding does) must neither
+    // crash nor throw, across enough ops to refill whole blocks.
+    for (size_t i = 0; i < 2 * defaultOpBlockOps; ++i)
+        EXPECT_NO_THROW(t.intAlu());
+    EXPECT_NO_THROW(t.ret());
+    EXPECT_EQ(sink.delivered, 0u);
 }
 
 } // namespace
